@@ -1,0 +1,186 @@
+// Ablation of FileInsurer's placement design choices (DESIGN.md §5):
+//
+//  A. i.i.d. replica placement (the paper's assumption, used by the
+//     theorems) vs forcing distinct sectors per file. i.i.d. lets two
+//     replicas land in one sector, so small-k files die slightly more
+//     often — the price paid for the clean analysis; distinct placement
+//     pays extra RandomSector resamples instead.
+//
+//  B. §VI-B Poisson admission rebalancing on sector registration, on/off:
+//     without it, late-joining sectors stay underfilled and placement
+//     drifts from i.i.d.; with it, a newcomer immediately receives its
+//     fair share of backups.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/network.h"
+#include "ledger/account.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace fi;
+using namespace fi::core;
+
+Params base_params() {
+  Params p;
+  p.min_capacity = 32 * 1024;
+  p.min_value = 10;
+  p.k = 2;
+  p.cap_para = 30.0;
+  p.gamma_deposit = 0.2;
+  p.verify_proofs = false;
+  return p;
+}
+
+struct FillResult {
+  Network* net;
+  std::vector<SectorId> sectors;
+  int files;
+};
+
+/// Builds a network, fills it to ~half capacity, confirming all replicas.
+int fill(Network& net, ledger::Ledger& ledger, AccountId provider,
+         AccountId client, int target_files) {
+  int accepted = 0;
+  (void)ledger;
+  (void)provider;
+  for (int i = 0; i < target_files; ++i) {
+    auto f = net.file_add(client, {1024, 10, {}});
+    if (!f.is_ok()) break;
+    for (ReplicaIndex r = 0; r < net.allocations().replica_count(f.value());
+         ++r) {
+      const AllocEntry& e = net.allocations().entry(f.value(), r);
+      (void)net.file_confirm(net.sectors().at(e.next).owner, f.value(), r,
+                             e.next, {}, std::nullopt);
+    }
+    ++accepted;
+  }
+  net.advance_to(net.now() + 5);
+  return accepted;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSectors = 80;
+  constexpr int kFiles = 600;
+  constexpr int kTrials = 5;
+
+  // ---- A: distinct_sectors ablation --------------------------------------
+  std::printf("Ablation A — i.i.d. placement (paper) vs distinct sectors\n");
+  std::printf("(k=2, %d sectors, %d files, lambda=0.5, %d trials)\n\n",
+              kSectors, kFiles, kTrials);
+  std::printf("%10s %14s %14s %14s\n", "placement", "loss frac",
+              "dup-sector files", "add resamples");
+  for (const bool distinct : {false, true}) {
+    double loss = 0.0, dups = 0.0, resamples = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Params p = base_params();
+      p.distinct_sectors = distinct;
+      ledger::Ledger ledger;
+      Network net(p, ledger, 100 + trial);
+      net.set_auto_prove(true);
+      const AccountId provider = ledger.create_account(1'000'000'000ull);
+      std::vector<SectorId> sectors;
+      for (int s = 0; s < kSectors; ++s) {
+        sectors.push_back(
+            net.sector_register(provider, p.min_capacity).value());
+      }
+      const AccountId client = ledger.create_account(1'000'000'000ull);
+      const int accepted = fill(net, ledger, provider, client, kFiles);
+
+      // Count files whose two replicas share one sector.
+      int duplicated = 0;
+      for (FileId f = 1; f <= static_cast<FileId>(accepted); ++f) {
+        if (!net.file_exists(f)) continue;
+        if (net.allocations().entry(f, 0).prev ==
+            net.allocations().entry(f, 1).prev) {
+          ++duplicated;
+        }
+      }
+      dups += static_cast<double>(duplicated) / accepted;
+      resamples += static_cast<double>(net.stats().add_resamples);
+
+      // Corrupt half the sectors, uniformly at random.
+      util::Xoshiro256 rng(900 + trial);
+      std::vector<int> order(kSectors);
+      for (int i = 0; i < kSectors; ++i) order[i] = i;
+      for (int i = 0; i + 1 < kSectors; ++i) {
+        std::swap(order[i], order[i + static_cast<int>(rng.uniform_below(
+                                           kSectors - i))]);
+      }
+      for (int i = 0; i < kSectors / 2; ++i) {
+        net.corrupt_sector_now(sectors[order[i]]);
+      }
+      net.advance_to(net.now() + 2 * p.proof_cycle);
+      loss += static_cast<double>(net.stats().files_lost) / accepted;
+    }
+    std::printf("%10s %14.4f %14.4f %14.0f\n",
+                distinct ? "distinct" : "iid", loss / kTrials, dups / kTrials,
+                resamples / kTrials);
+  }
+  std::printf("\nShape: i.i.d. placement has ~1/Ns duplicated files and "
+              "loses ~lambda^2 + dup*lambda;\ndistinct placement removes the "
+              "duplication term at the cost of extra resamples.\n");
+
+  // ---- B: §VI-B admission rebalancing -------------------------------------
+  std::printf("\nAblation B — §VI-B Poisson admission rebalancing\n");
+  std::printf("(fill %d sectors, then register %d fresh ones; measure their "
+              "backup share)\n\n",
+              kSectors / 2, kSectors / 2);
+  std::printf("%12s %22s %22s\n", "rebalance", "newcomer share (mean)",
+              "fair share");
+  for (const bool rebalance : {false, true}) {
+    double share = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Params p = base_params();
+      p.admission_rebalance = rebalance;
+      ledger::Ledger ledger;
+      Network net(p, ledger, 200 + trial);
+      net.set_auto_prove(true);
+      const AccountId provider = ledger.create_account(1'000'000'000ull);
+      std::vector<SectorId> old_sectors;
+      for (int s = 0; s < kSectors / 2; ++s) {
+        old_sectors.push_back(
+            net.sector_register(provider, p.min_capacity).value());
+      }
+      const AccountId client = ledger.create_account(1'000'000'000ull);
+      fill(net, ledger, provider, client, kFiles / 2);
+
+      std::vector<SectorId> fresh;
+      for (int s = 0; s < kSectors / 2; ++s) {
+        fresh.push_back(
+            net.sector_register(provider, p.min_capacity).value());
+      }
+      // Let the triggered swap-ins complete (confirm them).
+      for (SectorId target : fresh) {
+        for (const auto& [f, idx] :
+             net.allocations().entries_with_next(target)) {
+          (void)net.file_confirm(provider, f, idx, target, {}, std::nullopt);
+        }
+      }
+      net.advance_to(net.now() + 2 * p.proof_cycle);
+
+      std::size_t on_fresh = 0, total = 0;
+      for (SectorId s : fresh) {
+        on_fresh += net.allocations().entries_with_prev(s).size();
+      }
+      for (SectorId s : old_sectors) {
+        total += net.allocations().entries_with_prev(s).size();
+      }
+      total += on_fresh;
+      if (total > 0) {
+        share += static_cast<double>(on_fresh) / static_cast<double>(total);
+      }
+    }
+    std::printf("%12s %22.4f %22.4f\n", rebalance ? "on" : "off",
+                share / kTrials, 0.5);
+  }
+  std::printf("\nShape: without rebalancing the newcomers hold ~0%% of "
+              "existing backups\n(placement is frozen in the old fleet); "
+              "with §VI-B they immediately reach\ntheir capacity share, "
+              "restoring the i.i.d. location property.\n");
+  return 0;
+}

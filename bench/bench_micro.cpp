@@ -1,0 +1,244 @@
+// Engineering micro-benchmarks (not in the paper): throughput of the
+// primitives every experiment rests on — hashing, Merkle trees, PoRep
+// sealing/verification, WindowPoSt, Reed–Solomon, capacity-weighted sector
+// sampling, and the protocol engine's hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/network.h"
+#include "crypto/merkle.h"
+#include "crypto/porep.h"
+#include "crypto/post.h"
+#include "crypto/sha256.h"
+#include "erasure/reed_solomon.h"
+#include "ledger/account.h"
+#include "util/fenwick.h"
+#include "util/prng.h"
+
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  fi::util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Crypto substrate
+// ---------------------------------------------------------------------------
+
+void BM_Sha256(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::crypto::MerkleTree::over_data(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MerkleBuild)->Arg(4096)->Arg(65536);
+
+void BM_PoRepSeal(benchmark::State& state) {
+  const auto raw = random_bytes(static_cast<std::size_t>(state.range(0)), 3);
+  const fi::crypto::ReplicaId id{1, 2, 3};
+  const fi::crypto::SealParams params{.work = 1, .challenges = 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::crypto::seal(raw, id, params));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PoRepSeal)->Arg(4096)->Arg(65536);
+
+void BM_PoRepVerifySeal(benchmark::State& state) {
+  const auto raw = random_bytes(65536, 4);
+  const fi::crypto::ReplicaId id{1, 2, 3};
+  const fi::crypto::SealParams params{.work = 1, .challenges = 4};
+  const auto sealed = fi::crypto::seal(raw, id, params);
+  const auto proof = fi::crypto::prove_seal(raw, sealed, id, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::crypto::verify_seal(proof, params));
+  }
+}
+BENCHMARK(BM_PoRepVerifySeal);
+
+void BM_WindowPoStProve(benchmark::State& state) {
+  const auto raw = random_bytes(65536, 5);
+  const fi::crypto::ReplicaId id{1, 2, 3};
+  const fi::crypto::SealParams params{.work = 1, .challenges = 2};
+  const auto sealed = fi::crypto::seal(raw, id, params);
+  const auto beacon = fi::crypto::hash_u64s("bench", {1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fi::crypto::prove_window(sealed, id, beacon, 1, 2));
+  }
+}
+BENCHMARK(BM_WindowPoStProve);
+
+void BM_WindowPoStVerify(benchmark::State& state) {
+  const auto raw = random_bytes(65536, 6);
+  const fi::crypto::ReplicaId id{1, 2, 3};
+  const fi::crypto::SealParams params{.work = 1, .challenges = 2};
+  const auto sealed = fi::crypto::seal(raw, id, params);
+  const auto beacon = fi::crypto::hash_u64s("bench", {1});
+  const auto comm_r = fi::crypto::replica_commitment(sealed);
+  const auto proof = fi::crypto::prove_window(sealed, id, beacon, 1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fi::crypto::verify_window(proof, comm_r, beacon, 2));
+  }
+}
+BENCHMARK(BM_WindowPoStVerify);
+
+// ---------------------------------------------------------------------------
+// Erasure coding
+// ---------------------------------------------------------------------------
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  const fi::erasure::ReedSolomon rs(29, 51);  // Storj shape
+  const auto data = random_bytes(29 * 1024, 7);
+  const auto shards = fi::erasure::split_into_shards(data, 29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(shards));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ReedSolomonEncode);
+
+void BM_ReedSolomonReconstruct(benchmark::State& state) {
+  const fi::erasure::ReedSolomon rs(29, 51);
+  const auto data = random_bytes(29 * 1024, 8);
+  auto encoded = rs.encode(fi::erasure::split_into_shards(data, 29));
+  std::vector<std::optional<std::vector<std::uint8_t>>> survivors(
+      encoded.begin(), encoded.end());
+  for (int i = 0; i < 51; ++i) survivors[i * 80 / 51] = std::nullopt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.reconstruct(survivors));
+  }
+}
+BENCHMARK(BM_ReedSolomonReconstruct);
+
+// ---------------------------------------------------------------------------
+// RandomSector (the Fenwick tree behind every placement decision)
+// ---------------------------------------------------------------------------
+
+void BM_RandomSectorSample(benchmark::State& state) {
+  const auto sectors = static_cast<std::size_t>(state.range(0));
+  fi::util::FenwickTree tree(sectors);
+  fi::util::Xoshiro256 rng(9);
+  for (std::size_t i = 0; i < sectors; ++i) {
+    tree.set(i, 1 + rng.uniform_below(16));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.sample(rng));
+  }
+}
+BENCHMARK(BM_RandomSectorSample)->Arg(1000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_FenwickUpdate(benchmark::State& state) {
+  constexpr std::size_t kSectors = 100'000;
+  fi::util::FenwickTree tree(kSectors);
+  fi::util::Xoshiro256 rng(10);
+  for (std::size_t i = 0; i < kSectors; ++i) tree.set(i, 8);
+  for (auto _ : state) {
+    tree.set(rng.uniform_below(kSectors), rng.uniform_below(16));
+  }
+}
+BENCHMARK(BM_FenwickUpdate);
+
+// ---------------------------------------------------------------------------
+// Protocol engine hot paths (metadata mode)
+// ---------------------------------------------------------------------------
+
+void BM_FileAddConfirmStore(benchmark::State& state) {
+  using namespace fi;
+  core::Params params;
+  params.min_capacity = 64 * 1024;
+  params.min_value = 10;
+  params.k = 3;
+  params.cap_para = 100.0;
+  params.gamma_deposit = 0.01;
+  params.verify_proofs = false;
+  ledger::Ledger ledger;
+  core::Network net(params, ledger, 11);
+  net.set_auto_prove(true);
+  const AccountId provider = ledger.create_account(1'000'000'000ull);
+  for (int s = 0; s < 256; ++s) {
+    (void)net.sector_register(provider, params.min_capacity);
+  }
+  const AccountId client = ledger.create_account(1'000'000'000ull);
+  std::vector<core::FileId> files;
+  for (auto _ : state) {
+    auto f = net.file_add(client, {1024, 10, {}});
+    if (!f.is_ok()) {  // network full: recycle by discarding everything
+      state.PauseTiming();
+      for (core::FileId old : files) {
+        if (net.file_exists(old)) (void)net.file_discard(client, old);
+      }
+      files.clear();
+      net.advance(2 * params.proof_cycle);
+      state.ResumeTiming();
+      continue;
+    }
+    for (core::ReplicaIndex i = 0;
+         i < net.allocations().replica_count(f.value()); ++i) {
+      const core::AllocEntry& e = net.allocations().entry(f.value(), i);
+      (void)net.file_confirm(net.sectors().at(e.next).owner, f.value(), i,
+                             e.next, {}, std::nullopt);
+    }
+    files.push_back(f.value());
+  }
+}
+BENCHMARK(BM_FileAddConfirmStore);
+
+void BM_ProofCycleAdvance(benchmark::State& state) {
+  using namespace fi;
+  core::Params params;
+  params.min_capacity = 64 * 1024;
+  params.min_value = 10;
+  params.k = 3;
+  params.cap_para = 100.0;
+  params.gamma_deposit = 0.01;
+  params.avg_refresh = 1e9;  // isolate CheckProof cost from refresh cost
+  params.verify_proofs = false;
+  ledger::Ledger ledger;
+  core::Network net(params, ledger, 12);
+  net.set_auto_prove(true);
+  const AccountId provider = ledger.create_account(1'000'000'000ull);
+  for (int s = 0; s < 64; ++s) {
+    (void)net.sector_register(provider, params.min_capacity);
+  }
+  const AccountId client = ledger.create_account(1'000'000'000ull);
+  for (int i = 0; i < 500; ++i) {
+    auto f = net.file_add(client, {1024, 10, {}});
+    if (!f.is_ok()) break;
+    for (core::ReplicaIndex r = 0;
+         r < net.allocations().replica_count(f.value()); ++r) {
+      const core::AllocEntry& e = net.allocations().entry(f.value(), r);
+      (void)net.file_confirm(net.sectors().at(e.next).owner, f.value(), r,
+                             e.next, {}, std::nullopt);
+    }
+  }
+  for (auto _ : state) {
+    net.advance(params.proof_cycle);  // one CheckProof per stored file
+  }
+}
+BENCHMARK(BM_ProofCycleAdvance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

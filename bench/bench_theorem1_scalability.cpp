@@ -1,0 +1,104 @@
+// Reproduces the Theorem 1 corollary (§V-B1): capacity scalability.
+//
+// The theorem bounds the total raw-file size storable at
+//   min{ Ns·minCap / (2·r1·k), Ns·minCap / r2 },
+// i.e. ~linear in the number of sectors. We fill real protocol networks of
+// growing size with a fixed workload distribution until File_Add is
+// rejected, and report stored bytes at the redundancy threshold (the
+// theorem's operating point) and at hard rejection, against the bound.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "core/network.h"
+#include "ledger/account.h"
+#include "util/prng.h"
+
+int main() {
+  using namespace fi;
+
+  core::Params params;
+  params.min_capacity = 64 * 1024;
+  params.min_value = 10;
+  params.k = 3;
+  params.cap_para = 200.0;
+  params.gamma_deposit = 0.01;
+  params.verify_proofs = false;
+
+  std::printf("Theorem 1 reproduction — capacity scalability\n");
+  std::printf("(k = %u, file sizes ~ U[1,2] KiB, value = minValue; networks "
+              "of growing Ns)\n\n",
+              params.k);
+  std::printf("%6s %14s %14s %14s %12s %10s\n", "Ns", "bound(bytes)",
+              "stored@50%cap", "stored@reject", "reject/bnd", "resamples");
+
+  double first_ratio = 0.0;
+  for (const std::size_t ns : {16u, 32u, 64u, 128u}) {
+    ledger::Ledger ledger;
+    core::Network net(params, ledger, /*seed=*/ns);
+    net.set_auto_prove(true);
+    const AccountId provider = ledger.create_account(1'000'000'000ull);
+    for (std::size_t s = 0; s < ns; ++s) {
+      auto r = net.sector_register(provider, params.min_capacity);
+      if (!r.is_ok()) {
+        std::printf("sector_register failed: %s\n",
+                    r.status().to_string().c_str());
+        return 1;
+      }
+    }
+    const AccountId client = ledger.create_account(1'000'000'000ull);
+    util::Xoshiro256 rng(ns * 7 + 1);
+
+    const ByteCount total_capacity = ns * params.min_capacity;
+    ByteCount stored_raw = 0;            // total raw size of accepted files
+    ByteCount stored_at_half = 0;        // snapshot at the theorem's regime
+    double sum_size = 0.0, sum_size_value = 0.0, sum_value = 0.0;
+    std::uint64_t accepted = 0;
+    for (;;) {
+      const ByteCount size = 1024 + rng.uniform_below(1024);  // U[1,2] KiB
+      const TokenAmount value = params.min_value;
+      auto f = net.file_add(client, {size, value, {}});
+      if (!f.is_ok()) break;
+      // Confirm every replica so space is genuinely consumed.
+      for (core::ReplicaIndex i = 0;
+           i < net.allocations().replica_count(f.value()); ++i) {
+        const core::AllocEntry& e = net.allocations().entry(f.value(), i);
+        (void)net.file_confirm(net.sectors().at(e.next).owner, f.value(), i,
+                               e.next, {}, std::nullopt);
+      }
+      stored_raw += size;
+      sum_size += static_cast<double>(size);
+      sum_size_value += static_cast<double>(size) * static_cast<double>(value);
+      sum_value += static_cast<double>(value);
+      ++accepted;
+      if (stored_at_half == 0 &&
+          stored_raw * params.k * 2 >= total_capacity) {
+        stored_at_half = stored_raw;  // replicas now fill half the capacity
+      }
+    }
+
+    const double r1 = analysis::theorem1_r1(sum_size_value, sum_size,
+                                            params.min_value);
+    const double r2 = analysis::theorem1_r2(
+        sum_value, sum_size, params.min_capacity, params.min_value,
+        params.cap_para);
+    const double bound = analysis::theorem1_capacity_bound(
+        static_cast<double>(ns), params.min_capacity, r1, r2, params.k);
+    const double ratio = static_cast<double>(stored_raw) / bound;
+    if (first_ratio == 0.0) first_ratio = ratio;
+    std::printf("%6zu %14.0f %14llu %14llu %12.2f %10llu\n", ns, bound,
+                static_cast<unsigned long long>(stored_at_half),
+                static_cast<unsigned long long>(stored_raw), ratio,
+                static_cast<unsigned long long>(net.stats().add_resamples));
+  }
+
+  std::printf(
+      "\nShape check: stored@reject / bound stays ~constant as Ns grows —\n"
+      "total storable size is linear in Ns (Theorem 1's O~(Ns*minCapacity)).\n"
+      "stored@50%%cap is the theorem's operating point (redundancy 2);\n"
+      "the engine keeps accepting beyond it until RandomSector resampling\n"
+      "fails, at the cost of the collision rate visible in `resamples`.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces the Theorem 2 corollary (§V-B2): with equal file sizes and 2x
+// redundant capacity, the probability that any sector's free capacity drops
+// below capacity/8 is at most Ns·exp(-0.144·capacity/size) — below 1e-50
+// once capacity/size reaches 1000.
+//
+// We sweep the capacity/size ratio, measure the empirical frequency of the
+// event over repeated reallocations, and print it against the bound.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/allocation_model.h"
+#include "analysis/bounds.h"
+
+int main() {
+  using fi::analysis::AllocationModel;
+
+  constexpr std::size_t kSectors = 100;
+  constexpr int kTrials = 40;
+
+  std::printf("Theorem 2 reproduction — collision probability bound\n");
+  std::printf("(equal file sizes, redundancy 2, Ns = %zu, %d reallocation "
+              "trials per row)\n\n",
+              kSectors, kTrials);
+  std::printf("%10s %12s %14s %16s %14s\n", "cap/size", "max usage",
+              "Pr[u>7/8] emp", "bound Ns*e^-.14r", "bound binds?");
+
+  for (const std::size_t ratio : {4u, 8u, 16u, 32u, 64u, 128u, 512u, 1000u}) {
+    // capacity/size = ratio with redundancy 2  =>  Ncp = Ns * ratio / 2.
+    const std::uint64_t backups = kSectors * ratio / 2;
+    std::vector<float> sizes(backups, 1.0f);
+    AllocationModel model(std::move(sizes), kSectors, 2.0,
+                          /*seed=*/ratio * 77 + 1);
+    int hits = 0;
+    double worst = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      const double max_usage = model.reallocate_all();
+      worst = std::max(worst, max_usage);
+      if (model.fraction_above_usage(7.0 / 8.0) > 0.0) ++hits;
+    }
+    const double empirical = static_cast<double>(hits) / kTrials;
+    const double bound = fi::analysis::theorem2_collision_bound(
+        kSectors, static_cast<double>(ratio), 1.0);
+    std::printf("%10zu %12.3f %14.3f %16.3e %14s\n", ratio, worst, empirical,
+                bound, empirical <= std::min(bound, 1.0) + 1e-9 ? "yes" : "NO");
+  }
+
+  std::printf("\nPaper reference: at cap/size = 1000 and Ns <= 1e12 the bound "
+              "is < 1e-50;\nempirically the event never occurs once cap/size "
+              "exceeds a few dozen.\n");
+  return 0;
+}

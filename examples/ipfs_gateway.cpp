@@ -1,0 +1,126 @@
+// IPFS gateway (§VI-F): "the hashes and locations of files are all stored
+// in blockchain ... anyone can address files stored in FileInsurer through
+// IPFS paths. The retrieval of files can be also realized through BitSwap."
+//
+// This example wires the substrates together the way the paper describes:
+//   1. a file is chunked into a Merkle DAG (content-addressed blocks),
+//   2. provider nodes that store the file announce it in the DHT,
+//   3. a gateway node resolves providers via a Kademlia lookup and fetches
+//      the DAG over BitSwap on the simulated network,
+//   4. the reassembled bytes are verified against the on-chain Merkle root.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "ipfs/bitswap.h"
+#include "ipfs/content_store.h"
+#include "ipfs/dht.h"
+#include "ipfs/merkle_dag.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "util/prng.h"
+
+using namespace fi;
+
+namespace {
+
+struct IpfsNode {
+  ipfs::ContentStore store;
+  std::unique_ptr<ipfs::BitswapEngine> engine;
+  sim::NodeId id = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== IPFS gateway over FileInsurer substrates ==\n\n");
+
+  sim::EventQueue queue;
+  sim::Network network(queue, /*seed=*/1);
+  network.set_default_link({.base_latency = 3, .ticks_per_kib = 1});
+  ipfs::Dht dht(/*k=*/4);
+
+  // Eight storage-provider nodes plus one gateway.
+  std::vector<std::unique_ptr<IpfsNode>> nodes;
+  for (int i = 0; i < 9; ++i) {
+    auto node = std::make_unique<IpfsNode>();
+    IpfsNode* raw = node.get();
+    raw->id = network.add_node(
+        [raw](const sim::Message& m) { raw->engine->handle(m); });
+    raw->engine =
+        std::make_unique<ipfs::BitswapEngine>(network, raw->id, raw->store);
+    dht.join(raw->id);
+    nodes.push_back(std::move(node));
+  }
+  IpfsNode& gateway = *nodes.back();
+  std::printf("9 nodes joined the DHT (k-bucket size 4)\n");
+
+  // A client file: ~40 KiB of pseudo-content.
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint8_t> file(40 * 1024);
+  for (auto& b : file) b = static_cast<std::uint8_t>(rng());
+  const crypto::Hash256 on_chain_root = crypto::merkle_root_of_data(file);
+
+  // Three providers store the file (FileInsurer's replicas) and announce
+  // the root CID in the DHT.
+  const ipfs::DagParams dag_params{.chunk_size = 2048, .fanout = 8};
+  ipfs::Cid root_cid;
+  for (int p : {1, 4, 6}) {
+    root_cid = ipfs::dag_put_file(nodes[p]->store, file, dag_params);
+    dht.provide(nodes[p]->id, root_cid);
+  }
+  std::printf("file of %zu bytes chunked into %zu blocks, root %s\n",
+              file.size(), nodes[1]->store.block_count(),
+              root_cid.to_string().c_str());
+  std::printf("providers 1, 4, 6 announced the CID in the DHT\n");
+
+  // The gateway resolves providers and fetches the DAG via BitSwap.
+  const auto lookup = dht.find_providers(gateway.id, root_cid);
+  std::printf("\nDHT lookup from the gateway: %zu providers found in %zu "
+              "hops\n",
+              lookup.providers.size(), lookup.hops);
+  if (lookup.providers.empty()) return 1;
+
+  bool complete = false;
+  gateway.engine->fetch_dag(lookup.providers.front(), root_cid,
+                            [&](const ipfs::Cid&, bool ok) { complete = ok; });
+  queue.run_all();
+
+  std::printf("BitSwap transfer %s at t=%llu (%llu messages, %llu bytes "
+              "received)\n",
+              complete ? "complete" : "FAILED",
+              static_cast<unsigned long long>(queue.now()),
+              static_cast<unsigned long long>(network.messages_delivered()),
+              static_cast<unsigned long long>(
+                  gateway.engine->bytes_received_from(
+                      lookup.providers.front())));
+
+  // Verify content-addressing end to end against the chain's Merkle root.
+  const auto reassembled = ipfs::dag_get_file(gateway.store, root_cid);
+  if (!reassembled.is_ok()) {
+    std::printf("reassembly failed: %s\n",
+                reassembled.status().to_string().c_str());
+    return 1;
+  }
+  const bool match =
+      crypto::merkle_root_of_data(reassembled.value()) == on_chain_root;
+  std::printf("reassembled %zu bytes; on-chain Merkle root match: %s\n",
+              reassembled.value().size(), match ? "YES" : "NO");
+
+  // Traffic-fee accounting per §IV-A1: the provider's BitSwap ledger knows
+  // exactly how many bytes it served.
+  const auto supplier = lookup.providers.front();
+  for (const auto& node : nodes) {
+    if (node->id == supplier) {
+      std::printf("supplier node %llu served %llu bytes -> retrieval "
+                  "payment due at %llu tokens/KiB\n",
+                  static_cast<unsigned long long>(supplier),
+                  static_cast<unsigned long long>(
+                      node->engine->bytes_sent_to(gateway.id)),
+                  1ull);
+    }
+  }
+  return match && complete ? 0 : 1;
+}

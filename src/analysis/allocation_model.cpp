@@ -1,0 +1,88 @@
+#include "analysis/allocation_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fi::analysis {
+
+AllocationModel::AllocationModel(std::vector<float> backup_sizes,
+                                 std::size_t sectors, double redundancy,
+                                 std::uint64_t seed)
+    : sizes_(std::move(backup_sizes)),
+      location_(sizes_.size(), 0),
+      used_(sectors, 0.0),
+      rng_(seed) {
+  FI_CHECK(sectors > 0);
+  FI_CHECK(!sizes_.empty());
+  FI_CHECK(redundancy > 0);
+  const double total =
+      std::accumulate(sizes_.begin(), sizes_.end(), 0.0,
+                      [](double acc, float s) { return acc + s; });
+  capacity_ = total * redundancy / static_cast<double>(sectors);
+  // Initial i.i.d. placement.
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    const std::size_t s = random_sector();
+    location_[i] = static_cast<std::uint32_t>(s);
+    used_[s] += sizes_[i];
+  }
+}
+
+AllocationModel AllocationModel::from_distribution(util::SizeDistribution dist,
+                                                   std::uint64_t backups,
+                                                   std::size_t sectors,
+                                                   double redundancy,
+                                                   std::uint64_t seed) {
+  util::Xoshiro256 rng(seed ^ 0x5a5a5a5a5a5a5a5aULL);
+  std::vector<float> sizes;
+  sizes.reserve(backups);
+  for (std::uint64_t i = 0; i < backups; ++i) {
+    sizes.push_back(static_cast<float>(util::sample_size(rng, dist)));
+  }
+  return AllocationModel(std::move(sizes), sectors, redundancy, seed);
+}
+
+double AllocationModel::reallocate_all() {
+  std::fill(used_.begin(), used_.end(), 0.0);
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    const std::size_t s = random_sector();
+    location_[i] = static_cast<std::uint32_t>(s);
+    used_[s] += sizes_[i];
+  }
+  return max_usage();
+}
+
+double AllocationModel::refresh(std::uint64_t count) {
+  double running_max = max_usage() * capacity_;  // track in absolute units
+  for (std::uint64_t n = 0; n < count; ++n) {
+    const std::uint64_t b = rng_.uniform_below(sizes_.size());
+    const std::size_t from = location_[b];
+    const std::size_t to = random_sector();
+    used_[from] -= sizes_[b];
+    used_[to] += sizes_[b];
+    location_[b] = static_cast<std::uint32_t>(to);
+    running_max = std::max(running_max, used_[to]);
+  }
+  return running_max / capacity_;
+}
+
+double AllocationModel::max_usage() const {
+  const double peak = *std::max_element(used_.begin(), used_.end());
+  return peak / capacity_;
+}
+
+double AllocationModel::mean_usage() const {
+  const double total = std::accumulate(used_.begin(), used_.end(), 0.0);
+  return total / (capacity_ * static_cast<double>(used_.size()));
+}
+
+double AllocationModel::fraction_above_usage(double usage_threshold) const {
+  const std::size_t hits = static_cast<std::size_t>(
+      std::count_if(used_.begin(), used_.end(), [&](double u) {
+        return u / capacity_ > usage_threshold;
+      }));
+  return static_cast<double>(hits) / static_cast<double>(used_.size());
+}
+
+}  // namespace fi::analysis

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/prng.h"
+
+/// Fast statistical model of FileInsurer's placement process for
+/// Table III-scale experiments (up to 10^8 backups).
+///
+/// It keeps only what the experiment measures — per-sector used capacity
+/// and each backup's location — and reuses the same placement rule as the
+/// protocol engine: a backup lands in a sector with probability
+/// proportional to sector capacity, *unconditionally* (Table III measures
+/// whether usage ever approaches capacity; if max usage < 1, no placement
+/// ever failed).
+namespace fi::analysis {
+
+class AllocationModel {
+ public:
+  /// Equal-capacity sectors sized so total capacity = redundancy × total
+  /// backup size (the paper's redundant-capacity assumption, = 2).
+  AllocationModel(std::vector<float> backup_sizes, std::size_t sectors,
+                  double redundancy, std::uint64_t seed);
+
+  /// Convenience: draw `backups` sizes from one of the Table III
+  /// distributions.
+  static AllocationModel from_distribution(util::SizeDistribution dist,
+                                           std::uint64_t backups,
+                                           std::size_t sectors,
+                                           double redundancy,
+                                           std::uint64_t seed);
+
+  [[nodiscard]] std::size_t sector_count() const { return used_.size(); }
+  [[nodiscard]] std::uint64_t backup_count() const { return sizes_.size(); }
+  [[nodiscard]] double sector_capacity() const { return capacity_; }
+
+  /// Setting 1: reallocate *all* backups in one go; returns the maximum
+  /// capacity-usage ratio over sectors after this round.
+  double reallocate_all();
+
+  /// Setting 2: refresh the location of `count` uniformly random backups,
+  /// one at a time; returns the maximum usage ratio observed at any point
+  /// during the process (monotone running max).
+  double refresh(std::uint64_t count);
+
+  /// Current maximum usage ratio over sectors.
+  [[nodiscard]] double max_usage() const;
+  /// Mean usage ratio (≈ 1/redundancy by construction).
+  [[nodiscard]] double mean_usage() const;
+
+  /// Fraction of sectors whose free capacity is below `threshold` × capacity
+  /// (Theorem 2's event with threshold = 1/8 is `free < cap/8` ⇔
+  /// usage > 7/8).
+  [[nodiscard]] double fraction_above_usage(double usage_threshold) const;
+
+ private:
+  [[nodiscard]] std::size_t random_sector() { return rng_.uniform_below(used_.size()); }
+
+  std::vector<float> sizes_;
+  std::vector<std::uint32_t> location_;
+  std::vector<double> used_;
+  double capacity_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace fi::analysis

@@ -1,0 +1,164 @@
+#include "analysis/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/check.h"
+
+namespace fi::analysis {
+
+ReplicaPlacement::ReplicaPlacement(std::uint64_t files, std::uint32_t cp,
+                                   std::uint32_t sectors, std::uint64_t seed)
+    : files_(files), cp_(cp), sectors_(sectors) {
+  FI_CHECK(files >= 1 && cp >= 1 && sectors >= 1);
+  util::Xoshiro256 rng(seed);
+  locations_.resize(files_ * cp_);
+  for (auto& loc : locations_) {
+    loc = static_cast<std::uint32_t>(rng.uniform_below(sectors_));
+  }
+}
+
+std::uint64_t ReplicaPlacement::lost_files(
+    const std::vector<bool>& corrupted) const {
+  FI_CHECK(corrupted.size() == sectors_);
+  std::uint64_t lost = 0;
+  for (std::uint64_t f = 0; f < files_; ++f) {
+    bool all_dead = true;
+    for (std::uint32_t r = 0; r < cp_; ++r) {
+      if (!corrupted[locations_[f * cp_ + r]]) {
+        all_dead = false;
+        break;
+      }
+    }
+    if (all_dead) ++lost;
+  }
+  return lost;
+}
+
+double ReplicaPlacement::lost_fraction(
+    const std::vector<bool>& corrupted) const {
+  return static_cast<double>(lost_files(corrupted)) /
+         static_cast<double>(files_);
+}
+
+ValuedReplicaPlacement::ValuedReplicaPlacement(
+    std::vector<std::uint32_t> values, std::uint32_t k, std::uint32_t sectors,
+    std::uint64_t seed)
+    : values_(std::move(values)), sectors_(sectors) {
+  FI_CHECK(k >= 1 && sectors >= 1 && !values_.empty());
+  util::Xoshiro256 rng(seed);
+  offsets_.reserve(values_.size() + 1);
+  offsets_.push_back(0);
+  for (std::uint32_t v : values_) {
+    FI_CHECK_MSG(v >= 1, "file value below minValue");
+    total_value_ += v;
+    offsets_.push_back(offsets_.back() + k * v);  // cp = k * value
+  }
+  locations_.resize(offsets_.back());
+  for (auto& loc : locations_) {
+    loc = static_cast<std::uint32_t>(rng.uniform_below(sectors_));
+  }
+}
+
+std::uint64_t ValuedReplicaPlacement::lost_value(
+    const std::vector<bool>& corrupted) const {
+  FI_CHECK(corrupted.size() == sectors_);
+  std::uint64_t lost = 0;
+  for (std::size_t f = 0; f < values_.size(); ++f) {
+    bool all_dead = true;
+    for (std::uint32_t r = offsets_[f]; r < offsets_[f + 1]; ++r) {
+      if (!corrupted[locations_[r]]) {
+        all_dead = false;
+        break;
+      }
+    }
+    if (all_dead) lost += values_[f];
+  }
+  return lost;
+}
+
+double ValuedReplicaPlacement::lost_value_fraction(
+    const std::vector<bool>& corrupted) const {
+  return static_cast<double>(lost_value(corrupted)) /
+         static_cast<double>(total_value_);
+}
+
+std::vector<bool> random_corruption(std::uint32_t sectors, double lambda,
+                                    util::Xoshiro256& rng) {
+  FI_CHECK(lambda >= 0.0 && lambda <= 1.0);
+  const auto budget = static_cast<std::uint32_t>(
+      lambda * static_cast<double>(sectors));
+  std::vector<std::uint32_t> order(sectors);
+  std::iota(order.begin(), order.end(), 0);
+  // Partial Fisher–Yates: pick the first `budget` of a random permutation.
+  std::vector<bool> corrupted(sectors, false);
+  for (std::uint32_t i = 0; i < budget; ++i) {
+    const std::uint64_t j = i + rng.uniform_below(sectors - i);
+    std::swap(order[i], order[j]);
+    corrupted[order[i]] = true;
+  }
+  return corrupted;
+}
+
+std::vector<bool> targeted_corruption(const ReplicaPlacement& placement,
+                                      double lambda, util::Xoshiro256& rng) {
+  const std::uint32_t sectors = placement.sector_count();
+  const auto budget =
+      static_cast<std::uint32_t>(lambda * static_cast<double>(sectors));
+  std::vector<bool> corrupted(sectors, false);
+  std::uint32_t spent = 0;
+
+  // Rank files by the number of *distinct* sectors their replicas span —
+  // the cheapest files to destroy first.
+  struct Victim {
+    std::uint64_t file;
+    std::uint32_t span;
+  };
+  std::vector<Victim> victims;
+  victims.reserve(placement.file_count());
+  std::set<std::uint32_t> span_set;
+  for (std::uint64_t f = 0; f < placement.file_count(); ++f) {
+    span_set.clear();
+    for (std::uint32_t r = 0; r < placement.replica_count(); ++r) {
+      span_set.insert(placement.location(f, r));
+    }
+    victims.push_back({f, static_cast<std::uint32_t>(span_set.size())});
+  }
+  std::stable_sort(victims.begin(), victims.end(),
+                   [](const Victim& a, const Victim& b) {
+                     return a.span < b.span;
+                   });
+
+  // Destroy files in cheapness order while the *incremental* sector cost
+  // fits in the remaining budget.
+  for (const Victim& v : victims) {
+    std::vector<std::uint32_t> missing;
+    for (std::uint32_t r = 0; r < placement.replica_count(); ++r) {
+      const std::uint32_t s = placement.location(v.file, r);
+      if (!corrupted[s]) missing.push_back(s);
+    }
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+    if (missing.empty()) continue;  // already lost
+    if (spent + missing.size() > budget) continue;
+    for (std::uint32_t s : missing) {
+      corrupted[s] = true;
+      ++spent;
+    }
+  }
+
+  // Spend any remaining budget on random sectors (they may complete
+  // additional losses for free).
+  while (spent < budget) {
+    const auto s =
+        static_cast<std::uint32_t>(rng.uniform_below(sectors));
+    if (!corrupted[s]) {
+      corrupted[s] = true;
+      ++spent;
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace fi::analysis

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.h"
+
+/// Replica-placement model for the robustness experiments (Theorems 3–4):
+/// `files` files, each with `cp` replicas placed i.i.d. over `sectors`
+/// equal-capacity sectors, plus adversaries that corrupt a λ fraction of
+/// capacity and the resulting loss accounting.
+namespace fi::analysis {
+
+class ReplicaPlacement {
+ public:
+  /// Uniform-value files, all with the same replica count `cp`
+  /// (Lemma 1 reduces the general case to this one).
+  ReplicaPlacement(std::uint64_t files, std::uint32_t cp,
+                   std::uint32_t sectors, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t file_count() const { return files_; }
+  [[nodiscard]] std::uint32_t replica_count() const { return cp_; }
+  [[nodiscard]] std::uint32_t sector_count() const { return sectors_; }
+
+  /// Sector holding replica r of file f.
+  [[nodiscard]] std::uint32_t location(std::uint64_t file,
+                                       std::uint32_t replica) const {
+    return locations_[file * cp_ + replica];
+  }
+
+  /// Number of files losing *all* replicas when `corrupted[s]` marks dead
+  /// sectors.
+  [[nodiscard]] std::uint64_t lost_files(
+      const std::vector<bool>& corrupted) const;
+
+  /// Lost-file fraction (== γ_lost for uniform values).
+  [[nodiscard]] double lost_fraction(const std::vector<bool>& corrupted) const;
+
+ private:
+  std::uint64_t files_;
+  std::uint32_t cp_;
+  std::uint32_t sectors_;
+  std::vector<std::uint32_t> locations_;  // files × cp, row-major
+};
+
+/// Placement for files of heterogeneous values: file i of value
+/// `values[i]`·minValue stores `k·values[i]` replicas i.i.d. (the paper's
+/// `cp = k·value/minValue`). Lemma 1 reduces this to the uniform-value
+/// case by splitting each file into unit-value descriptors; this class
+/// lets tests verify that reduction empirically.
+class ValuedReplicaPlacement {
+ public:
+  /// `values[i]` — file i's value in minValue units (>= 1).
+  ValuedReplicaPlacement(std::vector<std::uint32_t> values, std::uint32_t k,
+                         std::uint32_t sectors, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t file_count() const { return values_.size(); }
+  [[nodiscard]] std::uint32_t sector_count() const { return sectors_; }
+  [[nodiscard]] std::uint64_t total_value() const { return total_value_; }
+
+  /// Total value (in minValue units) of files losing every replica.
+  [[nodiscard]] std::uint64_t lost_value(
+      const std::vector<bool>& corrupted) const;
+
+  /// Lost-value fraction γ_lost.
+  [[nodiscard]] double lost_value_fraction(
+      const std::vector<bool>& corrupted) const;
+
+ private:
+  std::vector<std::uint32_t> values_;
+  std::vector<std::uint32_t> offsets_;    // replica range per file
+  std::vector<std::uint32_t> locations_;  // flattened replica locations
+  std::uint32_t sectors_;
+  std::uint64_t total_value_ = 0;
+};
+
+/// Corrupts a uniformly random ⌊λ·Ns⌋-subset of sectors (random failure /
+/// untargeted adversary).
+std::vector<bool> random_corruption(std::uint32_t sectors, double lambda,
+                                    util::Xoshiro256& rng);
+
+/// Targeted adversary with full knowledge of the placement: greedily
+/// destroys the files whose replica sets span the fewest *new* sectors
+/// until the budget of ⌊λ·Ns⌋ sectors is spent, then fills the remaining
+/// budget with random sectors. This is the natural attack against which
+/// Theorem 3's union bound defends.
+std::vector<bool> targeted_corruption(const ReplicaPlacement& placement,
+                                      double lambda, util::Xoshiro256& rng);
+
+}  // namespace fi::analysis

@@ -1,0 +1,58 @@
+#include "analysis/planner.h"
+
+#include <cmath>
+
+#include "analysis/bounds.h"
+#include "util/check.h"
+
+namespace fi::analysis {
+
+double balanced_cap_para(const WorkloadProfile& workload, std::uint32_t k) {
+  FI_CHECK(k >= 1);
+  // Theorem 1: capacity restriction binds at Ns·minCap/(2·r1·k); value
+  // restriction at Ns·minCap/r2 with
+  //   r2 = minCap·Σvalue/(minValue·Σsize·capPara)
+  //      = mean_value_per_size / capPara   (in normalized units).
+  // Equating: capPara = mean_value_per_size / (2·r1·k).
+  const double r1 = workload.mean_size_times_value;
+  FI_CHECK(r1 > 0);
+  return workload.mean_value_per_size / (2.0 * r1 * static_cast<double>(k));
+}
+
+double max_size_fraction(double ns, double max_probability) {
+  FI_CHECK(ns > 0 && max_probability > 0);
+  // Ns·exp(-0.144·cap/size) <= p   =>   size/cap <= 0.144 / ln(Ns/p).
+  const double log_term = std::log(ns / max_probability);
+  if (log_term <= 0) return 1.0;  // the target is vacuous at this Ns
+  return std::min(1.0, 0.144 / log_term);
+}
+
+Plan plan_network(double ns, const WorkloadProfile& workload,
+                  const RiskTargets& targets, std::uint32_t k_max) {
+  FI_CHECK(ns > 1);
+  Plan plan;
+  // Search the smallest even k whose Theorem 4 deposit ratio fits the
+  // budget at the *balanced* capPara for that k (capPara and k interact,
+  // so recompute per candidate).
+  for (std::uint32_t k = 2; k <= k_max; k += 2) {
+    const double cap_para = balanced_cap_para(workload, k);
+    if (cap_para <= 0) continue;
+    const double gamma = theorem4_deposit_ratio_bound(
+        targets.lambda, k, ns, cap_para, targets.security_param);
+    if (gamma <= targets.max_deposit_ratio) {
+      plan.k = k;
+      plan.cap_para = cap_para;
+      plan.gamma_deposit = gamma;
+      plan.gamma_lost_bound = theorem3_gamma_lost_bound(
+          targets.lambda, k, ns, /*gamma_v_m=*/1.0, cap_para,
+          targets.security_param);
+      plan.feasible = true;
+      break;
+    }
+  }
+  plan.size_limit_fraction =
+      max_size_fraction(ns, targets.max_collision_probability);
+  return plan;
+}
+
+}  // namespace fi::analysis

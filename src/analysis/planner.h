@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+/// Network-design planner (§VI-A: "the parameters of FileInsurer should be
+/// properly set according to the distribution of files").
+///
+/// Given a workload profile and the operator's risk targets, the planner
+/// turns the paper's theorems into concrete parameter choices:
+///   * the smallest k whose Theorem 4 deposit ratio fits the operator's
+///     deposit budget (and the γ_lost bound it buys via Theorem 3);
+///   * the capPara that balances Theorem 1's two restrictions
+///     (2·r1·k ≈ r2, §VI-A's "not far away" advice);
+///   * the §VI-C sizeLimit that keeps Theorem 2's collision bound under a
+///     target probability.
+namespace fi::analysis {
+
+/// Workload profile: first moments of the file population.
+struct WorkloadProfile {
+  double mean_file_size = 1.0;       ///< in minCapacity-free units
+  double mean_value_per_size = 1.0;  ///< Σvalue / Σsize (bounded, §VI-A)
+  double mean_size_times_value = 1.0;///< Σ(size·value)/Σsize / minValue = r1
+};
+
+/// Operator targets.
+struct RiskTargets {
+  double lambda = 0.5;          ///< adversary capacity fraction to survive
+  double security_param = 1e-18;///< c
+  double max_deposit_ratio = 0.005;  ///< tolerable γ_deposit
+  double max_collision_probability = 1e-50;  ///< Theorem 2 target
+};
+
+/// A recommended configuration, with the bounds it achieves.
+struct Plan {
+  std::uint32_t k = 0;              ///< replicas per minValue
+  double gamma_deposit = 0.0;       ///< Theorem 4 bound at this k
+  double gamma_lost_bound = 0.0;    ///< Theorem 3 bound at this k (γ_v^m = 1)
+  double cap_para = 0.0;            ///< balances Theorem 1's restrictions
+  double size_limit_fraction = 0.0; ///< sizeLimit / sector capacity (§VI-C)
+  bool feasible = false;            ///< a k <= k_max satisfied the budget
+};
+
+/// Computes the plan for a network of `ns` sectors.
+/// `k_max` caps the search (replication this high is never economical).
+Plan plan_network(double ns, const WorkloadProfile& workload,
+                  const RiskTargets& targets, std::uint32_t k_max = 64);
+
+/// The capPara equating Theorem 1's capacity and value restrictions
+/// (2·r1·k == r2), given the workload profile.
+double balanced_cap_para(const WorkloadProfile& workload, std::uint32_t k);
+
+/// Largest file-size/sector-capacity fraction keeping Theorem 2's bound
+/// under `max_probability` for `ns` sectors.
+double max_size_fraction(double ns, double max_probability);
+
+}  // namespace fi::analysis

@@ -1,0 +1,56 @@
+#include "baselines/arweave_model.h"
+
+namespace fi::baselines {
+
+void ArweaveModel::setup(std::uint32_t sectors,
+                         const std::vector<WorkloadFile>& files,
+                         std::uint64_t seed) {
+  miners_ = sectors;
+  rng_ = util::Xoshiro256(seed);
+  placement_.clear();
+  for (const WorkloadFile& f : files) {
+    ShardPlacement::FileLayout layout;
+    for (std::uint32_t m = 0; m < miners_; ++m) {
+      if (rng_.uniform_double() < config_.storage_fraction) {
+        layout.units.push_back(m);
+      }
+    }
+    if (layout.units.empty()) {
+      // Proof of Access forces the block into at least one miner before it
+      // joins the consensus.
+      layout.units.push_back(
+          static_cast<std::uint32_t>(rng_.uniform_below(miners_)));
+    }
+    layout.survive_threshold = 1;
+    layout.value = f.value;
+    placement_.add_file(std::move(layout));
+  }
+}
+
+CorruptionOutcome ArweaveModel::outcome(
+    const std::vector<bool>& corrupted) const {
+  const TokenAmount lost = placement_.lost_value(corrupted);
+  CorruptionOutcome out;
+  out.lost_value_fraction =
+      placement_.total_value() == 0
+          ? 0.0
+          : static_cast<double>(lost) /
+                static_cast<double>(placement_.total_value());
+  out.compensated_fraction = lost == 0 ? 1.0 : 0.0;
+  return out;
+}
+
+CorruptionOutcome ArweaveModel::corrupt_random(double lambda) {
+  return outcome(ShardPlacement::corrupt_fraction(miners_, lambda, rng_));
+}
+
+CorruptionOutcome ArweaveModel::sybil_single_disk_failure(
+    double /*identity_fraction*/) {
+  // Proof of Access pays only for data a miner actually serves; faking
+  // many identities over one disk brings no extra weight. One disk fails.
+  std::vector<bool> corrupted(miners_, false);
+  corrupted[rng_.uniform_below(miners_)] = true;
+  return outcome(corrupted);
+}
+
+}  // namespace fi::baselines

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "baselines/common.h"
+#include "baselines/shard_placement.h"
+
+/// Arweave-style model (§II-C3): a permanent "weave" where Proof of Access
+/// incentivizes every miner to store as much of the data as it can — each
+/// miner independently holds each file with probability `storage_fraction`.
+/// No per-file contracts and no compensation on loss.
+namespace fi::baselines {
+
+struct ArweaveConfig {
+  /// Fraction of the weave each miner stores (PoA incentive strength).
+  double storage_fraction = 0.05;
+};
+
+class ArweaveModel final : public DsnProtocol {
+ public:
+  explicit ArweaveModel(ArweaveConfig config = ArweaveConfig()) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "Arweave"; }
+
+  void setup(std::uint32_t sectors, const std::vector<WorkloadFile>& files,
+             std::uint64_t seed) override;
+
+  CorruptionOutcome corrupt_random(double lambda) override;
+  CorruptionOutcome sybil_single_disk_failure(
+      double identity_fraction) override;
+
+  [[nodiscard]] bool prevents_sybil() const override { return true; }
+  [[nodiscard]] bool provable_robustness() const override { return false; }
+  [[nodiscard]] bool full_compensation() const override { return false; }
+
+ private:
+  [[nodiscard]] CorruptionOutcome outcome(
+      const std::vector<bool>& corrupted) const;
+
+  ArweaveConfig config_;
+  ShardPlacement placement_;
+  std::uint32_t miners_ = 0;
+  util::Xoshiro256 rng_{0};
+};
+
+}  // namespace fi::baselines

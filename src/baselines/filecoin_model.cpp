@@ -1,0 +1,48 @@
+#include "baselines/filecoin_model.h"
+
+namespace fi::baselines {
+
+void FilecoinModel::setup(std::uint32_t sectors,
+                          const std::vector<WorkloadFile>& files,
+                          std::uint64_t seed) {
+  sectors_ = sectors;
+  rng_ = util::Xoshiro256(seed);
+  placement_.clear();
+  for (const WorkloadFile& f : files) {
+    ShardPlacement::FileLayout layout;
+    layout.units =
+        ShardPlacement::draw_distinct(sectors, config_.replicas, rng_);
+    layout.survive_threshold = 1;
+    layout.value = f.value;
+    placement_.add_file(std::move(layout));
+  }
+}
+
+CorruptionOutcome FilecoinModel::outcome(
+    const std::vector<bool>& corrupted) const {
+  const TokenAmount lost = placement_.lost_value(corrupted);
+  CorruptionOutcome out;
+  out.lost_value_fraction =
+      placement_.total_value() == 0
+          ? 0.0
+          : static_cast<double>(lost) /
+                static_cast<double>(placement_.total_value());
+  // Pledges are burnt; only the deal collateral trickles back.
+  out.compensated_fraction =
+      lost == 0 ? 1.0 : config_.deal_collateral_fraction;
+  return out;
+}
+
+CorruptionOutcome FilecoinModel::corrupt_random(double lambda) {
+  return outcome(ShardPlacement::corrupt_fraction(sectors_, lambda, rng_));
+}
+
+CorruptionOutcome FilecoinModel::sybil_single_disk_failure(
+    double /*identity_fraction*/) {
+  // PoRep + WindowPoSt: one physical disk backs one sector.
+  std::vector<bool> corrupted(sectors_, false);
+  corrupted[rng_.uniform_below(sectors_)] = true;
+  return outcome(corrupted);
+}
+
+}  // namespace fi::baselines

@@ -1,0 +1,67 @@
+#include "baselines/fileinsurer_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fi::baselines {
+
+void FileInsurerModel::setup(std::uint32_t sectors,
+                             const std::vector<WorkloadFile>& files,
+                             std::uint64_t seed) {
+  sectors_ = sectors;
+  rng_ = util::Xoshiro256(seed);
+  placement_.clear();
+  for (const WorkloadFile& f : files) {
+    FI_CHECK_MSG(f.value % config_.min_value == 0,
+                 "file value must be a multiple of min_value");
+    const auto cp = static_cast<std::uint32_t>(
+        config_.k * (f.value / config_.min_value));
+    ShardPlacement::FileLayout layout;
+    layout.units = ShardPlacement::draw_iid(sectors, cp, rng_);
+    layout.survive_threshold = 1;  // any surviving replica keeps the file
+    layout.value = f.value;
+    placement_.add_file(std::move(layout));
+  }
+  // §IV-B: per-sector deposit = γ_deposit · capPara · minValue per
+  // capacity unit (each baseline sector is one unit).
+  deposit_per_sector_ = static_cast<TokenAmount>(std::ceil(
+      config_.gamma_deposit * config_.cap_para *
+      static_cast<double>(config_.min_value)));
+}
+
+CorruptionOutcome FileInsurerModel::outcome(
+    const std::vector<bool>& corrupted) const {
+  std::uint32_t dead = 0;
+  for (bool c : corrupted) {
+    if (c) ++dead;
+  }
+  const TokenAmount lost = placement_.lost_value(corrupted);
+  const TokenAmount pool = deposit_per_sector_ * dead;
+  CorruptionOutcome out;
+  out.lost_value_fraction =
+      placement_.total_value() == 0
+          ? 0.0
+          : static_cast<double>(lost) /
+                static_cast<double>(placement_.total_value());
+  out.compensated_fraction =
+      lost == 0 ? 1.0
+                : static_cast<double>(std::min(lost, pool)) /
+                      static_cast<double>(lost);
+  return out;
+}
+
+CorruptionOutcome FileInsurerModel::corrupt_random(double lambda) {
+  return outcome(ShardPlacement::corrupt_fraction(sectors_, lambda, rng_));
+}
+
+CorruptionOutcome FileInsurerModel::sybil_single_disk_failure(
+    double /*identity_fraction*/) {
+  // PoRep forces one real replica per registered unit: the attacker's
+  // single disk can only back a single unit.
+  std::vector<bool> corrupted(sectors_, false);
+  corrupted[rng_.uniform_below(sectors_)] = true;
+  return outcome(corrupted);
+}
+
+}  // namespace fi::baselines

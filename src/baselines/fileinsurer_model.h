@@ -1,0 +1,48 @@
+#pragma once
+
+#include "baselines/common.h"
+#include "baselines/shard_placement.h"
+
+/// FileInsurer reduced to the Table IV comparison frame: i.i.d.
+/// capacity-weighted replica placement with `cp = k·value/minValue`
+/// replicas, capacity-proportional deposits, and full compensation paid
+/// from confiscated deposits (capped by the confiscated amount, as in the
+/// real protocol).
+namespace fi::baselines {
+
+struct FileInsurerConfig {
+  std::uint32_t k = 20;
+  TokenAmount min_value = 100;
+  double cap_para = 1000.0;
+  double gamma_deposit = 0.0046;  ///< Theorem 4's sufficient value
+};
+
+class FileInsurerModel final : public DsnProtocol {
+ public:
+  explicit FileInsurerModel(FileInsurerConfig config = FileInsurerConfig()) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "FileInsurer"; }
+
+  void setup(std::uint32_t sectors, const std::vector<WorkloadFile>& files,
+             std::uint64_t seed) override;
+
+  CorruptionOutcome corrupt_random(double lambda) override;
+  CorruptionOutcome sybil_single_disk_failure(
+      double identity_fraction) override;
+
+  [[nodiscard]] bool prevents_sybil() const override { return true; }
+  [[nodiscard]] bool provable_robustness() const override { return true; }
+  [[nodiscard]] bool full_compensation() const override { return true; }
+
+ private:
+  [[nodiscard]] CorruptionOutcome outcome(
+      const std::vector<bool>& corrupted) const;
+
+  FileInsurerConfig config_;
+  ShardPlacement placement_;
+  std::uint32_t sectors_ = 0;
+  TokenAmount deposit_per_sector_ = 0;
+  util::Xoshiro256 rng_{0};
+};
+
+}  // namespace fi::baselines

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.h"
+#include "util/types.h"
+
+/// Shared placement/loss machinery for the baseline models: every protocol
+/// reduces to "file i occupies a set of storage units and survives while at
+/// least `threshold` of them survive" (threshold = 1 for replication,
+/// = data-shard count for erasure coding).
+namespace fi::baselines {
+
+class ShardPlacement {
+ public:
+  struct FileLayout {
+    std::vector<std::uint32_t> units;  ///< storage units holding a shard
+    std::uint32_t survive_threshold = 1;
+    TokenAmount value = 0;
+  };
+
+  void clear() { files_.clear(); total_value_ = 0; }
+
+  void add_file(FileLayout layout);
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] TokenAmount total_value() const { return total_value_; }
+  [[nodiscard]] const FileLayout& layout(std::size_t i) const {
+    return files_[i];
+  }
+
+  /// Value of files with fewer than `survive_threshold` shards on live
+  /// units.
+  [[nodiscard]] TokenAmount lost_value(
+      const std::vector<bool>& corrupted) const;
+
+  /// Distinct uniform draw of `count` units from [0, units).
+  static std::vector<std::uint32_t> draw_distinct(std::uint32_t units,
+                                                  std::uint32_t count,
+                                                  util::Xoshiro256& rng);
+
+  /// Independent (with replacement) uniform draw — FileInsurer's i.i.d.
+  /// placement.
+  static std::vector<std::uint32_t> draw_iid(std::uint32_t units,
+                                             std::uint32_t count,
+                                             util::Xoshiro256& rng);
+
+  /// Random corruption of ⌊λ·units⌋ units.
+  static std::vector<bool> corrupt_fraction(std::uint32_t units,
+                                            double lambda,
+                                            util::Xoshiro256& rng);
+
+ private:
+  std::vector<FileLayout> files_;
+  TokenAmount total_value_ = 0;
+};
+
+}  // namespace fi::baselines

@@ -1,0 +1,46 @@
+#include "baselines/sia_model.h"
+
+namespace fi::baselines {
+
+void SiaModel::setup(std::uint32_t sectors,
+                     const std::vector<WorkloadFile>& files,
+                     std::uint64_t seed) {
+  sectors_ = sectors;
+  rng_ = util::Xoshiro256(seed);
+  placement_.clear();
+  for (const WorkloadFile& f : files) {
+    ShardPlacement::FileLayout layout;
+    layout.units =
+        ShardPlacement::draw_distinct(sectors, config_.replicas, rng_);
+    layout.survive_threshold = 1;
+    layout.value = f.value;
+    placement_.add_file(std::move(layout));
+  }
+}
+
+CorruptionOutcome SiaModel::outcome(
+    const std::vector<bool>& corrupted) const {
+  const TokenAmount lost = placement_.lost_value(corrupted);
+  CorruptionOutcome out;
+  out.lost_value_fraction =
+      placement_.total_value() == 0
+          ? 0.0
+          : static_cast<double>(lost) /
+                static_cast<double>(placement_.total_value());
+  out.compensated_fraction = lost == 0 ? 1.0 : 0.0;
+  return out;
+}
+
+CorruptionOutcome SiaModel::corrupt_random(double lambda) {
+  return outcome(ShardPlacement::corrupt_fraction(sectors_, lambda, rng_));
+}
+
+CorruptionOutcome SiaModel::sybil_single_disk_failure(
+    double identity_fraction) {
+  // No PoRep: all hosts advertised by the attacker are the same disk and
+  // disappear at once when it fails.
+  return outcome(
+      ShardPlacement::corrupt_fraction(sectors_, identity_fraction, rng_));
+}
+
+}  // namespace fi::baselines

@@ -1,0 +1,48 @@
+#include "baselines/storj_model.h"
+
+#include <algorithm>
+
+namespace fi::baselines {
+
+void StorjModel::setup(std::uint32_t sectors,
+                       const std::vector<WorkloadFile>& files,
+                       std::uint64_t seed) {
+  sectors_ = sectors;
+  rng_ = util::Xoshiro256(seed);
+  placement_.clear();
+  const std::uint32_t shards = std::min(config_.total_shards, sectors);
+  for (const WorkloadFile& f : files) {
+    ShardPlacement::FileLayout layout;
+    layout.units = ShardPlacement::draw_distinct(sectors, shards, rng_);
+    layout.survive_threshold = config_.data_shards;
+    layout.value = f.value;
+    placement_.add_file(std::move(layout));
+  }
+}
+
+CorruptionOutcome StorjModel::outcome(
+    const std::vector<bool>& corrupted) const {
+  const TokenAmount lost = placement_.lost_value(corrupted);
+  CorruptionOutcome out;
+  out.lost_value_fraction =
+      placement_.total_value() == 0
+          ? 0.0
+          : static_cast<double>(lost) /
+                static_cast<double>(placement_.total_value());
+  out.compensated_fraction = lost == 0 ? 1.0 : 0.0;  // no insurance layer
+  return out;
+}
+
+CorruptionOutcome StorjModel::corrupt_random(double lambda) {
+  return outcome(ShardPlacement::corrupt_fraction(sectors_, lambda, rng_));
+}
+
+CorruptionOutcome StorjModel::sybil_single_disk_failure(
+    double /*identity_fraction*/) {
+  // Node audits + per-node proofs: one disk backs one node.
+  std::vector<bool> corrupted(sectors_, false);
+  corrupted[rng_.uniform_below(sectors_)] = true;
+  return outcome(corrupted);
+}
+
+}  // namespace fi::baselines

@@ -1,0 +1,424 @@
+#include "core/agents.h"
+
+#include <algorithm>
+
+#include "crypto/merkle.h"
+#include "util/check.h"
+
+namespace fi::core {
+
+// ---------------------------------------------------------------------------
+// ClientAgent
+// ---------------------------------------------------------------------------
+
+ClientAgent::ClientAgent(Simulation& sim, ClientId account)
+    : sim_(sim), account_(account) {}
+
+util::Result<FileId> ClientAgent::store_file(std::vector<std::uint8_t> data,
+                                             TokenAmount value) {
+  FileInfo info;
+  info.size = data.size();
+  info.value = value;
+  info.merkle_root = crypto::merkle_root_of_data(data);
+  auto id = sim_.network().file_add(account_, info);
+  if (id.is_ok()) files_.emplace(id.value(), std::move(data));
+  return id;
+}
+
+util::Status ClientAgent::discard_file(FileId file) {
+  return sim_.network().file_discard(account_, file);
+}
+
+const std::vector<std::uint8_t>& ClientAgent::data(FileId file) const {
+  const auto it = files_.find(file);
+  FI_CHECK_MSG(it != files_.end(), "client does not own this file");
+  return it->second;
+}
+
+void ClientAgent::retrieve(FileId file, std::function<void(bool)> on_done) {
+  retrieve_data(file, [on_done = std::move(on_done)](
+                          std::optional<std::vector<std::uint8_t>> data) {
+    on_done(data.has_value());
+  });
+}
+
+void ClientAgent::retrieve_data(FileId file, DataCallback on_done) {
+  if (!sim_.network().file_exists(file)) {
+    on_done(std::nullopt);  // discarded or lost (and compensated)
+    return;
+  }
+  auto holders = sim_.network().file_get(account_, file);
+  if (!holders.is_ok() || holders.value().empty()) {
+    on_done(std::nullopt);
+    return;
+  }
+  const crypto::Hash256 expected_root = sim_.network().file(file).merkle_root;
+  const ByteCount size = sim_.network().file(file).size;
+
+  // Retrieval market (§III-E): holders compete on price — order the
+  // candidates cheapest-first before probing them.
+  auto sectors = std::make_shared<std::vector<SectorId>>(holders.value());
+  std::stable_sort(sectors->begin(), sectors->end(),
+                   [this](SectorId a, SectorId b) {
+                     const auto& table = sim_.network().sectors();
+                     return sim_.market().ask_of(table.at(a).owner) <
+                            sim_.market().ask_of(table.at(b).owner);
+                   });
+  auto attempt = std::make_shared<std::function<void(std::size_t)>>();
+  *attempt = [this, sectors, attempt, file, expected_root, size,
+              on_done = std::move(on_done)](std::size_t i) {
+    if (i >= sectors->size()) {
+      on_done(std::nullopt);
+      return;
+    }
+    ProviderAgent* provider = sim_.provider_for_sector((*sectors)[i]);
+    ReplicaIndex index = 0;
+    bool found = false;
+    if (provider != nullptr && !provider->crashed() &&
+        provider->serve_retrieval) {
+      for (ReplicaIndex j = 0;
+           j < sim_.network().allocations().replica_count(file); ++j) {
+        if (provider->holds(file, j)) {
+          index = j;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      // Holder unavailable or selfish: move on after a probe delay.
+      sim_.schedule_after(sim_.transfer_base_latency,
+                          [attempt, i] { (*attempt)(i + 1); });
+      return;
+    }
+    sim_.schedule_after(
+        sim_.transfer_latency(size),
+        [this, provider, file, index, expected_root, on_done] {
+          auto raw = provider->unseal_replica(file, index);
+          const bool ok =
+              crypto::merkle_root_of_data(raw) == expected_root;
+          if (ok) {
+            // File_Supply: payment settles on the retrieval market at the
+            // winning provider's posted ask.
+            (void)sim_.market().settle(account_, provider->account(),
+                                       raw.size());
+            on_done(std::move(raw));
+          } else {
+            on_done(std::nullopt);
+          }
+        });
+  };
+  (*attempt)(0);
+}
+
+util::Result<ClientAgent::LargeFileHandle> ClientAgent::store_large_file(
+    const std::vector<std::uint8_t>& data, TokenAmount value,
+    ByteCount size_limit) {
+  const erasure::LargeFileCodec codec(size_limit);
+  if (!codec.needs_segmentation(data.size())) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "file fits under size_limit; use store_file");
+  }
+  LargeFileHandle handle;
+  handle.layout = codec.segment(data, value);
+  for (auto& segment : handle.layout.segments) {
+    auto id = store_file(std::move(segment.data), segment.value);
+    segment.data.clear();  // bytes now live in files_ under the id
+    if (!id.is_ok()) {
+      // Best-effort cleanup of the segments stored so far.
+      for (FileId stored : handle.segment_files) (void)discard_file(stored);
+      return id.status();
+    }
+    handle.segment_files.push_back(id.value());
+  }
+  return handle;
+}
+
+void ClientAgent::retrieve_large_file(const LargeFileHandle& handle,
+                                      DataCallback on_done) {
+  struct Gather {
+    erasure::SegmentedFile layout;
+    std::vector<std::optional<std::vector<std::uint8_t>>> segments;
+    std::size_t pending;
+    DataCallback on_done;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->layout = handle.layout;
+  gather->segments.resize(handle.segment_files.size());
+  gather->pending = handle.segment_files.size();
+  gather->on_done = std::move(on_done);
+
+  for (std::size_t i = 0; i < handle.segment_files.size(); ++i) {
+    retrieve_data(
+        handle.segment_files[i],
+        [gather, i](std::optional<std::vector<std::uint8_t>> bytes) {
+          gather->segments[i] = std::move(bytes);
+          if (--gather->pending > 0) return;
+          const erasure::LargeFileCodec codec(1);  // limit unused by recover
+          auto recovered = codec.recover(gather->layout, gather->segments);
+          if (recovered.is_ok()) {
+            gather->on_done(std::move(recovered).value());
+          } else {
+            gather->on_done(std::nullopt);
+          }
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProviderAgent
+// ---------------------------------------------------------------------------
+
+ProviderAgent::ProviderAgent(Simulation& sim, ProviderId account)
+    : sim_(sim), account_(account) {}
+
+util::Result<SectorId> ProviderAgent::register_sector(ByteCount capacity) {
+  auto id = sim_.network().sector_register(account_, capacity);
+  if (!id.is_ok()) return id;
+  sectors_.push_back(id.value());
+  dreps_.emplace(id.value(),
+                 std::make_unique<DRepManager>(
+                     account_, id.value(), capacity, sim_.params().cr_size,
+                     sim_.params().seal, /*materialize=*/false));
+  if (!prove_tick_scheduled_) {
+    prove_tick_scheduled_ = true;
+    sim_.schedule_after(1, [this] { prove_tick(); });
+  }
+  return id;
+}
+
+util::Status ProviderAgent::disable_sector(SectorId sector) {
+  return sim_.network().sector_disable(account_, sector);
+}
+
+DRepManager& ProviderAgent::drep(SectorId sector) {
+  const auto it = dreps_.find(sector);
+  FI_CHECK_MSG(it != dreps_.end(), "provider does not own this sector");
+  return *it->second;
+}
+
+std::vector<std::uint8_t> ProviderAgent::unseal_replica(
+    FileId file, ReplicaIndex index) const {
+  const auto it = replicas_.find({file, index});
+  FI_CHECK_MSG(it != replicas_.end(), "replica not held");
+  const crypto::ReplicaId id{account_, it->second.sector,
+                             replica_nonce(file, index)};
+  return crypto::unseal(it->second.sealed, id, sim_.params().seal);
+}
+
+void ProviderAgent::set_retrieval_price(TokenAmount price_per_kib) {
+  sim_.market().post_ask(account_, price_per_kib);
+}
+
+void ProviderAgent::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  replicas_.clear();  // the disk content is gone
+  for (SectorId sector : sectors_) {
+    sim_.network().corrupt_sector_physical(sector);
+  }
+}
+
+void ProviderAgent::on_transfer_request(const ReplicaTransferRequested& req) {
+  if (crashed_ || !confirm_enabled) return;
+  // The transfer takes time; the raw bytes are resolved when it completes
+  // (the request is emitted mid-transaction, before the uploader has even
+  // finished its local bookkeeping).
+  const ByteCount size = sim_.network().file_exists(req.file)
+                             ? sim_.network().file(req.file).size
+                             : 0;
+  sim_.schedule_after(sim_.transfer_latency(size),
+                      [this, req] { complete_transfer(req); });
+}
+
+void ProviderAgent::complete_transfer(const ReplicaTransferRequested& req) {
+  if (crashed_ || !confirm_enabled) return;
+  // Source of the raw bytes: the client for initial uploads, the current
+  // holder (or, failing that, any other holder — §III-D liveness) for
+  // refreshes.
+  std::vector<std::uint8_t> raw;
+  bool have_raw = false;
+  if (req.from != kNoSector) {
+    ProviderAgent* source = sim_.provider_for_sector(req.from);
+    if (source != nullptr && !source->crashed() && source->serve_refresh &&
+        source->holds(req.file, req.index)) {
+      raw = source->unseal_replica(req.file, req.index);
+      have_raw = true;
+    } else {
+      // Fall back to any other holder of the file.
+      const auto& allocs = sim_.network().allocations();
+      if (allocs.has_file(req.file)) {
+        for (ReplicaIndex j = 0; j < allocs.replica_count(req.file); ++j) {
+          const AllocEntry& e = allocs.entry(req.file, j);
+          if (e.prev == kNoSector || e.state == AllocState::corrupted) {
+            continue;
+          }
+          ProviderAgent* other = sim_.provider_for_sector(e.prev);
+          if (other != nullptr && other != this && !other->crashed() &&
+              other->serve_refresh && other->holds(req.file, j)) {
+            raw = other->unseal_replica(req.file, j);
+            have_raw = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  // Initial upload — or last resort for a refresh: the owner's original.
+  if (!have_raw) {
+    ClientAgent* client = sim_.client_for(req.client);
+    if (client != nullptr && client->owns(req.file)) {
+      raw = client->data(req.file);
+      have_raw = true;
+    }
+  }
+  if (!have_raw) return;  // handoff will fail and be punished
+  ingest(req.file, req.index, req.to, raw);
+}
+
+void ProviderAgent::ingest(FileId file, ReplicaIndex index, SectorId sector,
+                           const std::vector<std::uint8_t>& raw) {
+  if (crashed_ || !confirm_enabled) return;
+  const auto key = std::make_pair(file, index);
+  const auto it = replicas_.find(key);
+  if (it != replicas_.end() && it->second.sector == sector) {
+    return;  // duplicate transfer into the same sector
+  }
+  const crypto::ReplicaId id{account_, sector, replica_nonce(file, index)};
+  const auto& params = sim_.params();
+  auto sealed = crypto::seal(raw, id, params.seal);
+  const crypto::Hash256 comm_r = crypto::replica_commitment(sealed);
+  std::optional<crypto::SealProof> proof;
+  if (params.verify_proofs) {
+    proof = crypto::prove_seal(raw, sealed, id, params.seal);
+  }
+  const auto status =
+      sim_.network().file_confirm(account_, file, index, sector, comm_r, proof);
+  if (!status.is_ok()) return;  // e.g. upload already failed on-chain
+  drep(sector).add_replica(replica_nonce(file, index), raw.size());
+  if (it != replicas_.end()) {
+    // Moved between two sectors of this provider: the old sector's space is
+    // reclaimed when the chain emits ReplicaReleased for it.
+    it->second = StoredReplica{sector, std::move(sealed), comm_r};
+  } else {
+    replicas_.emplace(key, StoredReplica{sector, std::move(sealed), comm_r});
+  }
+}
+
+void ProviderAgent::prove_tick() {
+  if (crashed_) return;
+  if (prove_enabled) {
+    auto& net = sim_.network();
+    const Time epoch = net.now();
+    for (const auto& [key, replica] : replicas_) {
+      const auto [file, index] = key;
+      if (!net.file_exists(file)) continue;
+      const AllocEntry& e = net.allocations().entry(file, index);
+      if (e.prev != replica.sector || e.state == AllocState::corrupted) {
+        continue;
+      }
+      if (e.last != kNoTime && e.last >= epoch) continue;  // already proved
+      if (net.params().verify_proofs) {
+        const crypto::ReplicaId id{account_, replica.sector,
+                                   replica_nonce(file, index)};
+        const auto proof =
+            crypto::prove_window(replica.sealed, id, net.beacon(epoch), epoch,
+                                 net.params().post_challenges);
+        (void)net.file_prove(account_, file, index, replica.sector, proof);
+      } else {
+        (void)net.file_prove_trusted(account_, file, index, replica.sector,
+                                     epoch);
+      }
+    }
+  }
+  sim_.schedule_after(sim_.params().proof_cycle,
+                              [this] { prove_tick(); });
+}
+
+void ProviderAgent::drop_replica(FileId file, ReplicaIndex index,
+                                 SectorId sector) {
+  const auto drep_it = dreps_.find(sector);
+  if (drep_it != dreps_.end() &&
+      drep_it->second->has_replica(replica_nonce(file, index))) {
+    // DRep: the freed space refills with regenerated capacity replicas.
+    drep_it->second->remove_replica(replica_nonce(file, index));
+  }
+  const auto it = replicas_.find({file, index});
+  if (it != replicas_.end() && it->second.sector == sector) {
+    replicas_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+Simulation::Simulation(Params params, std::uint64_t seed)
+    : params_(params), market_(ledger_, params.traffic_fee_per_kib) {
+  network_ = std::make_unique<Network>(params_, ledger_, seed);
+  network_->subscribe([this](const Event& event) { dispatch(event); });
+}
+
+ClientAgent& Simulation::add_client(TokenAmount funds) {
+  const ClientId account = ledger_.create_account(funds);
+  clients_.push_back(std::make_unique<ClientAgent>(*this, account));
+  clients_by_account_.emplace(account, clients_.back().get());
+  return *clients_.back();
+}
+
+ProviderAgent& Simulation::add_provider(TokenAmount funds) {
+  const ProviderId account = ledger_.create_account(funds);
+  providers_.push_back(std::make_unique<ProviderAgent>(*this, account));
+  return *providers_.back();
+}
+
+ClientAgent* Simulation::client_for(ClientId account) {
+  const auto it = clients_by_account_.find(account);
+  return it == clients_by_account_.end() ? nullptr : it->second;
+}
+
+ProviderAgent* Simulation::provider_for_sector(SectorId sector) {
+  for (const auto& provider : providers_) {
+    const auto& owned = provider->sectors_;
+    if (std::find(owned.begin(), owned.end(), sector) != owned.end()) {
+      return provider.get();
+    }
+  }
+  return nullptr;
+}
+
+void Simulation::dispatch(const Event& event) {
+  event_log_.push_back(event);
+  if (const auto* req = std::get_if<ReplicaTransferRequested>(&event)) {
+    if (ProviderAgent* provider = provider_for_sector(req->to)) {
+      provider->on_transfer_request(*req);
+    }
+    return;
+  }
+  if (const auto* rel = std::get_if<ReplicaReleased>(&event)) {
+    if (ProviderAgent* provider = provider_for_sector(rel->sector)) {
+      provider->drop_replica(rel->file, rel->index, rel->sector);
+    }
+    return;
+  }
+}
+
+void Simulation::run_until(Time t) {
+  for (;;) {
+    const Time tn = network_->next_task_time();
+    const Time te = queue_.next_event_time();
+    const bool net_due = tn != kNoTime && tn <= t;
+    const bool evt_due = te != kNoTime && te <= t;
+    if (!net_due && !evt_due) break;
+    if (net_due && (!evt_due || tn <= te)) {
+      network_->advance_to(tn);  // chain tasks win ties
+    } else {
+      if (te > network_->now()) network_->advance_to(te);
+      queue_.step();
+    }
+  }
+  network_->advance_to(t);
+  queue_.run_until(t);
+}
+
+}  // namespace fi::core

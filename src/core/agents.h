@@ -1,0 +1,237 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/drep.h"
+#include "core/network.h"
+#include "core/retrieval_market.h"
+#include "erasure/segmenter.h"
+#include "sim/event_queue.h"
+
+/// Off-chain actors: clients holding file bytes and storage providers
+/// holding sealed replicas, wired to the on-chain `Network` through its
+/// event bus and a shared discrete-event clock.
+///
+/// The protocol engine never sees file contents — exactly like a real
+/// chain. Everything byte-level (upload, PoRep sealing, WindowPoSt proving,
+/// refresh handoffs, retrieval) happens here, with transfer latencies
+/// scheduled on the simulation queue so that slow or misbehaving actors
+/// miss real protocol deadlines.
+namespace fi::core {
+
+class Simulation;
+
+/// A client: owns raw files, uploads them, pays fees, retrieves.
+class ClientAgent {
+ public:
+  ClientAgent(Simulation& sim, ClientId account);
+
+  [[nodiscard]] ClientId account() const { return account_; }
+
+  /// File_Add for raw bytes: computes the Merkle root, submits the request
+  /// and serves upload transfers. Returns the file id.
+  util::Result<FileId> store_file(std::vector<std::uint8_t> data,
+                                  TokenAmount value);
+
+  util::Status discard_file(FileId file);
+
+  /// Raw bytes of a file this client owns.
+  [[nodiscard]] const std::vector<std::uint8_t>& data(FileId file) const;
+  [[nodiscard]] bool owns(FileId file) const { return files_.contains(file); }
+
+  /// File_Get + off-chain retrieval from the first cooperative holder.
+  /// `on_done(bytes_ok)`: true if content arrived and matched the root.
+  void retrieve(FileId file, std::function<void(bool)> on_done);
+
+  /// Like `retrieve`, but hands back the verified bytes (nullopt on
+  /// failure or loss).
+  using DataCallback =
+      std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+  void retrieve_data(FileId file, DataCallback on_done);
+
+  // ---- §VI-C: extremely large files --------------------------------------
+
+  /// A large file stored as k erasure-coded segments, any k/2 of which
+  /// recover it; each segment is an ordinary FileInsurer file of value
+  /// 2·value/k.
+  struct LargeFileHandle {
+    erasure::SegmentedFile layout;  ///< segment bytes cleared after upload
+    std::vector<FileId> segment_files;
+  };
+
+  /// Splits + stores a file larger than `size_limit` (§VI-C). Segments
+  /// that fail to upload cause an overall error after best-effort cleanup.
+  util::Result<LargeFileHandle> store_large_file(
+      const std::vector<std::uint8_t>& data, TokenAmount value,
+      ByteCount size_limit);
+
+  /// Retrieves the surviving segments and reconstructs the original bytes;
+  /// nullopt when more than half the segments are gone (the insurance
+  /// payout for the lost segments then covers the file's value).
+  void retrieve_large_file(const LargeFileHandle& handle,
+                           DataCallback on_done);
+
+ private:
+  friend class Simulation;
+
+  Simulation& sim_;
+  ClientId account_;
+  std::unordered_map<FileId, std::vector<std::uint8_t>> files_;
+};
+
+/// A storage provider: registers sectors, seals replicas (PoRep), proves
+/// storage each cycle (WindowPoSt), serves refresh handoffs and retrieval.
+class ProviderAgent {
+ public:
+  ProviderAgent(Simulation& sim, ProviderId account);
+
+  [[nodiscard]] ProviderId account() const { return account_; }
+
+  /// Sector_Register + DRep initial CR fill.
+  util::Result<SectorId> register_sector(ByteCount capacity);
+
+  util::Status disable_sector(SectorId sector);
+
+  [[nodiscard]] const std::vector<SectorId>& sectors() const {
+    return sectors_;
+  }
+  [[nodiscard]] DRepManager& drep(SectorId sector);
+
+  /// Replicas currently held as (file, index) -> sector.
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] bool holds(FileId file, ReplicaIndex index) const {
+    return replicas_.contains({file, index});
+  }
+
+  /// Raw (unsealed) view of a held replica — used to serve peers.
+  [[nodiscard]] std::vector<std::uint8_t> unseal_replica(
+      FileId file, ReplicaIndex index) const;
+
+  // ---- Misbehaviour knobs -------------------------------------------------
+  /// Stop confirming incoming transfers (upload failures ensue).
+  bool confirm_enabled = true;
+  /// Stop submitting WindowPoSt (leads to punishment, then corruption).
+  bool prove_enabled = true;
+  /// Refuse to serve refresh handoffs (the successor falls back to other
+  /// holders; if none serve, the handoff fails and holders are punished).
+  bool serve_refresh = true;
+  /// Selfish provider (§VI-E): refuses retrieval service.
+  bool serve_retrieval = true;
+
+  /// Posts this provider's retrieval ask on the market (§III-E).
+  void set_retrieval_price(TokenAmount price_per_kib);
+
+  /// Crash: data destroyed; stops proving. The chain notices via the proof
+  /// deadline (physical corruption is registered with the network).
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+ private:
+  friend class Simulation;
+
+  struct StoredReplica {
+    SectorId sector;
+    std::vector<std::uint8_t> sealed;
+    crypto::Hash256 comm_r;
+  };
+
+  /// Handles a transfer request addressed to one of this provider's
+  /// sectors (initial upload or refresh target).
+  void on_transfer_request(const ReplicaTransferRequested& req);
+  /// Runs when the transfer window elapses: resolves the data source and
+  /// ingests the bytes.
+  void complete_transfer(const ReplicaTransferRequested& req);
+  /// Ingests raw bytes for (file, index) into `sector`: seal, store,
+  /// confirm on-chain.
+  void ingest(FileId file, ReplicaIndex index, SectorId sector,
+              const std::vector<std::uint8_t>& raw);
+  /// Submits WindowPoSt for everything held; self-reschedules each cycle.
+  void prove_tick();
+  /// Handles ReplicaReleased for `sector`: frees the DRep space there and
+  /// forgets the replica unless it has already moved to another sector of
+  /// this provider.
+  void drop_replica(FileId file, ReplicaIndex index, SectorId sector);
+
+  Simulation& sim_;
+  ProviderId account_;
+  std::vector<SectorId> sectors_;
+  std::map<SectorId, std::unique_ptr<DRepManager>> dreps_;
+  std::map<std::pair<FileId, ReplicaIndex>, StoredReplica> replicas_;
+  bool crashed_ = false;
+  bool prove_tick_scheduled_ = false;
+};
+
+/// Owns the clock, ledger, network and all agents; routes protocol events
+/// to the right actor and interleaves chain tasks with agent actions in
+/// global time order.
+class Simulation {
+ public:
+  explicit Simulation(Params params, std::uint64_t seed = 0x5eedf11e);
+
+  [[nodiscard]] ledger::Ledger& ledger() { return ledger_; }
+  [[nodiscard]] Network& network() { return *network_; }
+  [[nodiscard]] RetrievalMarket& market() { return market_; }
+  [[nodiscard]] sim::EventQueue& queue() { return queue_; }
+  [[nodiscard]] const Params& params() const { return network_->params(); }
+  /// Current simulation time: the chain and the agent queue advance
+  /// interleaved, so "now" is whichever clock is ahead.
+  [[nodiscard]] Time now() const {
+    return std::max(queue_.now(), network_->now());
+  }
+
+  /// Schedules an agent action `delay` ticks from the current simulation
+  /// time (safe to call from inside chain event dispatch, when the chain
+  /// clock leads the queue clock).
+  void schedule_after(Time delay, std::function<void()> fn) {
+    queue_.schedule_at(now() + delay, std::move(fn));
+  }
+
+  ClientAgent& add_client(TokenAmount funds);
+  ProviderAgent& add_provider(TokenAmount funds);
+
+  /// Runs chain tasks and agent events interleaved until time `t`.
+  void run_until(Time t);
+
+  /// Ticks per KiB for agent-to-agent data transfers (must outrun the
+  /// protocol's `delay_per_kib` window for honest actors to make deadlines).
+  Time transfer_ticks_per_kib = 0;
+  /// Base latency per transfer hop.
+  Time transfer_base_latency = 1;
+
+  /// Transfer latency for `bytes` of payload.
+  [[nodiscard]] Time transfer_latency(ByteCount bytes) const {
+    return transfer_base_latency + transfer_ticks_per_kib * ((bytes + 1023) / 1024);
+  }
+
+  [[nodiscard]] ClientAgent* client_for(ClientId account);
+  [[nodiscard]] ProviderAgent* provider_for_sector(SectorId sector);
+
+  /// All protocol events observed (for assertions and examples).
+  [[nodiscard]] const std::vector<Event>& event_log() const {
+    return event_log_;
+  }
+
+ private:
+  friend class ClientAgent;
+  friend class ProviderAgent;
+
+  void dispatch(const Event& event);
+
+  Params params_;
+  ledger::Ledger ledger_;
+  std::unique_ptr<Network> network_;
+  RetrievalMarket market_;
+  sim::EventQueue queue_;
+  std::vector<std::unique_ptr<ClientAgent>> clients_;
+  std::vector<std::unique_ptr<ProviderAgent>> providers_;
+  std::unordered_map<ClientId, ClientAgent*> clients_by_account_;
+  std::vector<Event> event_log_;
+};
+
+}  // namespace fi::core

@@ -1,0 +1,135 @@
+#include "core/alloc_table.h"
+
+#include "util/check.h"
+
+namespace fi::core {
+
+void AllocTable::create_file(FileId file, std::uint32_t cp) {
+  FI_CHECK_MSG(!entries_.contains(file), "file already allocated");
+  FI_CHECK_MSG(cp >= 1, "file needs at least one replica");
+  entries_.emplace(file, std::vector<AllocEntry>(cp));
+}
+
+void AllocTable::remove_file(FileId file) {
+  const auto it = entries_.find(file);
+  FI_CHECK_MSG(it != entries_.end(), "removing unknown file");
+  for (ReplicaIndex idx = 0; idx < it->second.size(); ++idx) {
+    const AllocEntry& e = it->second[idx];
+    const EntryKey key{file, idx};
+    if (e.prev != kNoSector) index_remove(by_prev_, e.prev, key);
+    if (e.next != kNoSector) index_remove(by_next_, e.next, key);
+    if (e.state == AllocState::normal) sampler_remove(key);
+  }
+  entries_.erase(it);
+}
+
+std::uint32_t AllocTable::replica_count(FileId file) const {
+  const auto it = entries_.find(file);
+  FI_CHECK_MSG(it != entries_.end(), "unknown file");
+  return static_cast<std::uint32_t>(it->second.size());
+}
+
+const AllocEntry& AllocTable::entry(FileId file, ReplicaIndex idx) const {
+  const auto it = entries_.find(file);
+  FI_CHECK_MSG(it != entries_.end(), "unknown file");
+  FI_CHECK_MSG(idx < it->second.size(), "replica index out of range");
+  return it->second[idx];
+}
+
+AllocEntry& AllocTable::mutable_entry(FileId file, ReplicaIndex idx) {
+  const auto it = entries_.find(file);
+  FI_CHECK_MSG(it != entries_.end(), "unknown file");
+  FI_CHECK_MSG(idx < it->second.size(), "replica index out of range");
+  return it->second[idx];
+}
+
+void AllocTable::set_prev(FileId file, ReplicaIndex idx, SectorId sector) {
+  AllocEntry& e = mutable_entry(file, idx);
+  const EntryKey key{file, idx};
+  if (e.prev != kNoSector) index_remove(by_prev_, e.prev, key);
+  e.prev = sector;
+  if (sector != kNoSector) index_add(by_prev_, sector, key);
+}
+
+void AllocTable::set_next(FileId file, ReplicaIndex idx, SectorId sector) {
+  AllocEntry& e = mutable_entry(file, idx);
+  const EntryKey key{file, idx};
+  if (e.next != kNoSector) index_remove(by_next_, e.next, key);
+  e.next = sector;
+  if (sector != kNoSector) index_add(by_next_, sector, key);
+}
+
+void AllocTable::set_state(FileId file, ReplicaIndex idx, AllocState state) {
+  AllocEntry& e = mutable_entry(file, idx);
+  const EntryKey key{file, idx};
+  if (e.state == AllocState::normal && state != AllocState::normal) {
+    sampler_remove(key);
+  } else if (e.state != AllocState::normal && state == AllocState::normal) {
+    sampler_add(key);
+  }
+  e.state = state;
+}
+
+void AllocTable::set_last(FileId file, ReplicaIndex idx, Time last) {
+  mutable_entry(file, idx).last = last;
+}
+
+void AllocTable::set_comm_r(FileId file, ReplicaIndex idx,
+                            const crypto::Hash256& comm_r) {
+  mutable_entry(file, idx).comm_r = comm_r;
+}
+
+std::vector<EntryKey> AllocTable::entries_with_prev(SectorId sector) const {
+  const auto it = by_prev_.find(sector);
+  if (it == by_prev_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<EntryKey> AllocTable::entries_with_next(SectorId sector) const {
+  const auto it = by_next_.find(sector);
+  if (it == by_next_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::optional<EntryKey> AllocTable::random_normal_entry(
+    util::Xoshiro256& rng) const {
+  if (normal_entries_.empty()) return std::nullopt;
+  return normal_entries_[rng.uniform_below(normal_entries_.size())];
+}
+
+void AllocTable::index_add(
+    std::unordered_map<SectorId, std::set<EntryKey>>& index, SectorId sector,
+    EntryKey key) {
+  const bool inserted = index[sector].insert(key).second;
+  FI_CHECK_MSG(inserted, "duplicate reverse-index entry");
+}
+
+void AllocTable::index_remove(
+    std::unordered_map<SectorId, std::set<EntryKey>>& index, SectorId sector,
+    EntryKey key) {
+  const auto it = index.find(sector);
+  FI_CHECK_MSG(it != index.end(), "reverse index missing sector");
+  const std::size_t erased = it->second.erase(key);
+  FI_CHECK_MSG(erased == 1, "reverse index missing entry");
+  if (it->second.empty()) index.erase(it);
+}
+
+void AllocTable::sampler_add(EntryKey key) {
+  const bool inserted =
+      normal_positions_.emplace(key, normal_entries_.size()).second;
+  FI_CHECK_MSG(inserted, "entry already in normal sampler");
+  normal_entries_.push_back(key);
+}
+
+void AllocTable::sampler_remove(EntryKey key) {
+  const auto it = normal_positions_.find(key);
+  FI_CHECK_MSG(it != normal_positions_.end(), "entry not in normal sampler");
+  const std::size_t pos = it->second;
+  const EntryKey moved = normal_entries_.back();
+  normal_entries_[pos] = moved;
+  normal_entries_.pop_back();
+  normal_positions_.erase(it);
+  if (moved != key) normal_positions_[moved] = pos;
+}
+
+}  // namespace fi::core

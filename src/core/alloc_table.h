@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "crypto/hash.h"
+#include "util/prng.h"
+
+/// Allocation table (Fig. 1): maps (file, replica index) to its storage
+/// entry and maintains the reverse indexes the protocol needs:
+///
+///  * by-prev / by-next sector indexes, so corrupting or draining a sector
+///    touches exactly the affected entries (no global scans);
+///  * a dense sampler over entries in `normal` state, used by §VI-B's
+///    Poisson admission rebalancing to pick uniform random backups.
+namespace fi::core {
+
+struct AllocEntry {
+  /// Sector currently storing the replica (kNoSector when none yet).
+  SectorId prev = kNoSector;
+  /// Sector the replica is being (re)allocated to.
+  SectorId next = kNoSector;
+  /// Time of the last accepted proof of storage (kNoTime = never).
+  Time last = kNoTime;
+  AllocState state = AllocState::alloc;
+  /// Replica commitment (CommR) registered at File_Confirm; the expected
+  /// commitment for WindowPoSt verification.
+  crypto::Hash256 comm_r;
+};
+
+using EntryKey = std::pair<FileId, ReplicaIndex>;
+
+class AllocTable {
+ public:
+  /// Creates `cp` empty entries for a new file.
+  void create_file(FileId file, std::uint32_t cp);
+
+  /// Drops all entries of a file (the file leaves the network). Sector
+  /// reference bookkeeping is the caller's job (Network owns the flows).
+  void remove_file(FileId file);
+
+  [[nodiscard]] bool has_file(FileId file) const {
+    return entries_.contains(file);
+  }
+  [[nodiscard]] std::uint32_t replica_count(FileId file) const;
+
+  [[nodiscard]] const AllocEntry& entry(FileId file, ReplicaIndex idx) const;
+
+  /// Entry mutation: `set_prev` / `set_next` keep the reverse indexes
+  /// consistent; `set_state` keeps the normal-entry sampler consistent.
+  void set_prev(FileId file, ReplicaIndex idx, SectorId sector);
+  void set_next(FileId file, ReplicaIndex idx, SectorId sector);
+  void set_state(FileId file, ReplicaIndex idx, AllocState state);
+  void set_last(FileId file, ReplicaIndex idx, Time last);
+  void set_comm_r(FileId file, ReplicaIndex idx, const crypto::Hash256& comm_r);
+
+  /// Entries with prev == sector / next == sector (copied snapshots, since
+  /// callers mutate while iterating).
+  [[nodiscard]] std::vector<EntryKey> entries_with_prev(SectorId sector) const;
+  [[nodiscard]] std::vector<EntryKey> entries_with_next(SectorId sector) const;
+
+  /// Uniform random entry currently in `normal` state (nullopt if none) —
+  /// the §VI-B swap-in selector.
+  [[nodiscard]] std::optional<EntryKey> random_normal_entry(
+      util::Xoshiro256& rng) const;
+
+  [[nodiscard]] std::size_t normal_entry_count() const {
+    return normal_entries_.size();
+  }
+  [[nodiscard]] std::size_t file_count() const { return entries_.size(); }
+
+ private:
+  [[nodiscard]] AllocEntry& mutable_entry(FileId file, ReplicaIndex idx);
+  void index_add(std::unordered_map<SectorId, std::set<EntryKey>>& index,
+                 SectorId sector, EntryKey key);
+  void index_remove(std::unordered_map<SectorId, std::set<EntryKey>>& index,
+                    SectorId sector, EntryKey key);
+  void sampler_add(EntryKey key);
+  void sampler_remove(EntryKey key);
+
+  std::unordered_map<FileId, std::vector<AllocEntry>> entries_;
+  std::unordered_map<SectorId, std::set<EntryKey>> by_prev_;
+  std::unordered_map<SectorId, std::set<EntryKey>> by_next_;
+  /// Dense array + position map for O(1) uniform sampling of normal entries.
+  std::vector<EntryKey> normal_entries_;
+  std::map<EntryKey, std::size_t> normal_positions_;
+};
+
+}  // namespace fi::core

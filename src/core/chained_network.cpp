@@ -1,0 +1,130 @@
+#include "core/chained_network.h"
+
+namespace fi::core {
+
+ChainedNetwork::ChainedNetwork(Params params, ledger::Ledger& ledger,
+                               std::uint64_t seed)
+    : params_(params), epoch_length_(params.proof_cycle), chain_(seed) {
+  network_ = std::make_unique<Network>(
+      params_, ledger, seed, [this](Time t) {
+        const std::uint64_t epoch = epoch_of(t);
+        seal_through(epoch);
+        return chain_.beacon(epoch);
+      });
+  seal_through(0);  // genesis epoch
+}
+
+void ChainedNetwork::record(const char* kind, AccountId sender,
+                            std::initializer_list<std::uint64_t> payload) {
+  mempool_.push_back(
+      ledger::Transaction{kind, sender, crypto::hash_u64s("fi/tx", payload)});
+}
+
+util::Result<SectorId> ChainedNetwork::sector_register(ProviderId provider,
+                                                       ByteCount capacity) {
+  auto result = network_->sector_register(provider, capacity);
+  if (result.is_ok()) {
+    record("Sector_Register", provider, {capacity, result.value()});
+  }
+  return result;
+}
+
+util::Status ChainedNetwork::sector_disable(ProviderId provider,
+                                            SectorId sector) {
+  auto status = network_->sector_disable(provider, sector);
+  if (status.is_ok()) record("Sector_Disable", provider, {sector});
+  return status;
+}
+
+util::Result<FileId> ChainedNetwork::file_add(ClientId client,
+                                              const FileInfo& info) {
+  auto result = network_->file_add(client, info);
+  if (result.is_ok()) {
+    record("File_Add", client,
+           {info.size, info.value, info.merkle_root.prefix_u64(),
+            result.value()});
+  }
+  return result;
+}
+
+util::Status ChainedNetwork::file_discard(ClientId client, FileId file) {
+  auto status = network_->file_discard(client, file);
+  if (status.is_ok()) record("File_Discard", client, {file});
+  return status;
+}
+
+util::Result<std::vector<SectorId>> ChainedNetwork::file_get(ClientId client,
+                                                             FileId file) {
+  auto result = network_->file_get(client, file);
+  if (result.is_ok()) record("File_Get", client, {file});
+  return result;
+}
+
+util::Status ChainedNetwork::file_confirm(
+    ProviderId provider, FileId file, ReplicaIndex index, SectorId sector,
+    const crypto::Hash256& comm_r,
+    const std::optional<crypto::SealProof>& proof) {
+  auto status =
+      network_->file_confirm(provider, file, index, sector, comm_r, proof);
+  if (status.is_ok()) {
+    record("File_Confirm", provider,
+           {file, index, sector, comm_r.prefix_u64()});
+  }
+  return status;
+}
+
+util::Status ChainedNetwork::file_prove(ProviderId provider, FileId file,
+                                        ReplicaIndex index, SectorId sector,
+                                        const crypto::WindowProof& proof) {
+  auto status = network_->file_prove(provider, file, index, sector, proof);
+  if (status.is_ok()) {
+    record("File_Prove", provider, {file, index, sector, proof.epoch});
+  }
+  return status;
+}
+
+void ChainedNetwork::advance_to(Time t) {
+  // Cross epoch boundaries one at a time, sealing the epoch's block first
+  // so any task in that epoch can query its beacon.
+  while (epoch_of(network_->now()) < epoch_of(t)) {
+    const Time boundary =
+        (epoch_of(network_->now()) + 1) * epoch_length_;
+    seal_through(epoch_of(boundary));
+    network_->advance_to(boundary);
+  }
+  seal_through(epoch_of(t));
+  network_->advance_to(t);
+}
+
+std::vector<ledger::PowerEntry> ChainedNetwork::power_table() const {
+  std::vector<ledger::PowerEntry> table;
+  std::unordered_map<AccountId, std::uint64_t> power;
+  for (SectorId id : network_->sectors().all_ids()) {
+    const Sector& s = network_->sectors().at(id);
+    if (s.state == SectorState::normal || s.state == SectorState::disabled) {
+      power[s.owner] += s.capacity;
+    }
+  }
+  table.reserve(power.size());
+  for (const auto& [owner, p] : power) {
+    table.push_back(
+        {owner, p, crypto::hash_u64s("fi/power-anchor", {owner})});
+  }
+  return table;
+}
+
+void ChainedNetwork::seal_through(std::uint64_t epoch) {
+  while (sealed_epochs_ <= epoch) {
+    const crypto::Hash256 prev_beacon = chain_.height() == 0
+                                            ? chain_.beacon(0)
+                                            : chain_.tip().beacon;
+    const auto proposer =
+        ledger::elect_proposer(prev_beacon, power_table());
+    chain_.append(sealed_epochs_ * epoch_length_,
+                  proposer.value_or(kNoAccount), std::move(mempool_));
+    mempool_.clear();
+    ++sealed_epochs_;
+  }
+}
+
+}  // namespace fi::core

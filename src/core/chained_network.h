@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/network.h"
+#include "ledger/chain.h"
+#include "ledger/consensus.h"
+
+/// The protocol engine mounted on the blockchain substrate.
+///
+/// `Network` alone is the DSN state machine; `ChainedNetwork` gives it the
+/// properties the paper assumes from its host chain (§IV):
+///   * every request is recorded as a transaction in a block;
+///   * the epoch random beacon that drives WindowPoSt challenges comes from
+///     the chain (one epoch per `ProofCycle`), not from a detached PRNG;
+///   * each epoch's block proposer is elected Expected-Consensus style,
+///     weighted by proven storage power (sector capacity), so "WinningPoSt
+///     can be easily achieved" as the paper notes.
+///
+/// Blocks are sealed lazily as simulated time crosses epoch boundaries.
+namespace fi::core {
+
+class ChainedNetwork {
+ public:
+  ChainedNetwork(Params params, ledger::Ledger& ledger, std::uint64_t seed);
+
+  [[nodiscard]] Network& network() { return *network_; }
+  [[nodiscard]] const Network& network() const { return *network_; }
+  [[nodiscard]] const ledger::Chain& chain() const { return chain_; }
+
+  /// Epoch index for a timestamp (one epoch per proof cycle).
+  [[nodiscard]] std::uint64_t epoch_of(Time t) const {
+    return t / epoch_length_;
+  }
+
+  // ---- Recorded requests (same semantics as Network's, plus a tx) --------
+  util::Result<SectorId> sector_register(ProviderId provider,
+                                         ByteCount capacity);
+  util::Status sector_disable(ProviderId provider, SectorId sector);
+  util::Result<FileId> file_add(ClientId client, const FileInfo& info);
+  util::Status file_discard(ClientId client, FileId file);
+  util::Result<std::vector<SectorId>> file_get(ClientId client, FileId file);
+  util::Status file_confirm(ProviderId provider, FileId file,
+                            ReplicaIndex index, SectorId sector,
+                            const crypto::Hash256& comm_r,
+                            const std::optional<crypto::SealProof>& proof);
+  util::Status file_prove(ProviderId provider, FileId file, ReplicaIndex index,
+                          SectorId sector, const crypto::WindowProof& proof);
+
+  /// Advances time, sealing one block per crossed epoch boundary with the
+  /// transactions accumulated since the previous one.
+  void advance_to(Time t);
+  [[nodiscard]] Time now() const { return network_->now(); }
+
+  /// Transactions waiting for the next block.
+  [[nodiscard]] std::size_t mempool_size() const { return mempool_.size(); }
+
+  /// Proven storage power per provider (normal + disabled sector capacity),
+  /// the Expected-Consensus election table.
+  [[nodiscard]] std::vector<ledger::PowerEntry> power_table() const;
+
+ private:
+  void record(const char* kind, AccountId sender,
+              std::initializer_list<std::uint64_t> payload);
+  void seal_through(std::uint64_t epoch);
+
+  Params params_;
+  Time epoch_length_;
+  ledger::Chain chain_;
+  std::unique_ptr<Network> network_;
+  std::vector<ledger::Transaction> mempool_;
+  std::uint64_t sealed_epochs_ = 0;  // number of blocks on chain
+};
+
+}  // namespace fi::core

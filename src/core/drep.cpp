@@ -1,0 +1,97 @@
+#include "core/drep.h"
+
+#include "util/check.h"
+#include "util/checked.h"
+
+namespace fi::core {
+
+DRepManager::DRepManager(AccountId provider, SectorId sector,
+                         ByteCount capacity, ByteCount cr_size,
+                         crypto::SealParams seal_params, bool materialize)
+    : provider_(provider),
+      sector_(sector),
+      capacity_(capacity),
+      cr_size_(cr_size),
+      seal_params_(seal_params),
+      materialize_(materialize) {
+  FI_CHECK_MSG(cr_size_ > 0 && cr_size_ <= capacity_,
+               "CR size must fit in the sector");
+  rebalance();  // initial fill: the sector registers full of CRs
+  initial_fill_done_ = true;
+}
+
+ByteCount DRepManager::unsealed_space() const {
+  return capacity_ - used_by_files_ -
+         static_cast<ByteCount>(present_crs_.size()) * cr_size_;
+}
+
+void DRepManager::add_replica(std::uint64_t replica_key, ByteCount size) {
+  FI_CHECK_MSG(!replicas_.contains(replica_key),
+               "replica already stored in sector");
+  FI_CHECK_MSG(used_by_files_ + size <= capacity_,
+               "replica exceeds sector capacity");
+  replicas_.emplace(replica_key, size);
+  used_by_files_ = util::checked_add(used_by_files_, size);
+  rebalance();
+}
+
+void DRepManager::remove_replica(std::uint64_t replica_key) {
+  const auto it = replicas_.find(replica_key);
+  FI_CHECK_MSG(it != replicas_.end(), "replica not stored in sector");
+  used_by_files_ = util::checked_sub(used_by_files_, it->second);
+  replicas_.erase(it);
+  rebalance();
+}
+
+std::vector<std::uint64_t> DRepManager::present_cr_indices() const {
+  return {present_crs_.begin(), present_crs_.end()};
+}
+
+const crypto::Hash256& DRepManager::cr_commitment(std::uint64_t index) {
+  FI_CHECK_MSG(index < capacity_ / cr_size_, "CR index out of range");
+  const auto it = commitments_.find(index);
+  if (it != commitments_.end()) return it->second;
+  // CommR of the sealed zero replica; deterministic in (provider, sector,
+  // index), so it never changes across drop/regenerate cycles.
+  const auto sealed = crypto::make_capacity_replica(
+      provider_, sector_, index, static_cast<std::size_t>(cr_size_),
+      seal_params_);
+  const auto [ins, _] =
+      commitments_.emplace(index, crypto::replica_commitment(sealed));
+  return ins->second;
+}
+
+const std::vector<std::uint8_t>& DRepManager::cr_bytes(
+    std::uint64_t index) const {
+  FI_CHECK_MSG(materialize_, "CR bytes tracked only in materialized mode");
+  const auto it = cr_data_.find(index);
+  FI_CHECK_MSG(it != cr_data_.end(), "CR not currently present");
+  return it->second;
+}
+
+void DRepManager::rebalance() {
+  const ByteCount free_space = capacity_ - used_by_files_;
+  const auto target = static_cast<std::size_t>(free_space / cr_size_);
+
+  // Too many CRs: drop from the highest index down (Fig. 2b).
+  while (present_crs_.size() > target) {
+    const std::uint64_t victim = *present_crs_.rbegin();
+    present_crs_.erase(victim);
+    cr_data_.erase(victim);
+  }
+  // Too few: (re)generate the lowest absent indices (Fig. 2c).
+  std::uint64_t candidate = 0;
+  while (present_crs_.size() < target) {
+    while (present_crs_.contains(candidate)) ++candidate;
+    present_crs_.insert(candidate);
+    if (initial_fill_done_) ++regenerations_;
+    if (materialize_) {
+      cr_data_.emplace(candidate,
+                       crypto::make_capacity_replica(
+                           provider_, sector_, candidate,
+                           static_cast<std::size_t>(cr_size_), seal_params_));
+    }
+  }
+}
+
+}  // namespace fi::core

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/types.h"
+#include "crypto/hash.h"
+#include "crypto/porep.h"
+
+/// Dynamic Replication (DRep, §III-D and Fig. 2) — the provider-side
+/// bookkeeping that keeps a sector's free space provably available.
+///
+/// A sector starts filled with Capacity Replicas (CRs): PoRep seals of
+/// all-zero data. As files arrive, CRs are dropped (highest index first) to
+/// make room; as files leave, the dropped CRs are *regenerated* — the raw
+/// data is zeros and the seal key derives from (provider, sector, index), so
+/// regeneration reproduces byte-identical replicas whose commitments were
+/// already verified once (Fig. 2c regenerates CR3). The invariant is the
+/// paper's: unsealed space is always smaller than one CR.
+namespace fi::core {
+
+class DRepManager {
+ public:
+  /// `materialize` — actually seal CR bytes (integration tests / small
+  /// sectors) or track commitments only (large simulations).
+  DRepManager(AccountId provider, SectorId sector, ByteCount capacity,
+              ByteCount cr_size, crypto::SealParams seal_params,
+              bool materialize);
+
+  /// Accounts for a stored file replica, dropping CRs as needed.
+  /// `replica_key` identifies the replica (use `replica_nonce(file, index)`).
+  void add_replica(std::uint64_t replica_key, ByteCount size);
+
+  /// Releases a replica's space, regenerating CRs to refill it.
+  void remove_replica(std::uint64_t replica_key);
+
+  [[nodiscard]] bool has_replica(std::uint64_t replica_key) const {
+    return replicas_.contains(replica_key);
+  }
+
+  [[nodiscard]] ByteCount capacity() const { return capacity_; }
+  [[nodiscard]] ByteCount used_by_files() const { return used_by_files_; }
+  [[nodiscard]] std::size_t cr_count() const { return present_crs_.size(); }
+  /// Space covered by neither files nor CRs; invariant: < cr_size.
+  [[nodiscard]] ByteCount unsealed_space() const;
+  [[nodiscard]] bool invariant_holds() const {
+    return unsealed_space() < cr_size_;
+  }
+
+  /// Indices of currently present CRs (ascending).
+  [[nodiscard]] std::vector<std::uint64_t> present_cr_indices() const;
+
+  /// Commitment of CR `index` (computed on first use, cached; identical
+  /// after regeneration). Valid for any index < capacity/cr_size.
+  [[nodiscard]] const crypto::Hash256& cr_commitment(std::uint64_t index);
+
+  /// Sealed bytes of a present CR (materialized mode only).
+  [[nodiscard]] const std::vector<std::uint8_t>& cr_bytes(
+      std::uint64_t index) const;
+
+  /// Total number of regenerations performed (Fig. 2c events).
+  [[nodiscard]] std::uint64_t regeneration_count() const {
+    return regenerations_;
+  }
+
+ private:
+  void rebalance();
+
+  AccountId provider_;
+  SectorId sector_;
+  ByteCount capacity_;
+  ByteCount cr_size_;
+  crypto::SealParams seal_params_;
+  bool materialize_;
+
+  ByteCount used_by_files_ = 0;
+  std::map<std::uint64_t, ByteCount> replicas_;
+  std::set<std::uint64_t> present_crs_;
+  std::map<std::uint64_t, crypto::Hash256> commitments_;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> cr_data_;
+  std::uint64_t regenerations_ = 0;
+  bool initial_fill_done_ = false;
+};
+
+}  // namespace fi::core

@@ -1,0 +1,840 @@
+#include "core/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/checked.h"
+#include "util/distributions.h"
+
+namespace fi::core {
+
+namespace {
+
+/// Integer countdown (in proof cycles) from Exp(AvgRefresh), floored at 1.
+std::int64_t sample_refresh_countdown(util::Xoshiro256& rng,
+                                      double avg_refresh) {
+  const double x = util::sample_exponential(rng, avg_refresh);
+  const double cycles = std::ceil(x);
+  return cycles < 1.0 ? 1 : static_cast<std::int64_t>(cycles);
+}
+
+}  // namespace
+
+Network::Network(Params params, ledger::Ledger& ledger, std::uint64_t seed,
+                 BeaconSource beacon)
+    : params_(params),
+      ledger_(ledger),
+      rng_(seed),
+      beacon_(std::move(beacon)),
+      escrow_(ledger.create_account()),
+      pool_(ledger.create_account()),
+      rent_pool_(ledger.create_account()),
+      gas_sink_(ledger.create_account()),
+      traffic_escrow_(ledger.create_account()),
+      sector_table_(params_),
+      deposit_book_(ledger, escrow_, pool_) {
+  params_.validate();
+  if (!beacon_) {
+    beacon_ = [seed](Time t) {
+      return crypto::hash_u64s("fi/core/beacon", {seed, t});
+    };
+  }
+  // Recurring rent distribution (§IV-A2).
+  pending_.schedule(
+      static_cast<Time>(params_.rent_period_cycles) * params_.proof_cycle,
+      Task{TaskKind::rent_distribution, kNoFile, 0});
+}
+
+const FileDescriptor& Network::file(FileId file) const {
+  const auto it = files_.find(file);
+  FI_CHECK_MSG(it != files_.end(), "unknown file");
+  return it->second.desc;
+}
+
+ClientId Network::file_owner(FileId file) const {
+  const auto it = files_.find(file);
+  FI_CHECK_MSG(it != files_.end(), "unknown file");
+  return it->second.owner;
+}
+
+Network::FileRecord& Network::record(FileId file) {
+  const auto it = files_.find(file);
+  FI_CHECK_MSG(it != files_.end(), "unknown file");
+  return it->second;
+}
+
+bool Network::charge_gas(AccountId payer, TokenAmount amount) {
+  return ledger_.transfer(payer, gas_sink_, amount).is_ok();
+}
+
+// ---------------------------------------------------------------------------
+// Provider requests
+// ---------------------------------------------------------------------------
+
+util::Result<SectorId> Network::sector_register(ProviderId provider,
+                                                ByteCount capacity) {
+  if (!ledger_.exists(provider)) {
+    return util::err(util::ErrorCode::not_found, "unknown provider account");
+  }
+  if (!charge_gas(provider, params_.gas_per_task)) {
+    return util::err(util::ErrorCode::insufficient_funds,
+                     "cannot pay request gas");
+  }
+  const TokenAmount deposit = params_.sector_deposit(capacity);
+  if (ledger_.balance(provider) < deposit) {
+    return util::err(util::ErrorCode::insufficient_funds,
+                     "balance below required sector deposit");
+  }
+  auto id = sector_table_.register_sector(provider, capacity, now_);
+  if (!id.is_ok()) return id.status();
+  FI_CHECK(deposit_book_.pledge(id.value(), provider, deposit).is_ok());
+  if (params_.admission_rebalance) {
+    admission_rebalance(id.value());
+  }
+  return id;
+}
+
+util::Status Network::sector_disable(ProviderId provider, SectorId sector) {
+  if (!sector_table_.exists(sector)) {
+    return util::err(util::ErrorCode::not_found, "unknown sector");
+  }
+  if (sector_table_.at(sector).owner != provider) {
+    return util::err(util::ErrorCode::permission_denied,
+                     "caller does not own the sector");
+  }
+  if (!charge_gas(provider, params_.gas_per_task)) {
+    return util::err(util::ErrorCode::insufficient_funds,
+                     "cannot pay request gas");
+  }
+  if (auto status = sector_table_.disable(sector); !status.is_ok()) {
+    return status;
+  }
+  // Already drained: exits immediately.
+  if (sector_table_.at(sector).ref_count == 0) {
+    const TokenAmount refunded = deposit_book_.refund(sector);
+    sector_table_.mark_removed(sector);
+    bus_.emit(SectorRemoved{sector, refunded});
+  }
+  return util::Status::ok();
+}
+
+util::Status Network::file_confirm(
+    ProviderId provider, FileId file, ReplicaIndex index, SectorId sector,
+    const crypto::Hash256& comm_r,
+    const std::optional<crypto::SealProof>& seal_proof) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) {
+    return util::err(util::ErrorCode::not_found, "unknown file");
+  }
+  if (index >= it->second.desc.cp) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "replica index out of range");
+  }
+  if (!sector_table_.exists(sector) ||
+      sector_table_.at(sector).owner != provider) {
+    return util::err(util::ErrorCode::permission_denied,
+                     "caller does not own the sector");
+  }
+  const AllocEntry& entry = alloc_table_.entry(file, index);
+  if (entry.next != sector || entry.state != AllocState::alloc) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "entry is not awaiting confirmation by this sector");
+  }
+  if (params_.verify_proofs) {
+    if (!seal_proof.has_value()) {
+      return util::err(util::ErrorCode::proof_invalid,
+                       "seal proof required");
+    }
+    const crypto::ReplicaId expected_id{provider, sector,
+                                        replica_nonce(file, index)};
+    if (seal_proof->id != expected_id ||
+        seal_proof->comm_d != it->second.desc.merkle_root ||
+        seal_proof->comm_r != comm_r ||
+        !crypto::verify_seal(*seal_proof, params_.seal)) {
+      return util::err(util::ErrorCode::proof_invalid,
+                       "seal proof verification failed");
+    }
+  }
+  alloc_table_.set_comm_r(file, index, comm_r);
+  alloc_table_.set_state(file, index, AllocState::confirm);
+  // Initial upload: release the escrowed traffic fee to the provider.
+  if (entry.prev == kNoSector && it->second.traffic_escrowed[index]) {
+    const TokenAmount fee = params_.traffic_fee(it->second.desc.size);
+    FI_CHECK(ledger_.transfer(traffic_escrow_, provider, fee).is_ok());
+    it->second.traffic_escrowed[index] = false;
+  }
+  return util::Status::ok();
+}
+
+util::Status Network::file_prove(ProviderId provider, FileId file,
+                                 ReplicaIndex index, SectorId sector,
+                                 const crypto::WindowProof& proof) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) {
+    return util::err(util::ErrorCode::not_found, "unknown file");
+  }
+  if (index >= it->second.desc.cp) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "replica index out of range");
+  }
+  if (!sector_table_.exists(sector) ||
+      sector_table_.at(sector).owner != provider) {
+    return util::err(util::ErrorCode::permission_denied,
+                     "caller does not own the sector");
+  }
+  const AllocEntry& entry = alloc_table_.entry(file, index);
+  if (entry.prev != sector || entry.state == AllocState::corrupted) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "sector does not store this replica");
+  }
+  if (proof.epoch > now_) {
+    return util::err(util::ErrorCode::proof_invalid,
+                     "proof dated in the future");
+  }
+  if (entry.last != kNoTime && proof.epoch <= entry.last) {
+    return util::err(util::ErrorCode::proof_invalid, "stale proof (replay)");
+  }
+  if (params_.verify_proofs) {
+    const crypto::ReplicaId expected_id{provider, sector,
+                                        replica_nonce(file, index)};
+    if (proof.id != expected_id ||
+        !crypto::verify_window(proof, entry.comm_r, beacon_(proof.epoch),
+                               params_.post_challenges)) {
+      return util::err(util::ErrorCode::proof_invalid,
+                       "window proof verification failed");
+    }
+  }
+  alloc_table_.set_last(file, index, proof.epoch);
+  return util::Status::ok();
+}
+
+util::Status Network::file_prove_trusted(ProviderId provider, FileId file,
+                                         ReplicaIndex index, SectorId sector,
+                                         Time proof_time) {
+  if (params_.verify_proofs) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "trusted proofs disabled when verify_proofs is set");
+  }
+  crypto::WindowProof bare;
+  bare.id = crypto::ReplicaId{provider, sector, replica_nonce(file, index)};
+  bare.epoch = proof_time;
+  return file_prove(provider, file, index, sector, bare);
+}
+
+// ---------------------------------------------------------------------------
+// Client requests
+// ---------------------------------------------------------------------------
+
+util::Result<FileId> Network::file_add(ClientId client, const FileInfo& info) {
+  if (!ledger_.exists(client)) {
+    return util::err(util::ErrorCode::not_found, "unknown client account");
+  }
+  if (info.size == 0) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "file size must be positive");
+  }
+  if (info.value < params_.min_value || info.value % params_.min_value != 0) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "file value must be a positive multiple of min_value");
+  }
+  if (!charge_gas(client, params_.gas_per_task)) {
+    return util::err(util::ErrorCode::insufficient_funds,
+                     "cannot pay request gas");
+  }
+  const std::uint32_t cp = params_.replica_count(info.value);
+  const TokenAmount traffic_total =
+      util::checked_mul(params_.traffic_fee(info.size), cp);
+  const TokenAmount upfront =
+      util::checked_add(traffic_total, params_.gas_per_task);  // CheckAlloc gas
+  if (ledger_.balance(client) < upfront) {
+    return util::err(util::ErrorCode::insufficient_funds,
+                     "cannot prepay traffic fees and gas");
+  }
+
+  // Sample cp sectors (Fig. 4: resample while the draw lacks space).
+  std::vector<SectorId> chosen;
+  chosen.reserve(cp);
+  for (std::uint32_t i = 0; i < cp; ++i) {
+    auto sector = sample_sector_with_space(info.size, chosen);
+    if (!sector.is_ok()) {
+      for (SectorId s : chosen) sector_table_.release(s, info.size);
+      return sector.status();
+    }
+    chosen.push_back(sector.value());
+  }
+
+  // Commit: charge, record, link, schedule.
+  const FileId id = next_file_id_++;
+  FI_CHECK(ledger_.transfer(client, traffic_escrow_, traffic_total).is_ok());
+  FI_CHECK(charge_gas(client, params_.gas_per_task));
+
+  FileRecord rec;
+  rec.desc.size = info.size;
+  rec.desc.value = info.value;
+  rec.desc.merkle_root = info.merkle_root;
+  rec.desc.cp = cp;
+  rec.desc.cntdown = -1;
+  rec.desc.state = FileState::normal;
+  rec.owner = client;
+  rec.added_at = now_;
+  rec.traffic_escrowed.assign(cp, true);
+  files_.emplace(id, std::move(rec));
+  alloc_table_.create_file(id, cp);
+
+  const Time deadline = now_ + params_.transfer_window(info.size);
+  for (std::uint32_t i = 0; i < cp; ++i) {
+    link_next(id, i, chosen[i]);
+    bus_.emit(ReplicaTransferRequested{id, i, kNoSector, chosen[i], client,
+                                       deadline});
+  }
+  pending_.schedule(deadline, Task{TaskKind::check_alloc, id, 0});
+  ++stats_.files_added;
+  return id;
+}
+
+util::Status Network::file_discard(ClientId client, FileId file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) {
+    return util::err(util::ErrorCode::not_found, "unknown file");
+  }
+  if (it->second.owner != client) {
+    return util::err(util::ErrorCode::permission_denied,
+                     "caller does not own the file");
+  }
+  if (!charge_gas(client, params_.gas_per_task)) {
+    return util::err(util::ErrorCode::insufficient_funds,
+                     "cannot pay request gas");
+  }
+  it->second.desc.state = FileState::discard;
+  return util::Status::ok();
+}
+
+util::Result<std::vector<SectorId>> Network::file_get(ClientId client,
+                                                      FileId file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) {
+    return util::err(util::ErrorCode::not_found, "unknown file");
+  }
+  if (!charge_gas(client, params_.gas_per_task)) {
+    return util::err(util::ErrorCode::insufficient_funds,
+                     "cannot pay request gas");
+  }
+  std::vector<SectorId> holders;
+  for (ReplicaIndex i = 0; i < it->second.desc.cp; ++i) {
+    const AllocEntry& e = alloc_table_.entry(file, i);
+    if (e.state == AllocState::corrupted || e.prev == kNoSector) continue;
+    if (sector_table_.at(e.prev).state == SectorState::corrupted) continue;
+    holders.push_back(e.prev);
+  }
+  bus_.emit(RetrievalRequested{file, client, holders});
+  return holders;
+}
+
+// ---------------------------------------------------------------------------
+// Time and task dispatch
+// ---------------------------------------------------------------------------
+
+void Network::advance_to(Time t) {
+  FI_CHECK_MSG(t >= now_, "cannot advance backwards");
+  while (pending_.next_time() != kNoTime && pending_.next_time() <= t) {
+    const Time batch_time = pending_.next_time();
+    now_ = batch_time;
+    for (const auto& [at, task] : pending_.pop_due(batch_time)) {
+      run_task(task);
+    }
+  }
+  now_ = t;
+}
+
+void Network::run_task(const Task& task) {
+  switch (task.kind) {
+    case TaskKind::check_alloc:
+      auto_check_alloc(task.file);
+      break;
+    case TaskKind::check_proof:
+      auto_check_proof(task.file);
+      break;
+    case TaskKind::check_refresh:
+      auto_check_refresh(task.file, task.index);
+      break;
+    case TaskKind::rent_distribution:
+      distribute_rent();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Auto tasks
+// ---------------------------------------------------------------------------
+
+void Network::auto_check_alloc(FileId file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;
+  FileRecord& rec = it->second;
+
+  // Fig. 7, first loop: any entry neither confirmed nor corrupted fails
+  // the upload.
+  for (ReplicaIndex i = 0; i < rec.desc.cp; ++i) {
+    const AllocEntry& e = alloc_table_.entry(file, i);
+    if (e.state != AllocState::confirm && e.state != AllocState::corrupted) {
+      ++stats_.upload_failures;
+      refund_unconfirmed_traffic(file);
+      bus_.emit(UploadFailed{file, "replica " + std::to_string(i) +
+                                       " was not confirmed in time"});
+      remove_file_internal(file);
+      return;
+    }
+  }
+
+  // Second loop: activate confirmed entries.
+  for (ReplicaIndex i = 0; i < rec.desc.cp; ++i) {
+    const AllocEntry& e = alloc_table_.entry(file, i);
+    if (e.state == AllocState::confirm) {
+      const SectorId sector = e.next;
+      link_prev(file, i, sector);
+      link_next(file, i, kNoSector);
+      alloc_table_.set_last(file, i, now_);
+      alloc_table_.set_state(file, i, AllocState::normal);
+      bus_.emit(ReplicaActivated{file, i, sector});
+    }
+    // Corrupted entries stay as dead slots (Fig. 7 else-branch).
+  }
+
+  rec.desc.cntdown = sample_refresh_countdown(rng_, params_.avg_refresh);
+  pending_.schedule(now_ + params_.proof_cycle,
+                    Task{TaskKind::check_proof, file, 0});
+  total_stored_value_ = util::checked_add(total_stored_value_, rec.desc.value);
+  ++stats_.files_stored;
+  bus_.emit(FileStored{file});
+}
+
+void Network::auto_check_proof(FileId file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;
+  FileRecord& rec = it->second;
+  bool discarded_for_rent = false;
+
+  // Fig. 8: charge the next cycle's rent + prepaid gas, or discard.
+  if (rec.desc.state == FileState::normal) {
+    const TokenAmount rent =
+        params_.rent_per_cycle(rec.desc.size, rec.desc.cp);
+    const TokenAmount gas = util::checked_mul(params_.gas_per_task, 2);
+    if (ledger_.balance(rec.owner) < util::checked_add(rent, gas)) {
+      rec.desc.state = FileState::discard;
+      discarded_for_rent = true;
+    } else {
+      FI_CHECK(ledger_.transfer(rec.owner, rent_pool_, rent).is_ok());
+      FI_CHECK(charge_gas(rec.owner, gas));
+    }
+  }
+
+  // Proof timeliness per replica.
+  for (ReplicaIndex i = 0; i < rec.desc.cp; ++i) {
+    const AllocEntry& e = alloc_table_.entry(file, i);
+    if (e.state == AllocState::corrupted || e.prev == kNoSector) continue;
+    const Sector& prev = sector_table_.at(e.prev);
+    if (prev.state == SectorState::corrupted) continue;
+    if (auto_prove_ && !physically_corrupted_.contains(e.prev)) {
+      alloc_table_.set_last(file, i, now_);
+    }
+    const Time last = alloc_table_.entry(file, i).last;
+    const bool never = (last == kNoTime);
+    if (never || last + params_.proof_deadline < now_) {
+      // ProofDeadline breached: confiscate and corrupt the sector.
+      corrupt_sector_internal(e.prev);
+    } else if (last + params_.proof_due < now_) {
+      const TokenAmount slashed =
+          deposit_book_.punish(e.prev, params_.punish_bp);
+      ++stats_.punishments;
+      bus_.emit(ProviderPunished{e.prev, slashed, "late proof"});
+    }
+  }
+
+  // Removal / loss / continuation.
+  if (rec.desc.state == FileState::discard) {
+    total_stored_value_ =
+        util::checked_sub(total_stored_value_, rec.desc.value);
+    ++stats_.files_discarded;
+    bus_.emit(FileDiscarded{file, discarded_for_rent});
+    remove_file_internal(file);
+    return;
+  }
+
+  bool all_corrupted = true;
+  for (ReplicaIndex i = 0; i < rec.desc.cp; ++i) {
+    if (alloc_table_.entry(file, i).state != AllocState::corrupted) {
+      all_corrupted = false;
+      break;
+    }
+  }
+  if (all_corrupted) {
+    ++stats_.files_lost;
+    stats_.value_lost = util::checked_add(stats_.value_lost, rec.desc.value);
+    const TokenAmount paid =
+        deposit_book_.compensate(rec.owner, rec.desc.value);
+    stats_.value_compensated =
+        util::checked_add(stats_.value_compensated, paid);
+    total_stored_value_ =
+        util::checked_sub(total_stored_value_, rec.desc.value);
+    bus_.emit(FileLost{file, rec.desc.value, paid});
+    remove_file_internal(file);
+    return;
+  }
+
+  pending_.schedule(now_ + params_.proof_cycle,
+                    Task{TaskKind::check_proof, file, 0});
+  if (rec.desc.cntdown > 0) {
+    --rec.desc.cntdown;
+    if (rec.desc.cntdown == 0) {
+      const auto index =
+          static_cast<ReplicaIndex>(rng_.uniform_below(rec.desc.cp));
+      auto_refresh(file, index);
+    }
+  }
+}
+
+void Network::auto_refresh(FileId file, ReplicaIndex index) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;
+  const AllocEntry& e = alloc_table_.entry(file, index);
+  if (e.state != AllocState::normal) {
+    // Replica busy (mid-refresh or dead): try again after a fresh countdown.
+    resample_cntdown(file);
+    return;
+  }
+  auto sector = sector_table_.random_sector(rng_);
+  if (!sector.is_ok()) {
+    resample_cntdown(file);
+    return;
+  }
+  const SectorId target = sector.value();
+  if (target == e.prev) {
+    // The fresh i.i.d. draw picked the current location: the refresh is a
+    // no-op move; the replica stays and the countdown restarts.
+    ++stats_.refreshes_self;
+    resample_cntdown(file);
+    return;
+  }
+  if (params_.distinct_sectors) {
+    for (ReplicaIndex j = 0; j < it->second.desc.cp; ++j) {
+      if (j != index && (alloc_table_.entry(file, j).prev == target ||
+                         alloc_table_.entry(file, j).next == target)) {
+        ++stats_.refresh_collisions;
+        bus_.emit(RefreshSkipped{file, index, target});
+        resample_cntdown(file);
+        return;
+      }
+    }
+  }
+  if (!start_refresh_to(file, index, target)) {
+    // Fig. 9 else-branch ("almost never happens"): skip, re-sample countdown.
+    ++stats_.refresh_collisions;
+    bus_.emit(RefreshSkipped{file, index, target});
+    resample_cntdown(file);
+  }
+}
+
+bool Network::start_refresh_to(FileId file, ReplicaIndex index,
+                               SectorId target) {
+  const auto it = files_.find(file);
+  FI_CHECK(it != files_.end());
+  const AllocEntry& e = alloc_table_.entry(file, index);
+  FI_CHECK(e.state == AllocState::normal);
+  if (!sector_table_.reserve(target, it->second.desc.size).is_ok()) {
+    return false;
+  }
+  link_next(file, index, target);
+  alloc_table_.set_state(file, index, AllocState::alloc);
+  const Time deadline = now_ + params_.transfer_window(it->second.desc.size);
+  pending_.schedule(deadline, Task{TaskKind::check_refresh, file, index});
+  bus_.emit(ReplicaTransferRequested{file, index, e.prev, target,
+                                     it->second.owner, deadline});
+  ++stats_.refreshes_started;
+  return true;
+}
+
+void Network::auto_check_refresh(FileId file, ReplicaIndex index) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;
+  const AllocEntry& e = alloc_table_.entry(file, index);
+  if (e.next == kNoSector) return;  // stale: cancelled or already completed
+
+  if (e.state == AllocState::confirm) {
+    // Handoff succeeded: swap prev <- next (Fig. 9).
+    const SectorId old = e.prev;
+    const SectorId fresh = e.next;
+    sector_table_.release(old, it->second.desc.size);
+    bus_.emit(ReplicaReleased{file, index, old});
+    link_prev(file, index, fresh);
+    link_next(file, index, kNoSector);
+    alloc_table_.set_last(file, index, now_);
+    alloc_table_.set_state(file, index, AllocState::normal);
+    bus_.emit(ReplicaActivated{file, index, fresh});
+    resample_cntdown(file);
+    ++stats_.refreshes_completed;
+    return;
+  }
+
+  if (e.state == AllocState::alloc) {
+    // Handoff failed: punish the successor and every current holder
+    // (liveness — any of them could have served the data), then retry.
+    ++stats_.refreshes_failed;
+    const TokenAmount slashed_next =
+        deposit_book_.punish(e.next, params_.punish_bp);
+    ++stats_.punishments;
+    bus_.emit(
+        ProviderPunished{e.next, slashed_next, "failed refresh handoff"});
+    for (ReplicaIndex j = 0; j < it->second.desc.cp; ++j) {
+      const AllocEntry& other = alloc_table_.entry(file, j);
+      if (other.prev == kNoSector || other.state == AllocState::corrupted) {
+        continue;
+      }
+      if (sector_table_.at(other.prev).state == SectorState::corrupted) {
+        continue;
+      }
+      const TokenAmount slashed =
+          deposit_book_.punish(other.prev, params_.punish_bp);
+      ++stats_.punishments;
+      bus_.emit(ProviderPunished{other.prev, slashed,
+                                 "failed refresh handoff (holder)"});
+    }
+    sector_table_.release(e.next, it->second.desc.size);
+    link_next(file, index, kNoSector);
+    alloc_table_.set_state(file, index, AllocState::normal);
+    auto_refresh(file, index);  // Fig. 9: call Refresh(f, i) again
+    return;
+  }
+  // state == corrupted: the storing sector died mid-refresh; nothing to do.
+}
+
+void Network::distribute_rent() {
+  const TokenAmount balance = ledger_.balance(rent_pool_);
+  if (balance > 0) {
+    // Proportional to capacity over sectors still storing data.
+    ByteCount total_cap = 0;
+    for (SectorId id : sector_table_.all_ids()) {
+      const Sector& s = sector_table_.at(id);
+      if (s.state == SectorState::normal || s.state == SectorState::disabled) {
+        total_cap = util::checked_add(total_cap, s.capacity);
+      }
+    }
+    if (total_cap > 0) {
+      TokenAmount paid_total = 0;
+      for (SectorId id : sector_table_.all_ids()) {
+        const Sector& s = sector_table_.at(id);
+        if (s.state != SectorState::normal &&
+            s.state != SectorState::disabled) {
+          continue;
+        }
+        const TokenAmount share =
+            util::checked_mul_div(balance, s.capacity, total_cap);
+        if (share > 0) {
+          FI_CHECK(ledger_.transfer(rent_pool_, s.owner, share).is_ok());
+          paid_total = util::checked_add(paid_total, share);
+        }
+      }
+      if (paid_total > 0) bus_.emit(RentDistributed{paid_total});
+    }
+  }
+  pending_.schedule(
+      now_ + static_cast<Time>(params_.rent_period_cycles) *
+                 params_.proof_cycle,
+      Task{TaskKind::rent_distribution, kNoFile, 0});
+}
+
+// ---------------------------------------------------------------------------
+// Corruption
+// ---------------------------------------------------------------------------
+
+void Network::corrupt_sector_physical(SectorId sector) {
+  FI_CHECK(sector_table_.exists(sector));
+  physically_corrupted_.insert(sector);
+}
+
+void Network::corrupt_sector_now(SectorId sector) {
+  FI_CHECK(sector_table_.exists(sector));
+  physically_corrupted_.insert(sector);
+  corrupt_sector_internal(sector);
+}
+
+void Network::restore_sector_physical(SectorId sector) {
+  FI_CHECK(sector_table_.exists(sector));
+  if (sector_table_.at(sector).state == SectorState::corrupted) return;
+  physically_corrupted_.erase(sector);
+}
+
+void Network::corrupt_sector_internal(SectorId sector) {
+  if (!sector_table_.mark_corrupted(sector)) return;  // already dead
+  physically_corrupted_.insert(sector);
+  const TokenAmount confiscated = deposit_book_.confiscate(sector);
+  ++stats_.sectors_corrupted;
+  bus_.emit(SectorCorrupted{sector, confiscated});
+
+  // Entries stored here (prev == sector).
+  for (const EntryKey& key : alloc_table_.entries_with_prev(sector)) {
+    const auto [file, index] = key;
+    const AllocEntry& e = alloc_table_.entry(file, index);
+    if (e.state == AllocState::corrupted) continue;
+    if (e.state == AllocState::confirm && e.next != kNoSector &&
+        sector_table_.at(e.next).state == SectorState::normal) {
+      // The replica already landed in the refresh target: complete the
+      // swap instead of losing a healthy copy.
+      const SectorId fresh = e.next;
+      link_prev(file, index, fresh);
+      link_next(file, index, kNoSector);
+      alloc_table_.set_last(file, index, now_);
+      alloc_table_.set_state(file, index, AllocState::normal);
+      bus_.emit(ReplicaActivated{file, index, fresh});
+      resample_cntdown(file);
+      continue;
+    }
+    if (e.state == AllocState::alloc && e.next != kNoSector) {
+      // Outbound refresh whose source just died: cancel the transfer.
+      sector_table_.release(e.next, files_.at(file).desc.size);
+      link_next(file, index, kNoSector);
+    }
+    alloc_table_.set_state(file, index, AllocState::corrupted);
+  }
+
+  // Entries flowing into this sector (next == sector).
+  for (const EntryKey& key : alloc_table_.entries_with_next(sector)) {
+    const auto [file, index] = key;
+    const AllocEntry& e = alloc_table_.entry(file, index);
+    if (e.prev == kNoSector) {
+      // Initial upload target died: dead replica slot, tolerated by
+      // Auto_CheckAlloc (Fig. 7 treats corrupted entries as acceptable).
+      link_next(file, index, kNoSector);
+      alloc_table_.set_state(file, index, AllocState::corrupted);
+      // The traffic fee for this replica is refunded (never delivered).
+      auto& rec = files_.at(file);
+      if (rec.traffic_escrowed[index]) {
+        const TokenAmount fee = params_.traffic_fee(rec.desc.size);
+        FI_CHECK(
+            ledger_.transfer(traffic_escrow_, rec.owner, fee).is_ok());
+        rec.traffic_escrowed[index] = false;
+      }
+    } else {
+      // Refresh target died: cancel; the old holder keeps the replica.
+      link_next(file, index, kNoSector);
+      if (e.state != AllocState::corrupted) {
+        alloc_table_.set_state(file, index, AllocState::normal);
+        resample_cntdown(file);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Internal helpers
+// ---------------------------------------------------------------------------
+
+void Network::link_prev(FileId file, ReplicaIndex idx, SectorId sector) {
+  const SectorId old = alloc_table_.entry(file, idx).prev;
+  if (old == sector) return;
+  alloc_table_.set_prev(file, idx, sector);
+  if (sector != kNoSector) sector_table_.add_ref(sector);
+  if (old != kNoSector) unref_and_maybe_remove(old);
+}
+
+void Network::link_next(FileId file, ReplicaIndex idx, SectorId sector) {
+  const SectorId old = alloc_table_.entry(file, idx).next;
+  if (old == sector) return;
+  alloc_table_.set_next(file, idx, sector);
+  if (sector != kNoSector) sector_table_.add_ref(sector);
+  if (old != kNoSector) unref_and_maybe_remove(old);
+}
+
+void Network::unref_and_maybe_remove(SectorId sector) {
+  sector_table_.drop_ref(sector);
+  const Sector& s = sector_table_.at(sector);
+  if (s.state == SectorState::disabled && s.ref_count == 0) {
+    const TokenAmount refunded = deposit_book_.refund(sector);
+    sector_table_.mark_removed(sector);
+    bus_.emit(SectorRemoved{sector, refunded});
+  }
+}
+
+util::Result<SectorId> Network::sample_sector_with_space(
+    ByteCount size, const std::vector<SectorId>& already_chosen) {
+  for (std::uint32_t attempt = 0; attempt < params_.max_alloc_resample;
+       ++attempt) {
+    auto sector = sector_table_.random_sector(rng_);
+    if (!sector.is_ok()) return sector.status();
+    const SectorId s = sector.value();
+    if (params_.distinct_sectors &&
+        std::find(already_chosen.begin(), already_chosen.end(), s) !=
+            already_chosen.end()) {
+      ++stats_.add_resamples;
+      continue;
+    }
+    if (sector_table_.reserve(s, size).is_ok()) return s;
+    ++stats_.add_resamples;  // collision: resample (Fig. 4 while-loop)
+  }
+  return util::err(util::ErrorCode::insufficient_space,
+                   "no sector with sufficient free capacity found");
+}
+
+void Network::remove_file_internal(FileId file) {
+  const auto it = files_.find(file);
+  FI_CHECK(it != files_.end());
+  const ByteCount size = it->second.desc.size;
+  for (ReplicaIndex i = 0; i < it->second.desc.cp; ++i) {
+    const AllocEntry e = alloc_table_.entry(file, i);
+    if (e.next != kNoSector) {
+      sector_table_.release(e.next, size);
+      if (e.state == AllocState::confirm) {
+        bus_.emit(ReplicaReleased{file, i, e.next});
+      }
+      link_next(file, i, kNoSector);
+    }
+    if (e.prev != kNoSector) {
+      if (e.state != AllocState::corrupted) {
+        sector_table_.release(e.prev, size);
+        bus_.emit(ReplicaReleased{file, i, e.prev});
+      }
+      link_prev(file, i, kNoSector);
+    }
+  }
+  alloc_table_.remove_file(file);
+  files_.erase(it);
+}
+
+void Network::refund_unconfirmed_traffic(FileId file) {
+  auto& rec = record(file);
+  const TokenAmount fee = params_.traffic_fee(rec.desc.size);
+  for (ReplicaIndex i = 0; i < rec.desc.cp; ++i) {
+    if (!rec.traffic_escrowed[i]) continue;
+    FI_CHECK(ledger_.transfer(traffic_escrow_, rec.owner, fee).is_ok());
+    rec.traffic_escrowed[i] = false;
+  }
+}
+
+void Network::resample_cntdown(FileId file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;
+  it->second.desc.cntdown =
+      sample_refresh_countdown(rng_, params_.avg_refresh);
+}
+
+void Network::admission_rebalance(SectorId sector) {
+  // §VI-B: approximate the "swap each allocation here with probability
+  // capacity/total" rule by sampling the swap-in count from a Poisson
+  // distribution with the matching mean, then choosing backups uniformly.
+  const Sector& s = sector_table_.at(sector);
+  const ByteCount total_cap = sector_table_.total_capacity(SectorState::normal);
+  if (total_cap == 0) return;
+  const double mean =
+      static_cast<double>(alloc_table_.normal_entry_count()) *
+      (static_cast<double>(s.capacity) / static_cast<double>(total_cap));
+  const std::uint64_t count = util::sample_poisson(rng_, mean);
+  for (std::uint64_t n = 0; n < count; ++n) {
+    const auto key = alloc_table_.random_normal_entry(rng_);
+    if (!key.has_value()) return;
+    const auto [file, index] = *key;
+    const AllocEntry& e = alloc_table_.entry(file, index);
+    if (e.prev == sector) continue;  // already here
+    if (!start_refresh_to(file, index, sector)) return;  // sector full
+  }
+}
+
+}  // namespace fi::core

@@ -1,0 +1,268 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/alloc_table.h"
+#include "core/deposit.h"
+#include "core/events.h"
+#include "core/file.h"
+#include "core/params.h"
+#include "core/pending_list.h"
+#include "core/sector.h"
+#include "core/types.h"
+#include "crypto/porep.h"
+#include "crypto/post.h"
+#include "ledger/account.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+/// The FileInsurer network state machine (§IV) — the on-chain protocol.
+///
+/// This class implements, exactly as in Figs. 4–9:
+///   * client requests:   File_Add, File_Discard, File_Get
+///   * provider requests: Sector_Register, Sector_Disable, File_Confirm,
+///                        File_Prove
+///   * automatic tasks:   Auto_CheckAlloc, Auto_CheckProof, Auto_Refresh,
+///                        Auto_CheckRefresh (executed via the pending list
+///                        as simulated time advances)
+/// plus the deposit/compensation insurance scheme (§IV-B), the fee
+/// mechanism (§IV-A), §VI-B Poisson admission rebalancing, and simulation
+/// hooks for corruption injection.
+///
+/// The engine tracks metadata only (sizes, commitments, balances); actual
+/// file bytes live with the off-chain actors in `core/agents.h`.
+namespace fi::core {
+
+/// Client-declared description of a file to store (File_Add inputs).
+struct FileInfo {
+  ByteCount size = 0;
+  TokenAmount value = 0;
+  crypto::Hash256 merkle_root;
+};
+
+/// Aggregate counters for experiments and tests.
+struct NetworkStats {
+  std::uint64_t files_added = 0;
+  std::uint64_t files_stored = 0;
+  std::uint64_t upload_failures = 0;
+  std::uint64_t files_discarded = 0;
+  std::uint64_t files_lost = 0;
+  TokenAmount value_lost = 0;
+  TokenAmount value_compensated = 0;
+  std::uint64_t sectors_corrupted = 0;
+  std::uint64_t refreshes_started = 0;
+  std::uint64_t refreshes_completed = 0;
+  std::uint64_t refreshes_failed = 0;
+  /// Refresh draws that landed on the replica's current sector — the move
+  /// is a no-op (the i.i.d. redraw chose the same location).
+  std::uint64_t refreshes_self = 0;
+  std::uint64_t refresh_collisions = 0;
+  std::uint64_t add_resamples = 0;  ///< RandomSector collisions at File_Add
+  std::uint64_t punishments = 0;
+};
+
+class Network {
+ public:
+  /// Epoch beacon supplier for PoSt challenges; defaults to a hash chain
+  /// over (seed, time).
+  using BeaconSource = std::function<crypto::Hash256(Time)>;
+
+  Network(Params params, ledger::Ledger& ledger, std::uint64_t seed,
+          BeaconSource beacon = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // ---- Provider requests (Fig. 5, Fig. 6) -------------------------------
+
+  /// Sector_Register: pledges the deposit and adds the sector.
+  util::Result<SectorId> sector_register(ProviderId provider,
+                                         ByteCount capacity);
+
+  /// Sector_Disable: the sector stops accepting files and is removed (with
+  /// deposit refund) once the last replica drains out.
+  util::Status sector_disable(ProviderId provider, SectorId sector);
+
+  /// File_Confirm: the provider declares it received replica (file, index)
+  /// into `sector`, registering the replica commitment. When
+  /// `params.verify_proofs` is set, a valid seal proof binding the file's
+  /// Merkle root to `comm_r` is required.
+  util::Status file_confirm(ProviderId provider, FileId file,
+                            ReplicaIndex index, SectorId sector,
+                            const crypto::Hash256& comm_r,
+                            const std::optional<crypto::SealProof>& seal_proof);
+
+  /// File_Prove: WindowPoSt for replica (file, index) stored in `sector`.
+  util::Status file_prove(ProviderId provider, FileId file, ReplicaIndex index,
+                          SectorId sector, const crypto::WindowProof& proof);
+
+  /// Metadata-only variant used when `params.verify_proofs == false`:
+  /// accepts a bare proof timestamp.
+  util::Status file_prove_trusted(ProviderId provider, FileId file,
+                                  ReplicaIndex index, SectorId sector,
+                                  Time proof_time);
+
+  // ---- Client requests (Fig. 4) ------------------------------------------
+
+  /// File_Add: allocates `cp` random sectors, charges traffic fees and
+  /// prepaid gas, and schedules Auto_CheckAlloc.
+  util::Result<FileId> file_add(ClientId client, const FileInfo& info);
+
+  /// File_Discard: marks the file; it is removed at the next
+  /// Auto_CheckProof (Fig. 4/8).
+  util::Status file_discard(ClientId client, FileId file);
+
+  /// File_Get: returns the sectors currently able to serve the file and
+  /// emits a RetrievalRequested event for the retrieval market.
+  util::Result<std::vector<SectorId>> file_get(ClientId client, FileId file);
+
+  // ---- Time ----------------------------------------------------------------
+
+  [[nodiscard]] Time now() const { return now_; }
+  /// Executes all pending-list tasks with timestamp <= `t` in order, then
+  /// sets the clock to `t`.
+  void advance_to(Time t);
+  void advance(Time dt) { advance_to(now_ + dt); }
+  [[nodiscard]] Time next_task_time() const { return pending_.next_time(); }
+
+  /// The epoch beacon (for providers building PoSt proofs).
+  [[nodiscard]] crypto::Hash256 beacon(Time t) const { return beacon_(t); }
+
+  // ---- Simulation hooks ---------------------------------------------------
+
+  /// Physically corrupts a sector: with auto-prove off, its provider agent
+  /// is expected to stop proving; with auto-prove on, the engine stops
+  /// auto-proving for it and Auto_CheckProof confiscates it at the
+  /// ProofDeadline — the full detection pipeline.
+  void corrupt_sector_physical(SectorId sector);
+
+  /// Immediately runs the chain-side corruption path (confiscation +
+  /// marking) without waiting for the proof deadline. Used by adversary
+  /// benchmarks where detection latency is not under study.
+  void corrupt_sector_now(SectorId sector);
+
+  /// Reverses `corrupt_sector_physical` *before* the chain confiscates:
+  /// models a transient outage (disk back online, data intact). A no-op if
+  /// the sector was already chain-corrupted.
+  void restore_sector_physical(SectorId sector);
+
+  /// When enabled, Auto_CheckProof treats every replica in a
+  /// non-physically-corrupted sector as freshly proven — large-scale
+  /// statistical runs without per-replica proof traffic.
+  void set_auto_prove(bool enabled) { auto_prove_ = enabled; }
+
+  [[nodiscard]] bool is_physically_corrupted(SectorId sector) const {
+    return physically_corrupted_.contains(sector);
+  }
+
+  // ---- Introspection --------------------------------------------------------
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const SectorTable& sectors() const { return sector_table_; }
+  [[nodiscard]] const AllocTable& allocations() const { return alloc_table_; }
+  [[nodiscard]] const DepositBook& deposits() const { return deposit_book_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] bool file_exists(FileId file) const {
+    return files_.contains(file);
+  }
+  [[nodiscard]] const FileDescriptor& file(FileId file) const;
+  [[nodiscard]] ClientId file_owner(FileId file) const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] std::size_t pending_tasks() const { return pending_.size(); }
+
+  /// Sum of `value` over stored files (for γ_v^m bookkeeping).
+  [[nodiscard]] TokenAmount total_stored_value() const {
+    return total_stored_value_;
+  }
+
+  /// System account ids (for money-conservation assertions in tests).
+  [[nodiscard]] AccountId escrow_account() const { return escrow_; }
+  [[nodiscard]] AccountId pool_account() const { return pool_; }
+  [[nodiscard]] AccountId rent_pool_account() const { return rent_pool_; }
+  [[nodiscard]] AccountId gas_sink_account() const { return gas_sink_; }
+  [[nodiscard]] AccountId traffic_escrow_account() const {
+    return traffic_escrow_;
+  }
+
+  void subscribe(EventBus::Listener listener) {
+    bus_.subscribe(std::move(listener));
+  }
+
+ private:
+  struct FileRecord {
+    FileDescriptor desc;
+    ClientId owner = kNoAccount;
+    Time added_at = 0;
+    /// Per-replica traffic fee still escrowed (refund on upload failure).
+    std::vector<bool> traffic_escrowed;
+  };
+
+  // ---- Auto tasks (Fig. 7, 8, 9) -----------------------------------------
+  void run_task(const Task& task);
+  void auto_check_alloc(FileId file);
+  void auto_check_proof(FileId file);
+  void auto_refresh(FileId file, ReplicaIndex index);
+  void auto_check_refresh(FileId file, ReplicaIndex index);
+  void distribute_rent();
+
+  // ---- Internal helpers ----------------------------------------------------
+  FileRecord& record(FileId file);
+  /// Sets entry.prev / entry.next maintaining sector ref-counts.
+  void link_prev(FileId file, ReplicaIndex idx, SectorId sector);
+  void link_next(FileId file, ReplicaIndex idx, SectorId sector);
+  /// Samples a sector with room for `size` bytes (File_Add semantics:
+  /// resample on collision, bounded). Under `distinct_sectors`, sectors in
+  /// `already_chosen` (the file's other replicas) are rejected too.
+  util::Result<SectorId> sample_sector_with_space(
+      ByteCount size, const std::vector<SectorId>& already_chosen);
+  /// Chain-side sector corruption (deposit confiscation + entry marking).
+  void corrupt_sector_internal(SectorId sector);
+  /// Removes a file's entries, releasing space and refs.
+  void remove_file_internal(FileId file);
+  /// Refunds escrowed traffic fees for unconfirmed replicas.
+  void refund_unconfirmed_traffic(FileId file);
+  /// Drops a reference and removes the sector if drained while disabled.
+  void unref_and_maybe_remove(SectorId sector);
+  /// Charges prepaid gas to `payer` (burn); false if unaffordable.
+  bool charge_gas(AccountId payer, TokenAmount amount);
+  /// Resamples a file's refresh countdown from Exp(AvgRefresh).
+  void resample_cntdown(FileId file);
+  /// §VI-B: swap a Poisson number of random backups into a new sector.
+  void admission_rebalance(SectorId sector);
+  /// Starts a refresh of (file, index) targeted at a specific sector.
+  bool start_refresh_to(FileId file, ReplicaIndex index, SectorId target);
+
+  Params params_;
+  ledger::Ledger& ledger_;
+  util::Xoshiro256 rng_;
+  BeaconSource beacon_;
+
+  AccountId escrow_;
+  AccountId pool_;
+  AccountId rent_pool_;
+  AccountId gas_sink_;
+  AccountId traffic_escrow_;
+
+  SectorTable sector_table_;
+  AllocTable alloc_table_;
+  PendingList pending_;
+  DepositBook deposit_book_;
+  EventBus bus_;
+
+  std::unordered_map<FileId, FileRecord> files_;
+  FileId next_file_id_ = 1;
+  Time now_ = 0;
+  TokenAmount total_stored_value_ = 0;
+
+  bool auto_prove_ = false;
+  std::unordered_set<SectorId> physically_corrupted_;
+
+  NetworkStats stats_;
+};
+
+}  // namespace fi::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/types.h"
+
+/// Pending list (Fig. 1): tasks the network executes automatically at a
+/// specific future time. Tasks at the same timestamp run in scheduling
+/// order, so executions are deterministic. Gas for scheduled tasks is
+/// prepaid at scheduling time (§III-B4).
+namespace fi::core {
+
+enum class TaskKind : std::uint8_t {
+  check_alloc,       ///< Auto_CheckAlloc(f)
+  check_proof,       ///< Auto_CheckProof(f)
+  check_refresh,     ///< Auto_CheckRefresh(f, i)
+  rent_distribution, ///< periodic rent payout (§IV-A2)
+};
+
+struct Task {
+  TaskKind kind = TaskKind::check_alloc;
+  FileId file = kNoFile;
+  ReplicaIndex index = 0;
+};
+
+class PendingList {
+ public:
+  void schedule(Time at, Task task) { tasks_.emplace(at, task); }
+
+  /// Pops every task with timestamp <= `t`, ordered by (time, insertion).
+  [[nodiscard]] std::vector<std::pair<Time, Task>> pop_due(Time t) {
+    std::vector<std::pair<Time, Task>> due;
+    auto it = tasks_.begin();
+    while (it != tasks_.end() && it->first <= t) {
+      due.emplace_back(*it);
+      it = tasks_.erase(it);
+    }
+    return due;
+  }
+
+  /// Time of the earliest pending task, or kNoTime when empty.
+  [[nodiscard]] Time next_time() const {
+    return tasks_.empty() ? kNoTime : tasks_.begin()->first;
+  }
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+
+ private:
+  std::multimap<Time, Task> tasks_;
+};
+
+}  // namespace fi::core

@@ -1,0 +1,100 @@
+#include "core/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/check.h"
+
+namespace fi::core {
+
+ReputationTracker::ReputationTracker(ReputationParams params)
+    : params_(params) {
+  FI_CHECK_MSG(params_.temperature > 0, "softmax temperature must be > 0");
+  FI_CHECK_MSG(params_.decay > 0 && params_.decay <= 1,
+               "decay must be in (0, 1]");
+}
+
+void ReputationTracker::track(ProviderId provider) {
+  scores_.try_emplace(provider, params_.initial_score);
+}
+
+void ReputationTracker::bump(ProviderId provider, double delta) {
+  const auto [it, _] = scores_.try_emplace(provider, params_.initial_score);
+  it->second += delta;
+}
+
+void ReputationTracker::decay_all() {
+  for (auto& [provider, score] : scores_) score *= params_.decay;
+}
+
+void ReputationTracker::observe(
+    const Event& event,
+    const std::unordered_map<SectorId, ProviderId>& sector_owner) {
+  const auto owner = [&](SectorId sector) -> std::optional<ProviderId> {
+    const auto it = sector_owner.find(sector);
+    if (it == sector_owner.end()) return std::nullopt;
+    return it->second;
+  };
+
+  if (const auto* activated = std::get_if<ReplicaActivated>(&event)) {
+    if (const auto p = owner(activated->sector)) {
+      decay_all();
+      bump(*p, params_.activation_reward);
+    }
+  } else if (const auto* punished = std::get_if<ProviderPunished>(&event)) {
+    if (const auto p = owner(punished->sector)) {
+      decay_all();
+      bump(*p, -params_.punishment_penalty);
+    }
+  } else if (const auto* corrupted = std::get_if<SectorCorrupted>(&event)) {
+    if (const auto p = owner(corrupted->sector)) {
+      decay_all();
+      bump(*p, -params_.corruption_penalty);
+    }
+  }
+}
+
+double ReputationTracker::score(ProviderId provider) const {
+  const auto it = scores_.find(provider);
+  return it == scores_.end() ? params_.initial_score : it->second;
+}
+
+std::vector<std::pair<ProviderId, double>> ReputationTracker::distribution()
+    const {
+  std::vector<std::pair<ProviderId, double>> out;
+  if (scores_.empty()) return out;
+  // Stable softmax: subtract the max score before exponentiating.
+  double max_score = -1e300;
+  for (const auto& [p, s] : scores_) max_score = std::max(max_score, s);
+  double total = 0.0;
+  out.reserve(scores_.size());
+  for (const auto& [p, s] : scores_) {
+    const double w = std::exp((s - max_score) / params_.temperature);
+    out.emplace_back(p, w);
+    total += w;
+  }
+  for (auto& [p, w] : out) w /= total;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double ReputationTracker::selection_probability(ProviderId provider) const {
+  for (const auto& [p, w] : distribution()) {
+    if (p == provider) return w;
+  }
+  return 0.0;
+}
+
+std::vector<ProviderId> ReputationTracker::rank(
+    std::vector<ProviderId> candidates) const {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](ProviderId a, ProviderId b) {
+                     const double sa = score(a), sb = score(b);
+                     if (sa != sb) return sa > sb;
+                     return a < b;
+                   });
+  return candidates;
+}
+
+}  // namespace fi::core

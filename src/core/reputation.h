@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/events.h"
+#include "core/types.h"
+
+/// Provider reputation — the extension the paper's conclusion raises as an
+/// open problem ("a reputation mechanism on storage providers may be also
+/// helpful to reduce the loss of files", citing the softmax reputation
+/// protocol of Chen et al.).
+///
+/// The tracker consumes the protocol event bus: replica activations and
+/// completed handoffs raise a provider's score, punishments lower it, and a
+/// sector corruption craters it. Scores turn into selection probabilities
+/// through a temperature-controlled softmax, so clients (or a future
+/// placement policy) can prefer reliable providers without ever starving
+/// newcomers of traffic — exactly the softmax rationale.
+namespace fi::core {
+
+struct ReputationParams {
+  double initial_score = 0.0;
+  double activation_reward = 0.1;   ///< replica stored / handoff completed
+  double punishment_penalty = 1.0;  ///< late proof, failed handoff
+  double corruption_penalty = 5.0;  ///< sector confiscated
+  double temperature = 1.0;         ///< softmax temperature (> 0)
+  /// Scores decay toward zero by this factor per observed event, so old
+  /// sins (and old glories) fade.
+  double decay = 0.999;
+};
+
+class ReputationTracker {
+ public:
+  explicit ReputationTracker(ReputationParams params = ReputationParams());
+
+  /// Registers a provider (providers are also auto-registered on their
+  /// first observed event).
+  void track(ProviderId provider);
+
+  /// Feed of protocol events; the `sector_owner` resolver maps sectors to
+  /// their providers (the tracker stays decoupled from SectorTable).
+  void observe(const Event& event,
+               const std::unordered_map<SectorId, ProviderId>& sector_owner);
+
+  [[nodiscard]] double score(ProviderId provider) const;
+
+  /// Softmax selection distribution over all tracked providers.
+  [[nodiscard]] std::vector<std::pair<ProviderId, double>> distribution()
+      const;
+
+  /// Probability mass assigned to `provider` under the softmax.
+  [[nodiscard]] double selection_probability(ProviderId provider) const;
+
+  /// Ranks `candidates` best-score-first (ties: lowest id) — a plug-in
+  /// policy for retrieval-holder or placement preference.
+  [[nodiscard]] std::vector<ProviderId> rank(
+      std::vector<ProviderId> candidates) const;
+
+  [[nodiscard]] std::size_t tracked_count() const { return scores_.size(); }
+
+ private:
+  void bump(ProviderId provider, double delta);
+  void decay_all();
+
+  ReputationParams params_;
+  std::unordered_map<ProviderId, double> scores_;
+};
+
+}  // namespace fi::core

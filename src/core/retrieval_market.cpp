@@ -1,0 +1,50 @@
+#include "core/retrieval_market.h"
+
+#include "util/checked.h"
+
+namespace fi::core {
+
+std::optional<ProviderId> RetrievalMarket::select(
+    const std::vector<ProviderId>& candidates) const {
+  std::optional<ProviderId> best;
+  TokenAmount best_price = 0;
+  for (ProviderId candidate : candidates) {
+    const TokenAmount price = ask_of(candidate);
+    if (!best.has_value() || price < best_price ||
+        (price == best_price && candidate < *best)) {
+      best = candidate;
+      best_price = price;
+    }
+  }
+  return best;
+}
+
+TokenAmount RetrievalMarket::quote(ProviderId provider,
+                                   ByteCount bytes) const {
+  return util::checked_mul(ask_of(provider), (bytes + 1023) / 1024);
+}
+
+util::Status RetrievalMarket::settle(ClientId client, ProviderId provider,
+                                     ByteCount bytes) {
+  const TokenAmount price = quote(provider, bytes);
+  if (auto status = ledger_.transfer(client, provider, price);
+      !status.is_ok()) {
+    return status;
+  }
+  served_[provider] = util::checked_add(served_[provider], bytes);
+  revenue_[provider] = util::checked_add(revenue_[provider], price);
+  ++settled_;
+  return util::Status::ok();
+}
+
+ByteCount RetrievalMarket::bytes_served(ProviderId provider) const {
+  const auto it = served_.find(provider);
+  return it == served_.end() ? 0 : it->second;
+}
+
+TokenAmount RetrievalMarket::revenue(ProviderId provider) const {
+  const auto it = revenue_.find(provider);
+  return it == revenue_.end() ? 0 : it->second;
+}
+
+}  // namespace fi::core

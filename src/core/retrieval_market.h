@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "ledger/account.h"
+#include "util/status.h"
+
+/// The Retrieval Market (§III-A2, §III-E): "when a client requests retrieval
+/// of a specified file, the providers who store this file compete to respond
+/// to the request for the corresponding payment ... the clients and
+/// providers exchange the file without the witness of DSN."
+///
+/// Providers post asks (price per KiB served); a File_Get's holder set is
+/// resolved to the cheapest cooperative holder, and payment settles
+/// directly between the two accounts — off-chain from the DSN's point of
+/// view, on our shared ledger for accounting.
+namespace fi::core {
+
+class RetrievalMarket {
+ public:
+  /// `default_price_per_kib` applies to providers who never posted an ask.
+  RetrievalMarket(ledger::Ledger& ledger, TokenAmount default_price_per_kib)
+      : ledger_(ledger), default_price_(default_price_per_kib) {}
+
+  /// Posts or updates a provider's ask.
+  void post_ask(ProviderId provider, TokenAmount price_per_kib) {
+    asks_[provider] = price_per_kib;
+  }
+
+  [[nodiscard]] TokenAmount ask_of(ProviderId provider) const {
+    const auto it = asks_.find(provider);
+    return it == asks_.end() ? default_price_ : it->second;
+  }
+
+  /// Competition: the cheapest candidate wins; ties break toward the
+  /// lowest account id (deterministic).
+  [[nodiscard]] std::optional<ProviderId> select(
+      const std::vector<ProviderId>& candidates) const;
+
+  /// Price quoted by `provider` for `bytes` of content.
+  [[nodiscard]] TokenAmount quote(ProviderId provider, ByteCount bytes) const;
+
+  /// Settles the payment for a served retrieval; fails (and records
+  /// nothing) if the client cannot pay.
+  util::Status settle(ClientId client, ProviderId provider, ByteCount bytes);
+
+  /// Lifetime accounting.
+  [[nodiscard]] ByteCount bytes_served(ProviderId provider) const;
+  [[nodiscard]] TokenAmount revenue(ProviderId provider) const;
+  [[nodiscard]] std::uint64_t retrievals_settled() const { return settled_; }
+
+ private:
+  ledger::Ledger& ledger_;
+  TokenAmount default_price_;
+  std::unordered_map<ProviderId, TokenAmount> asks_;
+  std::unordered_map<ProviderId, ByteCount> served_;
+  std::unordered_map<ProviderId, TokenAmount> revenue_;
+  std::uint64_t settled_ = 0;
+};
+
+}  // namespace fi::core

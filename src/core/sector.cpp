@@ -1,0 +1,129 @@
+#include "core/sector.h"
+
+#include "util/checked.h"
+
+namespace fi::core {
+
+util::Result<SectorId> SectorTable::register_sector(ProviderId owner,
+                                                    ByteCount capacity,
+                                                    Time now) {
+  if (capacity == 0 || capacity % params_.min_capacity != 0) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "sector capacity must be a positive multiple of "
+                     "min_capacity");
+  }
+  Sector sector;
+  sector.id = sectors_.size();
+  sector.owner = owner;
+  sector.capacity = capacity;
+  sector.free_cap = capacity;
+  sector.state = SectorState::normal;
+  sector.registered_at = now;
+  sectors_.push_back(sector);
+  weights_.push_back(capacity / params_.min_capacity);
+  return sector.id;
+}
+
+const Sector& SectorTable::at(SectorId id) const {
+  FI_CHECK_MSG(id < sectors_.size(), "unknown sector id");
+  return sectors_[id];
+}
+
+Sector& SectorTable::mutable_at(SectorId id) {
+  FI_CHECK_MSG(id < sectors_.size(), "unknown sector id");
+  return sectors_[id];
+}
+
+util::Result<SectorId> SectorTable::random_sector(
+    util::Xoshiro256& rng) const {
+  if (weights_.total() == 0) {
+    return util::err(util::ErrorCode::unavailable,
+                     "no normal sector available for sampling");
+  }
+  return static_cast<SectorId>(weights_.sample(rng));
+}
+
+util::Status SectorTable::reserve(SectorId id, ByteCount size) {
+  Sector& s = mutable_at(id);
+  if (s.state != SectorState::normal) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "sector does not accept new data");
+  }
+  if (s.free_cap < size) {
+    return util::err(util::ErrorCode::insufficient_space,
+                     "sector free capacity below file size");
+  }
+  s.free_cap -= size;
+  return util::Status::ok();
+}
+
+void SectorTable::release(SectorId id, ByteCount size) {
+  Sector& s = mutable_at(id);
+  if (s.state == SectorState::corrupted || s.state == SectorState::removed) {
+    return;  // dead sectors own no reusable space
+  }
+  s.free_cap = util::checked_add(s.free_cap, size);
+  FI_CHECK_MSG(s.free_cap <= s.capacity, "free capacity above capacity");
+}
+
+void SectorTable::add_ref(SectorId id) { ++mutable_at(id).ref_count; }
+
+void SectorTable::drop_ref(SectorId id) {
+  Sector& s = mutable_at(id);
+  FI_CHECK_MSG(s.ref_count > 0, "sector reference underflow");
+  --s.ref_count;
+}
+
+util::Status SectorTable::disable(SectorId id) {
+  Sector& s = mutable_at(id);
+  if (s.state != SectorState::normal) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "only a normal sector can be disabled");
+  }
+  s.state = SectorState::disabled;
+  set_weight(id);
+  return util::Status::ok();
+}
+
+bool SectorTable::mark_corrupted(SectorId id) {
+  Sector& s = mutable_at(id);
+  if (s.state == SectorState::corrupted || s.state == SectorState::removed) {
+    return false;
+  }
+  s.state = SectorState::corrupted;
+  set_weight(id);
+  return true;
+}
+
+void SectorTable::mark_removed(SectorId id) {
+  Sector& s = mutable_at(id);
+  FI_CHECK_MSG(s.state == SectorState::disabled,
+               "only a drained disabled sector can be removed");
+  FI_CHECK_MSG(s.ref_count == 0, "sector still referenced");
+  s.state = SectorState::removed;
+  set_weight(id);
+}
+
+ByteCount SectorTable::total_capacity(SectorState state) const {
+  ByteCount total = 0;
+  for (const Sector& s : sectors_) {
+    if (s.state == state) total = util::checked_add(total, s.capacity);
+  }
+  return total;
+}
+
+std::vector<SectorId> SectorTable::all_ids() const {
+  std::vector<SectorId> ids(sectors_.size());
+  for (std::size_t i = 0; i < sectors_.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+void SectorTable::set_weight(SectorId id) {
+  const Sector& s = sectors_[id];
+  const std::uint64_t weight = (s.state == SectorState::normal)
+                                   ? s.capacity / params_.min_capacity
+                                   : 0;
+  weights_.set(id, weight);
+}
+
+}  // namespace fi::core

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "core/types.h"
+#include "util/fenwick.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+/// Sector registry plus the paper's `RandomSector()` primitive.
+///
+/// Sampling is weighted by *capacity* (Table I): a Fenwick tree keyed by
+/// sector id holds each sector's capacity in `minCapacity` units while the
+/// sector is `normal`, and zero otherwise, so one O(log n) prefix search
+/// draws a live sector with the correct distribution even as sectors
+/// register, disable and corrupt online.
+namespace fi::core {
+
+struct Sector {
+  SectorId id = kNoSector;
+  ProviderId owner = kNoAccount;
+  ByteCount capacity = 0;
+  ByteCount free_cap = 0;
+  SectorState state = SectorState::normal;
+  Time registered_at = 0;
+  /// Live allocation references (entries with prev or next == this sector);
+  /// a disabled sector is removed when this drains to zero.
+  std::uint32_t ref_count = 0;
+};
+
+class SectorTable {
+ public:
+  explicit SectorTable(const Params& params) : params_(params) {}
+
+  /// Registers a sector; capacity must be a positive multiple of
+  /// `min_capacity`.
+  util::Result<SectorId> register_sector(ProviderId owner, ByteCount capacity,
+                                         Time now);
+
+  [[nodiscard]] bool exists(SectorId id) const { return id < sectors_.size(); }
+  [[nodiscard]] const Sector& at(SectorId id) const;
+  [[nodiscard]] std::size_t count() const { return sectors_.size(); }
+
+  /// `RandomSector()`: capacity-weighted draw over normal sectors.
+  /// Fails when no normal sector exists.
+  [[nodiscard]] util::Result<SectorId> random_sector(util::Xoshiro256& rng) const;
+
+  /// Reserve `size` bytes of free capacity (File_Add / Auto_Refresh
+  /// choosing this sector). Fails if free capacity is insufficient.
+  util::Status reserve(SectorId id, ByteCount size);
+  /// Return `size` bytes of reserved/used capacity.
+  void release(SectorId id, ByteCount size);
+
+  void add_ref(SectorId id);
+  void drop_ref(SectorId id);
+
+  /// Sector_Disable: stop accepting new files (weight -> 0).
+  util::Status disable(SectorId id);
+  /// Marks a sector corrupted (weight -> 0); returns false if it already
+  /// was corrupted or removed.
+  bool mark_corrupted(SectorId id);
+  /// Removes a drained disabled sector.
+  void mark_removed(SectorId id);
+
+  /// Total capacity over sectors in the given state.
+  [[nodiscard]] ByteCount total_capacity(SectorState state) const;
+  /// Total capacity of sectors that still hold data (normal + disabled).
+  [[nodiscard]] ByteCount live_capacity() const {
+    return total_capacity(SectorState::normal) +
+           total_capacity(SectorState::disabled);
+  }
+
+  /// Mutable access for the protocol engine (state transitions beyond the
+  /// helpers above are funneled through Network).
+  Sector& mutable_at(SectorId id);
+
+  /// All sector ids in registration order.
+  [[nodiscard]] std::vector<SectorId> all_ids() const;
+
+ private:
+  void set_weight(SectorId id);
+
+  const Params& params_;
+  std::vector<Sector> sectors_;
+  util::FenwickTree weights_;
+};
+
+}  // namespace fi::core

@@ -1,0 +1,43 @@
+#include "core/subnet.h"
+
+#include <algorithm>
+
+namespace fi::core {
+
+ValueSubnets::ValueSubnets(std::vector<TokenAmount> levels, const Params& base,
+                           ledger::Ledger& ledger, std::uint64_t seed)
+    : levels_(std::move(levels)) {
+  FI_CHECK_MSG(!levels_.empty(), "at least one value level required");
+  FI_CHECK_MSG(std::is_sorted(levels_.begin(), levels_.end()),
+               "value levels must be ascending");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    FI_CHECK_MSG(levels_[i] > 0, "value level must be positive");
+    Params params = base;
+    params.min_value = levels_[i];
+    subnets_.push_back(
+        std::make_unique<Network>(params, ledger, seed + i + 1));
+  }
+}
+
+util::Result<std::size_t> ValueSubnets::level_for(TokenAmount value) const {
+  for (std::size_t i = levels_.size(); i-- > 0;) {
+    if (levels_[i] <= value && value % levels_[i] == 0) return i;
+  }
+  return util::err(util::ErrorCode::invalid_argument,
+                   "no value level divides the file value");
+}
+
+util::Result<std::pair<std::size_t, FileId>> ValueSubnets::file_add(
+    ClientId client, const FileInfo& info) {
+  auto level = level_for(info.value);
+  if (!level.is_ok()) return level.status();
+  auto file = subnets_[level.value()]->file_add(client, info);
+  if (!file.is_ok()) return file.status();
+  return std::make_pair(level.value(), file.value());
+}
+
+void ValueSubnets::advance_to(Time t) {
+  for (auto& subnet : subnets_) subnet->advance_to(t);
+}
+
+}  // namespace fi::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/network.h"
+
+/// §VI-D: storing files with widely varying values.
+///
+/// `f.cp = k·value/minValue` makes replica counts linear in value, which is
+/// wasteful for very valuable files. The paper's compromise: pre-divide
+/// files into value levels and run one storage subnetwork per level, each
+/// with `minValue` equal to its level — so a file always stores ~k replicas
+/// in the subnet matching its value.
+namespace fi::core {
+
+class ValueSubnets {
+ public:
+  /// `levels` — ascending value levels; subnet i runs with
+  /// `min_value = levels[i]`. The base params supply everything else.
+  ValueSubnets(std::vector<TokenAmount> levels, const Params& base,
+               ledger::Ledger& ledger, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t subnet_count() const { return subnets_.size(); }
+  [[nodiscard]] Network& subnet(std::size_t level) {
+    return *subnets_.at(level);
+  }
+  [[nodiscard]] TokenAmount level_value(std::size_t level) const {
+    return levels_.at(level);
+  }
+
+  /// The subnet a file of `value` belongs to: the largest level that
+  /// divides it; fails when no level fits.
+  [[nodiscard]] util::Result<std::size_t> level_for(TokenAmount value) const;
+
+  /// Routes a File_Add to the right subnet; returns (level, file id).
+  util::Result<std::pair<std::size_t, FileId>> file_add(ClientId client,
+                                                        const FileInfo& info);
+
+  /// Advances every subnet to `t`.
+  void advance_to(Time t);
+
+ private:
+  std::vector<TokenAmount> levels_;
+  std::vector<std::unique_ptr<Network>> subnets_;
+};
+
+}  // namespace fi::core

@@ -1,0 +1,83 @@
+#include "crypto/hash.h"
+
+#include <algorithm>
+
+#include "util/hex.h"
+
+namespace fi::crypto {
+
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+Hash256 digest_to_hash(const Digest& d) {
+  Hash256 h;
+  h.bytes = d;
+  return h;
+}
+
+Sha256 tagged_hasher(std::string_view domain) {
+  Sha256 hasher;
+  hasher.update({reinterpret_cast<const std::uint8_t*>(domain.data()),
+                 domain.size()});
+  const std::uint8_t separator = 0x1f;
+  hasher.update({&separator, 1});
+  return hasher;
+}
+
+}  // namespace
+
+bool Hash256::is_zero() const {
+  return std::all_of(bytes.begin(), bytes.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+std::string Hash256::hex() const { return util::to_hex(bytes); }
+
+std::string Hash256::short_hex() const { return hex().substr(0, 8); }
+
+std::uint64_t Hash256::prefix_u64() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+Hash256 hash_bytes(std::string_view domain,
+                   std::span<const std::uint8_t> data) {
+  Sha256 hasher = tagged_hasher(domain);
+  hasher.update(data);
+  return digest_to_hash(hasher.finalize());
+}
+
+Hash256 hash_pair(std::string_view domain, const Hash256& left,
+                  const Hash256& right) {
+  Sha256 hasher = tagged_hasher(domain);
+  hasher.update(left.bytes);
+  hasher.update(right.bytes);
+  return digest_to_hash(hasher.finalize());
+}
+
+Hash256 hash_u64s(std::string_view domain,
+                  std::initializer_list<std::uint64_t> values) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(values.size() * 8);
+  for (std::uint64_t v : values) append_u64(buf, v);
+  return hash_bytes(domain, buf);
+}
+
+Hash256 hash_with_u64s(std::string_view domain, const Hash256& h,
+                       std::initializer_list<std::uint64_t> values) {
+  Sha256 hasher = tagged_hasher(domain);
+  hasher.update(h.bytes);
+  std::vector<std::uint8_t> buf;
+  buf.reserve(values.size() * 8);
+  for (std::uint64_t v : values) append_u64(buf, v);
+  hasher.update(buf);
+  return digest_to_hash(hasher.finalize());
+}
+
+}  // namespace fi::crypto

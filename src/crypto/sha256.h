@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+/// From-scratch SHA-256 (FIPS 180-4). No external crypto dependency is
+/// available offline, and everything above (Merkle trees, PoRep seals, PoSt
+/// challenges, block hashes, CIDs) keys off this one primitive.
+namespace fi::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input.
+  Sha256& update(std::span<const std::uint8_t> data);
+
+  /// Finalizes and returns the digest. The hasher must not be reused after
+  /// calling `finalize()` without `reset()`.
+  Digest finalize();
+
+  /// Restores the initial state.
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience wrapper.
+Digest sha256(std::span<const std::uint8_t> data);
+
+}  // namespace fi::crypto

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// GF(2^8) arithmetic with the AES-compatible reduction polynomial 0x11d
+/// generator tables. This is the field under the Reed–Solomon codec used for
+/// §VI-C (extremely large files) and the Storj baseline.
+namespace fi::erasure {
+
+class GF256 {
+ public:
+  /// Returns the process-wide table singleton (tables are immutable).
+  static const GF256& instance();
+
+  [[nodiscard]] std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
+    return a ^ b;
+  }
+  [[nodiscard]] std::uint8_t sub(std::uint8_t a, std::uint8_t b) const {
+    return a ^ b;
+  }
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const;
+  /// Division; b must be nonzero.
+  [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const;
+  /// Multiplicative inverse; a must be nonzero.
+  [[nodiscard]] std::uint8_t inv(std::uint8_t a) const;
+  /// a^power (0^0 == 1 by convention).
+  [[nodiscard]] std::uint8_t pow(std::uint8_t a, unsigned power) const;
+  /// The field generator (0x02) raised to `e` (exponent mod 255).
+  [[nodiscard]] std::uint8_t exp(unsigned e) const {
+    return exp_[e % 255];
+  }
+
+  /// dst[i] ^= c * src[i] — the inner loop of encode/decode.
+  void mul_add_slice(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t len, std::uint8_t c) const;
+
+ private:
+  GF256();
+  std::array<std::uint8_t, 256> log_{};
+  std::array<std::uint8_t, 255> exp_{};
+  /// Full 256x256 product table: fastest for slice operations.
+  std::array<std::array<std::uint8_t, 256>, 256> mul_{};
+};
+
+}  // namespace fi::erasure

@@ -1,0 +1,170 @@
+#include "erasure/reed_solomon.h"
+
+#include <algorithm>
+
+#include "erasure/gf256.h"
+#include "util/check.h"
+
+namespace fi::erasure {
+
+namespace {
+
+/// Invert a square matrix over GF(256) by Gauss–Jordan elimination.
+/// Returns false if singular.
+bool invert_matrix(std::vector<std::vector<std::uint8_t>>& m) {
+  const GF256& gf = GF256::instance();
+  const std::size_t n = m.size();
+  // Augment with identity.
+  for (std::size_t r = 0; r < n; ++r) {
+    m[r].resize(2 * n, 0);
+    m[r][n + r] = 1;
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && m[pivot][col] == 0) ++pivot;
+    if (pivot == n) return false;
+    std::swap(m[col], m[pivot]);
+    // Normalize pivot row.
+    const std::uint8_t inv = gf.inv(m[col][col]);
+    for (std::size_t c = 0; c < 2 * n; ++c) m[col][c] = gf.mul(m[col][c], inv);
+    // Eliminate other rows.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col || m[r][col] == 0) continue;
+      const std::uint8_t factor = m[r][col];
+      for (std::size_t c = 0; c < 2 * n; ++c) {
+        m[r][c] ^= gf.mul(factor, m[col][c]);
+      }
+    }
+  }
+  // Extract the right half.
+  for (std::size_t r = 0; r < n; ++r) {
+    m[r].erase(m[r].begin(), m[r].begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t parity_shards)
+    : data_(data_shards), parity_(parity_shards) {
+  FI_CHECK_MSG(data_ >= 1, "need at least one data shard");
+  FI_CHECK_MSG(data_ + parity_ <= 255, "GF(256) supports at most 255 shards");
+  const GF256& gf = GF256::instance();
+  // Identity block for the systematic part.
+  matrix_.assign(data_ + parity_, std::vector<std::uint8_t>(data_, 0));
+  for (std::size_t r = 0; r < data_; ++r) matrix_[r][r] = 1;
+  // Cauchy block for parity rows: element 1/(x_r + y_c) with
+  // x_r = data_ + r and y_c = c, all distinct in GF(256).
+  for (std::size_t r = 0; r < parity_; ++r) {
+    for (std::size_t c = 0; c < data_; ++c) {
+      const auto x = static_cast<std::uint8_t>(data_ + r);
+      const auto y = static_cast<std::uint8_t>(c);
+      matrix_[data_ + r][c] = gf.inv(gf.add(x, y));
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    const std::vector<std::vector<std::uint8_t>>& data) const {
+  FI_CHECK(data.size() == data_);
+  const std::size_t shard_len = data.empty() ? 0 : data.front().size();
+  for (const auto& shard : data) FI_CHECK(shard.size() == shard_len);
+
+  const GF256& gf = GF256::instance();
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(total_shards());
+  for (const auto& shard : data) out.push_back(shard);
+  for (std::size_t r = 0; r < parity_; ++r) {
+    std::vector<std::uint8_t> parity(shard_len, 0);
+    for (std::size_t c = 0; c < data_; ++c) {
+      gf.mul_add_slice(parity.data(), data[c].data(), shard_len,
+                       matrix_[data_ + r][c]);
+    }
+    out.push_back(std::move(parity));
+  }
+  return out;
+}
+
+util::Result<std::vector<std::vector<std::uint8_t>>> ReedSolomon::reconstruct(
+    const std::vector<std::optional<std::vector<std::uint8_t>>>& shards)
+    const {
+  FI_CHECK(shards.size() == total_shards());
+  std::vector<std::size_t> present;
+  std::size_t shard_len = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].has_value()) {
+      if (present.empty()) {
+        shard_len = shards[i]->size();
+      } else if (shards[i]->size() != shard_len) {
+        return util::err(util::ErrorCode::invalid_argument,
+                         "surviving shards have mismatched sizes");
+      }
+      present.push_back(i);
+    }
+  }
+  if (present.size() < data_) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "fewer surviving shards than data shards");
+  }
+  present.resize(data_);  // any `data_` shards suffice
+
+  // Build the data_ x data_ submatrix of generator rows for the survivors,
+  // invert it, and apply to the surviving shards.
+  std::vector<std::vector<std::uint8_t>> sub;
+  sub.reserve(data_);
+  for (std::size_t idx : present) sub.push_back(matrix_[idx]);
+  if (!invert_matrix(sub)) {
+    return util::err(util::ErrorCode::proof_invalid,
+                     "generator submatrix singular (corrupted shard set)");
+  }
+  const GF256& gf = GF256::instance();
+  std::vector<std::vector<std::uint8_t>> data(
+      data_, std::vector<std::uint8_t>(shard_len, 0));
+  for (std::size_t r = 0; r < data_; ++r) {
+    for (std::size_t c = 0; c < data_; ++c) {
+      gf.mul_add_slice(data[r].data(), shards[present[c]]->data(), shard_len,
+                       sub[r][c]);
+    }
+  }
+  return data;
+}
+
+bool ReedSolomon::verify(
+    const std::vector<std::vector<std::uint8_t>>& shards) const {
+  if (shards.size() != total_shards()) return false;
+  std::vector<std::vector<std::uint8_t>> data(shards.begin(),
+                                              shards.begin() + static_cast<std::ptrdiff_t>(data_));
+  const auto expected = encode(data);
+  return std::equal(expected.begin(), expected.end(), shards.begin());
+}
+
+std::vector<std::vector<std::uint8_t>> split_into_shards(
+    const std::vector<std::uint8_t>& data, std::size_t shards) {
+  FI_CHECK(shards >= 1);
+  const std::size_t shard_len = (data.size() + shards - 1) / shards;
+  std::vector<std::vector<std::uint8_t>> out(
+      shards, std::vector<std::uint8_t>(shard_len, 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i / shard_len][i % shard_len] = data[i];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> join_shards(
+    const std::vector<std::vector<std::uint8_t>>& shards,
+    std::size_t joined_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(joined_size);
+  for (const auto& shard : shards) {
+    for (std::uint8_t b : shard) {
+      if (out.size() == joined_size) return out;
+      out.push_back(b);
+    }
+  }
+  FI_CHECK_MSG(out.size() == joined_size,
+               "shards too small for requested joined size");
+  return out;
+}
+
+}  // namespace fi::erasure

@@ -1,0 +1,68 @@
+#include "erasure/segmenter.h"
+
+#include "crypto/merkle.h"
+#include "erasure/reed_solomon.h"
+#include "util/check.h"
+#include "util/checked.h"
+
+namespace fi::erasure {
+
+LargeFileCodec::LargeFileCodec(ByteCount size_limit)
+    : size_limit_(size_limit) {
+  FI_CHECK_MSG(size_limit_ > 0, "size limit must be positive");
+}
+
+std::size_t LargeFileCodec::segment_count(ByteCount size) const {
+  if (!needs_segmentation(size)) return 1;
+  // Smallest even k with ceil(size / (k/2)) <= size_limit, i.e.
+  // k/2 >= ceil(size / size_limit).
+  const ByteCount half = util::ceil_div(size, size_limit_);
+  const std::size_t k = static_cast<std::size_t>(half) * 2;
+  FI_CHECK_MSG(k <= 254, "file too large for GF(256) segmentation");
+  return k;
+}
+
+SegmentedFile LargeFileCodec::segment(const std::vector<std::uint8_t>& data,
+                                      TokenAmount file_value) const {
+  const std::size_t k = segment_count(data.size());
+  FI_CHECK_MSG(k > 1, "file does not need segmentation");
+  const std::size_t data_segments = k / 2;
+  const std::size_t parity_segments = k - data_segments;
+
+  const ReedSolomon rs(data_segments, parity_segments);
+  const auto data_shards = split_into_shards(data, data_segments);
+  auto all_shards = rs.encode(data_shards);
+
+  SegmentedFile out;
+  out.original_size = data.size();
+  out.segment_count = k;
+  out.data_segments = data_segments;
+  // Value per segment: 2*value/k, rounded up so the lost-segment sum always
+  // covers the full file value.
+  const TokenAmount per_segment =
+      util::ceil_div(util::checked_mul(file_value, 2), k);
+  out.segments.reserve(k);
+  for (auto& shard : all_shards) {
+    Segment seg;
+    seg.size = shard.size();
+    seg.value = per_segment;
+    seg.merkle_root = crypto::merkle_root_of_data(shard);
+    seg.data = std::move(shard);
+    out.segments.push_back(std::move(seg));
+  }
+  return out;
+}
+
+util::Result<std::vector<std::uint8_t>> LargeFileCodec::recover(
+    const SegmentedFile& layout,
+    const std::vector<std::optional<std::vector<std::uint8_t>>>& survivors)
+    const {
+  FI_CHECK(survivors.size() == layout.segment_count);
+  const ReedSolomon rs(layout.data_segments,
+                       layout.segment_count - layout.data_segments);
+  auto data = rs.reconstruct(survivors);
+  if (!data.is_ok()) return data.status();
+  return join_shards(data.value(), layout.original_size);
+}
+
+}  // namespace fi::erasure

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "util/status.h"
+#include "util/types.h"
+
+/// §VI-C: adjusting to extremely large files.
+///
+/// A file whose size rivals sector capacity would break storage randomness
+/// (its replicas might not fit anywhere in one draw). The paper's fix:
+/// split any file larger than `sizeLimit` into `k` erasure-coded segments
+/// such that any `k/2` recover the file, and store each segment as an
+/// individual file of value `2·value/k`. Losing the file requires losing
+/// more than `k/2` segments, and the per-segment compensation then sums to
+/// at least the whole file's value.
+namespace fi::erasure {
+
+struct Segment {
+  std::vector<std::uint8_t> data;
+  crypto::Hash256 merkle_root;
+  ByteCount size = 0;
+  TokenAmount value = 0;  ///< 2 * value / k, rounded up
+};
+
+struct SegmentedFile {
+  ByteCount original_size = 0;
+  std::size_t segment_count = 0;    ///< k (even)
+  std::size_t data_segments = 0;    ///< k / 2
+  std::vector<Segment> segments;
+};
+
+class LargeFileCodec {
+ public:
+  /// `size_limit` — maximum size of an individual stored file.
+  explicit LargeFileCodec(ByteCount size_limit);
+
+  [[nodiscard]] ByteCount size_limit() const { return size_limit_; }
+
+  /// Whether a file of this size must be segmented before storage.
+  [[nodiscard]] bool needs_segmentation(ByteCount size) const {
+    return size > size_limit_;
+  }
+
+  /// Number of segments k for a file of `size` bytes: the smallest even k
+  /// with ceil(size / (k/2)) <= size_limit.
+  [[nodiscard]] std::size_t segment_count(ByteCount size) const;
+
+  /// Splits + erasure-codes a large file. Each segment is an independent
+  /// storable unit with its own Merkle root and value 2·value/k.
+  [[nodiscard]] SegmentedFile segment(const std::vector<std::uint8_t>& data,
+                                      TokenAmount file_value) const;
+
+  /// Recovers the original bytes from any >= k/2 surviving segments
+  /// (nullopt = lost segment).
+  [[nodiscard]] util::Result<std::vector<std::uint8_t>> recover(
+      const SegmentedFile& layout,
+      const std::vector<std::optional<std::vector<std::uint8_t>>>& survivors)
+      const;
+
+ private:
+  ByteCount size_limit_;
+};
+
+}  // namespace fi::erasure

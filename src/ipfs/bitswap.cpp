@@ -1,0 +1,178 @@
+#include "ipfs/bitswap.h"
+
+#include "ipfs/merkle_dag.h"
+#include "util/check.h"
+
+namespace fi::ipfs {
+
+namespace {
+
+std::vector<std::uint8_t> encode_cid(const Cid& cid) {
+  std::vector<std::uint8_t> out;
+  out.reserve(33);
+  out.push_back(static_cast<std::uint8_t>(cid.codec));
+  out.insert(out.end(), cid.hash.bytes.begin(), cid.hash.bytes.end());
+  return out;
+}
+
+Cid decode_cid(const std::vector<std::uint8_t>& bytes, std::size_t off = 0) {
+  FI_CHECK(bytes.size() >= off + 33);
+  Cid cid;
+  cid.codec = static_cast<Codec>(bytes[off]);
+  std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(off + 1),
+            bytes.begin() + static_cast<std::ptrdiff_t>(off + 33),
+            cid.hash.bytes.begin());
+  return cid;
+}
+
+}  // namespace
+
+BitswapEngine::BitswapEngine(sim::Network& network, sim::NodeId self,
+                             ContentStore& store)
+    : network_(network), self_(self), store_(store) {}
+
+void BitswapEngine::handle(const sim::Message& message) {
+  if (message.kind == "bitswap/want") {
+    on_want(message);
+  } else if (message.kind == "bitswap/block" ||
+             message.kind == "bitswap/missing") {
+    on_block(message);
+  }
+}
+
+void BitswapEngine::fetch_dag(sim::NodeId peer, const Cid& root,
+                              FetchCallback on_done) {
+  const std::uint64_t id = next_fetch_id_++;
+  PendingFetch fetch;
+  fetch.root = root;
+  fetch.peer = peer;
+  fetch.on_done = std::move(on_done);
+  if (store_.has(root)) {
+    // Root already local: walk it for missing children below.
+    fetches_.emplace(id, std::move(fetch));
+    sim::Message synthetic;
+    synthetic.from = self_;
+    synthetic.kind = "bitswap/block";
+    synthetic.payload = encode_cid(root);
+    const auto data = store_.get(root);
+    synthetic.payload.insert(synthetic.payload.end(), data->begin(),
+                             data->end());
+    want_to_fetch_[root] = id;
+    fetches_.at(id).outstanding.insert(root);
+    on_block(synthetic);
+    return;
+  }
+  fetch.outstanding.insert(root);
+  fetches_.emplace(id, std::move(fetch));
+  want_to_fetch_[root] = id;
+  request_block(peer, root);
+}
+
+void BitswapEngine::request_block(sim::NodeId peer, const Cid& cid) {
+  sim::Message msg;
+  msg.from = self_;
+  msg.to = peer;
+  msg.kind = "bitswap/want";
+  msg.payload = encode_cid(cid);
+  network_.send(std::move(msg));
+}
+
+void BitswapEngine::on_want(const sim::Message& message) {
+  const Cid cid = decode_cid(message.payload);
+  sim::Message reply;
+  reply.from = self_;
+  reply.to = message.from;
+  const auto block = store_.get(cid);
+  if (!block.has_value()) {
+    reply.kind = "bitswap/missing";
+    reply.payload = encode_cid(cid);
+  } else {
+    reply.kind = "bitswap/block";
+    reply.payload = encode_cid(cid);
+    reply.payload.insert(reply.payload.end(), block->begin(), block->end());
+    sent_bytes_[message.from] += block->size();
+  }
+  network_.send(std::move(reply));
+}
+
+void BitswapEngine::on_block(const sim::Message& message) {
+  const Cid cid = decode_cid(message.payload);
+  const auto want_it = want_to_fetch_.find(cid);
+  if (want_it == want_to_fetch_.end()) return;  // unsolicited
+  const std::uint64_t fetch_id = want_it->second;
+  want_to_fetch_.erase(want_it);
+  const auto fetch_it = fetches_.find(fetch_id);
+  if (fetch_it == fetches_.end()) return;
+  PendingFetch& fetch = fetch_it->second;
+  fetch.outstanding.erase(cid);
+
+  if (message.kind == "bitswap/missing") {
+    fetch.failed = true;
+  } else {
+    std::vector<std::uint8_t> data(message.payload.begin() + 33,
+                                   message.payload.end());
+    received_bytes_[message.from] += data.size();
+    // Content addressing: verify before storing.
+    if (make_cid(cid.codec, data) != cid) {
+      fetch.failed = true;
+    } else {
+      store_.put(cid.codec, data);
+      if (cid.codec == Codec::dag_node) {
+        const auto node = DagNode::deserialize(data);
+        if (!node.is_ok()) {
+          fetch.failed = true;
+        } else {
+          for (const Cid& child : node.value().children) {
+            if (store_.has(child)) {
+              // Recurse locally into known subtrees for their children.
+              if (child.codec == Codec::dag_node) {
+                const auto sub = store_.get(child);
+                const auto sub_node = DagNode::deserialize(*sub);
+                if (sub_node.is_ok()) {
+                  for (const Cid& grand : sub_node.value().children) {
+                    if (!store_.has(grand) &&
+                        !want_to_fetch_.contains(grand)) {
+                      fetch.outstanding.insert(grand);
+                      want_to_fetch_[grand] = fetch_id;
+                      request_block(fetch.peer, grand);
+                    }
+                  }
+                }
+              }
+              continue;
+            }
+            if (!want_to_fetch_.contains(child)) {
+              fetch.outstanding.insert(child);
+              want_to_fetch_[child] = fetch_id;
+              request_block(fetch.peer, child);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (fetch.outstanding.empty() || fetch.failed) {
+    // Clean any residual want mappings for a failed fetch.
+    for (auto it = want_to_fetch_.begin(); it != want_to_fetch_.end();) {
+      it = (it->second == fetch_id) ? want_to_fetch_.erase(it) : std::next(it);
+    }
+    FetchCallback done = std::move(fetch.on_done);
+    const Cid root = fetch.root;
+    const bool ok = !fetch.failed;
+    fetches_.erase(fetch_it);
+    if (done) done(root, ok);
+  }
+}
+
+std::uint64_t BitswapEngine::bytes_sent_to(sim::NodeId peer) const {
+  const auto it = sent_bytes_.find(peer);
+  return it == sent_bytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t BitswapEngine::bytes_received_from(sim::NodeId peer) const {
+  const auto it = received_bytes_.find(peer);
+  return it == received_bytes_.end() ? 0 : it->second;
+}
+
+}  // namespace fi::ipfs

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ipfs/cid.h"
+#include "ipfs/content_store.h"
+#include "sim/network.h"
+#include "util/status.h"
+
+/// BitSwap-style block exchange over the simulated network (§II-A: nodes
+/// "provide the service of retrieving files to earn profits through BitSwap").
+///
+/// Each node runs an engine around its content store. A retriever posts a
+/// want-list; peers holding the blocks respond with them, and the engine
+/// tracks a byte ledger per peer pair — the basis of the retrieval market's
+/// traffic fees (§IV-A1).
+namespace fi::ipfs {
+
+class BitswapEngine {
+ public:
+  /// Called when every block of a requested DAG root has arrived.
+  using FetchCallback = std::function<void(const Cid& root, bool complete)>;
+
+  BitswapEngine(sim::Network& network, sim::NodeId self, ContentStore& store);
+
+  /// This engine's network handler; the owning actor forwards messages with
+  /// kind prefixed "bitswap/" here.
+  void handle(const sim::Message& message);
+
+  /// Requests all blocks reachable from `root` from `peer`, invoking
+  /// `on_done` when the transfer completes (or `complete=false` if the peer
+  /// reports a missing block).
+  void fetch_dag(sim::NodeId peer, const Cid& root, FetchCallback on_done);
+
+  /// Bytes sent to / received from each peer (the traffic-fee ledger).
+  [[nodiscard]] std::uint64_t bytes_sent_to(sim::NodeId peer) const;
+  [[nodiscard]] std::uint64_t bytes_received_from(sim::NodeId peer) const;
+
+ private:
+  void request_block(sim::NodeId peer, const Cid& cid);
+  void on_block(const sim::Message& message);
+  void on_want(const sim::Message& message);
+
+  struct PendingFetch {
+    Cid root;
+    sim::NodeId peer;
+    std::unordered_set<Cid, CidHasher> outstanding;
+    FetchCallback on_done;
+    bool failed = false;
+  };
+
+  sim::Network& network_;
+  sim::NodeId self_;
+  ContentStore& store_;
+  std::unordered_map<std::uint64_t, PendingFetch> fetches_;
+  std::unordered_map<Cid, std::uint64_t, CidHasher> want_to_fetch_;
+  std::uint64_t next_fetch_id_ = 1;
+  std::unordered_map<sim::NodeId, std::uint64_t> sent_bytes_;
+  std::unordered_map<sim::NodeId, std::uint64_t> received_bytes_;
+};
+
+}  // namespace fi::ipfs

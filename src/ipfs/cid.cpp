@@ -1,0 +1,18 @@
+#include "ipfs/cid.h"
+
+namespace fi::ipfs {
+
+std::string Cid::to_string() const {
+  const char* prefix = codec == Codec::raw ? "raw:" : "dag:";
+  return prefix + hash.short_hex();
+}
+
+Cid make_cid(Codec codec, std::span<const std::uint8_t> data) {
+  Cid cid;
+  cid.codec = codec;
+  cid.hash = crypto::hash_bytes(
+      codec == Codec::raw ? "fi/ipfs/raw" : "fi/ipfs/dag", data);
+  return cid;
+}
+
+}  // namespace fi::ipfs

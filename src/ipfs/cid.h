@@ -1,0 +1,40 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "crypto/hash.h"
+
+/// Content identifiers. Files in FileInsurer are "identified by their
+/// cryptographic hashes" and addressed through IPFS paths (§II-A, §VI-F);
+/// a CID is the hash of a block plus a codec tag distinguishing raw leaves
+/// from DAG interior nodes.
+namespace fi::ipfs {
+
+enum class Codec : std::uint8_t {
+  raw = 0,       ///< leaf block: raw file bytes
+  dag_node = 1,  ///< interior node: list of child CIDs
+};
+
+struct Cid {
+  Codec codec = Codec::raw;
+  crypto::Hash256 hash;
+
+  auto operator<=>(const Cid&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// CID of a block of bytes under the given codec.
+Cid make_cid(Codec codec, std::span<const std::uint8_t> data);
+
+struct CidHasher {
+  std::size_t operator()(const Cid& cid) const {
+    return static_cast<std::size_t>(cid.hash.prefix_u64()) ^
+           static_cast<std::size_t>(cid.codec);
+  }
+};
+
+}  // namespace fi::ipfs

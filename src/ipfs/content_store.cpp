@@ -1,0 +1,29 @@
+#include "ipfs/content_store.h"
+
+namespace fi::ipfs {
+
+Cid ContentStore::put(Codec codec, std::vector<std::uint8_t> data) {
+  const Cid cid = make_cid(codec, data);
+  const auto [it, inserted] = blocks_.try_emplace(cid, std::move(data));
+  if (inserted) total_bytes_ += it->second.size();
+  return cid;
+}
+
+bool ContentStore::has(const Cid& cid) const { return blocks_.contains(cid); }
+
+std::optional<std::vector<std::uint8_t>> ContentStore::get(
+    const Cid& cid) const {
+  const auto it = blocks_.find(cid);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ContentStore::remove(const Cid& cid) {
+  const auto it = blocks_.find(cid);
+  if (it == blocks_.end()) return false;
+  total_bytes_ -= it->second.size();
+  blocks_.erase(it);
+  return true;
+}
+
+}  // namespace fi::ipfs

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ipfs/cid.h"
+
+/// Per-node content-addressed block store. Blocks are immutable; a put of
+/// existing content is a no-op (content addressing de-duplicates).
+namespace fi::ipfs {
+
+class ContentStore {
+ public:
+  /// Stores a block under its content id; returns the CID.
+  Cid put(Codec codec, std::vector<std::uint8_t> data);
+
+  [[nodiscard]] bool has(const Cid& cid) const;
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      const Cid& cid) const;
+
+  /// Drops a block; returns false if absent.
+  bool remove(const Cid& cid);
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::unordered_map<Cid, std::vector<std::uint8_t>, CidHasher> blocks_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace fi::ipfs

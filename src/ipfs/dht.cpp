@@ -1,0 +1,114 @@
+#include "ipfs/dht.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fi::ipfs {
+
+PeerId peer_id_from_node(std::uint64_t node) {
+  return crypto::hash_u64s("fi/ipfs/peer", {node});
+}
+
+XorDistance xor_distance(const PeerId& a, const PeerId& b) {
+  XorDistance d;
+  for (std::size_t i = 0; i < 32; ++i) d.bytes[i] = a.bytes[i] ^ b.bytes[i];
+  return d;
+}
+
+namespace {
+PeerId key_of(const Cid& cid) { return cid.hash; }
+}  // namespace
+
+void Dht::join(std::uint64_t node) {
+  FI_CHECK_MSG(!peers_.contains(node), "peer already joined");
+  Peer peer;
+  peer.id = peer_id_from_node(node);
+  // Seed the routing table with the k closest existing peers; they learn
+  // about the newcomer symmetrically (Kademlia's bucket refresh effect).
+  const auto closest = closest_peers(peer.id, k_);
+  for (std::uint64_t other : closest) {
+    peer.contacts.insert(other);
+    peers_[other].contacts.insert(node);
+  }
+  peers_.emplace(node, std::move(peer));
+}
+
+void Dht::leave(std::uint64_t node) {
+  const auto it = peers_.find(node);
+  if (it == peers_.end()) return;
+  for (auto& [other, peer] : peers_) {
+    if (other != node) peer.contacts.erase(node);
+  }
+  peers_.erase(it);
+}
+
+void Dht::provide(std::uint64_t node, const Cid& cid) {
+  FI_CHECK_MSG(peers_.contains(node), "unknown provider peer");
+  const PeerId key = key_of(cid);
+  for (std::uint64_t holder : closest_peers(key, k_)) {
+    peers_[holder].records[cid].insert(node);
+  }
+}
+
+std::vector<std::uint64_t> Dht::closest_peers(const PeerId& key,
+                                              std::size_t count) const {
+  std::vector<std::pair<XorDistance, std::uint64_t>> ranked;
+  ranked.reserve(peers_.size());
+  for (const auto& [node, peer] : peers_) {
+    ranked.emplace_back(xor_distance(peer.id, key), node);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::uint64_t> out;
+  out.reserve(std::min(count, ranked.size()));
+  for (std::size_t i = 0; i < ranked.size() && i < count; ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+LookupResult Dht::find_providers(std::uint64_t from, const Cid& cid) const {
+  LookupResult result;
+  const auto start = peers_.find(from);
+  if (start == peers_.end()) return result;
+  const PeerId key = key_of(cid);
+
+  // Iterative lookup over the contact graph: repeatedly query the closest
+  // unqueried known peer until no peer closer than the best seen remains.
+  auto cmp = [&](std::uint64_t a, std::uint64_t b) {
+    return xor_distance(peers_.at(a).id, key) <
+           xor_distance(peers_.at(b).id, key);
+  };
+  std::unordered_set<std::uint64_t> seen{from};
+  std::vector<std::uint64_t> frontier{from};
+  std::unordered_set<std::uint64_t> providers;
+
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end(), cmp);
+    const std::uint64_t current = frontier.front();
+    frontier.erase(frontier.begin());
+    ++result.hops;
+
+    const Peer& peer = peers_.at(current);
+    const auto rec = peer.records.find(cid);
+    if (rec != peer.records.end()) {
+      providers.insert(rec->second.begin(), rec->second.end());
+      // Records found on the closest holder are authoritative; stop early.
+      break;
+    }
+    // Learn this peer's contacts; continue toward the key.
+    for (std::uint64_t contact : peer.contacts) {
+      if (seen.insert(contact).second) frontier.push_back(contact);
+    }
+    // Keep the frontier bounded like an alpha-parallel Kademlia lookup.
+    if (frontier.size() > 3 * k_) {
+      std::sort(frontier.begin(), frontier.end(), cmp);
+      frontier.resize(3 * k_);
+    }
+  }
+  result.providers.assign(providers.begin(), providers.end());
+  std::sort(result.providers.begin(), result.providers.end());
+  return result;
+}
+
+}  // namespace fi::ipfs

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "ipfs/cid.h"
+#include "util/types.h"
+
+/// Kademlia-style distributed hash table for provider records (§II-A:
+/// "The routing of IPFS is achieved by Distributed Hash Tables").
+///
+/// Peers have 256-bit ids; distance is XOR. Each peer keeps k-buckets of
+/// contacts and a local slice of the provider-record keyspace. Lookups are
+/// simulated iteratively: starting from a bootstrap contact, repeatedly query
+/// the closest known peers until the k closest to the key stop improving —
+/// the hop count is reported so tests can assert O(log n) routing.
+namespace fi::ipfs {
+
+using PeerId = crypto::Hash256;
+
+/// Derives a peer id from a simulation node id.
+PeerId peer_id_from_node(std::uint64_t node);
+
+/// XOR distance, compared lexicographically.
+struct XorDistance {
+  std::array<std::uint8_t, 32> bytes{};
+  auto operator<=>(const XorDistance&) const = default;
+};
+XorDistance xor_distance(const PeerId& a, const PeerId& b);
+
+struct LookupResult {
+  std::vector<std::uint64_t> providers;  ///< node ids providing the key
+  std::size_t hops = 0;                  ///< peers queried during routing
+};
+
+/// The global DHT simulation: tracks per-peer routing tables and provider
+/// records placed on the k peers closest to each key.
+class Dht {
+ public:
+  /// `k` — bucket size / replication factor for provider records.
+  explicit Dht(std::size_t k = 8) : k_(k) {}
+
+  /// Adds a peer; its routing table is seeded with the `k` closest
+  /// existing peers (and those peers learn about it).
+  void join(std::uint64_t node);
+
+  /// Removes a peer and its stored records (an unreplicated-record loss is
+  /// visible to lookups, as in a real network).
+  void leave(std::uint64_t node);
+
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+
+  /// Publishes a provider record: `node` provides `cid`. The record is
+  /// stored on the k peers closest to the cid's key.
+  void provide(std::uint64_t node, const Cid& cid);
+
+  /// Iterative lookup for providers of `cid`, starting from `from`.
+  [[nodiscard]] LookupResult find_providers(std::uint64_t from,
+                                            const Cid& cid) const;
+
+ private:
+  struct Peer {
+    PeerId id;
+    /// Known contacts (node ids) — the flattened k-bucket set.
+    std::unordered_set<std::uint64_t> contacts;
+    /// Provider records this peer stores: key -> provider node ids.
+    std::unordered_map<Cid, std::unordered_set<std::uint64_t>, CidHasher>
+        records;
+  };
+
+  /// The `count` live peers closest to `key`.
+  [[nodiscard]] std::vector<std::uint64_t> closest_peers(
+      const PeerId& key, std::size_t count) const;
+
+  std::size_t k_;
+  std::map<std::uint64_t, Peer> peers_;
+};
+
+}  // namespace fi::ipfs

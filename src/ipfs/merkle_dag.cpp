@@ -1,0 +1,144 @@
+#include "ipfs/merkle_dag.h"
+
+#include "util/check.h"
+
+namespace fi::ipfs {
+
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t read_u64(const std::vector<std::uint8_t>& buf, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf[off + static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> DagNode::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + children.size() * 33);
+  append_u64(out, subtree_bytes);
+  append_u64(out, children.size());
+  for (const Cid& child : children) {
+    out.push_back(static_cast<std::uint8_t>(child.codec));
+    out.insert(out.end(), child.hash.bytes.begin(), child.hash.bytes.end());
+  }
+  return out;
+}
+
+util::Result<DagNode> DagNode::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 16) {
+    return util::err(util::ErrorCode::invalid_argument, "dag node too short");
+  }
+  DagNode node;
+  node.subtree_bytes = read_u64(bytes, 0);
+  const std::uint64_t count = read_u64(bytes, 8);
+  if (bytes.size() != 16 + count * 33) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "dag node length mismatch");
+  }
+  node.children.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off = 16 + static_cast<std::size_t>(i) * 33;
+    Cid child;
+    child.codec = static_cast<Codec>(bytes[off]);
+    std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(off + 1),
+              bytes.begin() + static_cast<std::ptrdiff_t>(off + 33),
+              child.hash.bytes.begin());
+    node.children.push_back(child);
+  }
+  return node;
+}
+
+Cid dag_put_file(ContentStore& store, const std::vector<std::uint8_t>& data,
+                 const DagParams& params) {
+  FI_CHECK(params.chunk_size > 0);
+  FI_CHECK(params.fanout >= 2);
+
+  // Leaf level: raw chunks.
+  struct Entry {
+    Cid cid;
+    std::uint64_t bytes;
+  };
+  std::vector<Entry> level;
+  if (data.empty()) {
+    const Cid cid = store.put(Codec::raw, {});
+    level.push_back({cid, 0});
+  } else {
+    for (std::size_t off = 0; off < data.size(); off += params.chunk_size) {
+      const std::size_t len = std::min(params.chunk_size, data.size() - off);
+      std::vector<std::uint8_t> chunk(data.begin() + static_cast<std::ptrdiff_t>(off),
+                                      data.begin() + static_cast<std::ptrdiff_t>(off + len));
+      const Cid cid = store.put(Codec::raw, std::move(chunk));
+      level.push_back({cid, len});
+    }
+  }
+
+  // Interior levels.
+  while (level.size() > 1) {
+    std::vector<Entry> next;
+    for (std::size_t i = 0; i < level.size(); i += params.fanout) {
+      DagNode node;
+      const std::size_t end = std::min(i + params.fanout, level.size());
+      for (std::size_t j = i; j < end; ++j) {
+        node.children.push_back(level[j].cid);
+        node.subtree_bytes += level[j].bytes;
+      }
+      const Cid cid = store.put(Codec::dag_node, node.serialize());
+      next.push_back({cid, node.subtree_bytes});
+    }
+    level = std::move(next);
+  }
+  return level.front().cid;
+}
+
+namespace {
+
+util::Status collect(const ContentStore& store, const Cid& cid,
+                     std::vector<std::uint8_t>* out, std::vector<Cid>* cids) {
+  if (cids != nullptr) cids->push_back(cid);
+  const auto block = store.get(cid);
+  if (!block.has_value()) {
+    return util::err(util::ErrorCode::not_found,
+                     "missing block " + cid.to_string());
+  }
+  if (cid.codec == Codec::raw) {
+    if (out != nullptr) out->insert(out->end(), block->begin(), block->end());
+    return util::Status::ok();
+  }
+  auto node = DagNode::deserialize(*block);
+  if (!node.is_ok()) return node.status();
+  for (const Cid& child : node.value().children) {
+    if (auto status = collect(store, child, out, cids); !status.is_ok()) {
+      return status;
+    }
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Result<std::vector<std::uint8_t>> dag_get_file(const ContentStore& store,
+                                                     const Cid& root) {
+  std::vector<std::uint8_t> out;
+  if (auto status = collect(store, root, &out, nullptr); !status.is_ok()) {
+    return status;
+  }
+  return out;
+}
+
+util::Result<std::vector<Cid>> dag_enumerate(const ContentStore& store,
+                                             const Cid& root) {
+  std::vector<Cid> cids;
+  if (auto status = collect(store, root, nullptr, &cids); !status.is_ok()) {
+    return status;
+  }
+  return cids;
+}
+
+}  // namespace fi::ipfs

@@ -1,0 +1,52 @@
+#include "ledger/account.h"
+
+#include "util/checked.h"
+
+namespace fi::ledger {
+
+AccountId Ledger::create_account(TokenAmount initial_balance) {
+  const AccountId id = next_id_++;
+  balances_.emplace(id, initial_balance);
+  total_supply_ = util::checked_add(total_supply_, initial_balance);
+  return id;
+}
+
+bool Ledger::exists(AccountId account) const {
+  return balances_.contains(account);
+}
+
+TokenAmount Ledger::balance(AccountId account) const {
+  const auto it = balances_.find(account);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+util::Status Ledger::transfer(AccountId from, AccountId to,
+                              TokenAmount amount) {
+  const auto from_it = balances_.find(from);
+  if (from_it == balances_.end()) {
+    return util::err(util::ErrorCode::not_found, "unknown sender account");
+  }
+  const auto to_it = balances_.find(to);
+  if (to_it == balances_.end()) {
+    return util::err(util::ErrorCode::not_found, "unknown recipient account");
+  }
+  if (from_it->second < amount) {
+    return util::err(util::ErrorCode::insufficient_funds,
+                     "balance below transfer amount");
+  }
+  from_it->second -= amount;
+  to_it->second = util::checked_add(to_it->second, amount);
+  return util::Status::ok();
+}
+
+util::Status Ledger::mint(AccountId account, TokenAmount amount) {
+  const auto it = balances_.find(account);
+  if (it == balances_.end()) {
+    return util::err(util::ErrorCode::not_found, "unknown account");
+  }
+  it->second = util::checked_add(it->second, amount);
+  total_supply_ = util::checked_add(total_supply_, amount);
+  return util::Status::ok();
+}
+
+}  // namespace fi::ledger

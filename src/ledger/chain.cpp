@@ -1,0 +1,82 @@
+#include "ledger/chain.h"
+
+#include "util/check.h"
+
+namespace fi::ledger {
+
+namespace {
+constexpr std::string_view kBlockDomain = "fi/ledger/block";
+constexpr std::string_view kBeaconDomain = "fi/ledger/beacon";
+constexpr std::string_view kGenesisDomain = "fi/ledger/genesis";
+
+crypto::Hash256 evolve_beacon(const crypto::Hash256& prev,
+                              std::uint64_t height) {
+  return crypto::hash_with_u64s(kBeaconDomain, prev, {height});
+}
+}  // namespace
+
+crypto::Hash256 Block::hash() const {
+  crypto::Hash256 acc =
+      crypto::hash_with_u64s(kBlockDomain, parent, {height, timestamp, proposer});
+  acc = crypto::hash_pair(kBlockDomain, acc, beacon);
+  for (const Transaction& tx : txs) {
+    crypto::Hash256 tx_hash = crypto::hash_bytes(
+        kBlockDomain, {reinterpret_cast<const std::uint8_t*>(tx.kind.data()),
+                       tx.kind.size()});
+    tx_hash = crypto::hash_with_u64s(kBlockDomain, tx_hash, {tx.sender});
+    tx_hash = crypto::hash_pair(kBlockDomain, tx_hash, tx.payload_hash);
+    acc = crypto::hash_pair(kBlockDomain, acc, tx_hash);
+  }
+  return acc;
+}
+
+Chain::Chain(std::uint64_t genesis_seed)
+    : genesis_beacon_(crypto::hash_u64s(kGenesisDomain, {genesis_seed})) {}
+
+const Block& Chain::append(Time timestamp, AccountId proposer,
+                           std::vector<Transaction> txs) {
+  Block block;
+  block.height = blocks_.size();
+  block.parent = blocks_.empty() ? crypto::Hash256{} : blocks_.back().hash();
+  block.beacon = (blocks_.empty())
+                     ? evolve_beacon(genesis_beacon_, 0)
+                     : evolve_beacon(blocks_.back().beacon, block.height);
+  block.timestamp = timestamp;
+  block.proposer = proposer;
+  block.txs = std::move(txs);
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+const Block& Chain::at(std::uint64_t height) const {
+  FI_CHECK(height < blocks_.size());
+  return blocks_[height];
+}
+
+const Block& Chain::tip() const {
+  FI_CHECK(!blocks_.empty());
+  return blocks_.back();
+}
+
+crypto::Hash256 Chain::beacon(std::uint64_t epoch) const {
+  if (epoch == 0 && blocks_.empty()) return evolve_beacon(genesis_beacon_, 0);
+  FI_CHECK_MSG(epoch < blocks_.size(), "beacon requested for future epoch");
+  return blocks_[epoch].beacon;
+}
+
+bool Chain::validate() const {
+  crypto::Hash256 parent{};
+  crypto::Hash256 beacon = genesis_beacon_;
+  for (std::size_t h = 0; h < blocks_.size(); ++h) {
+    const Block& b = blocks_[h];
+    if (b.height != h) return false;
+    if (b.parent != parent) return false;
+    beacon = evolve_beacon(beacon, h == 0 ? 0 : h);
+    if (b.beacon != beacon) return false;
+    parent = b.hash();
+    beacon = b.beacon;
+  }
+  return true;
+}
+
+}  // namespace fi::ledger

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "util/status.h"
+#include "util/types.h"
+
+/// Minimal block chain: ordered blocks carrying opaque transaction payloads,
+/// an evolving random beacon, and parent-hash linkage. FileInsurer assumes
+/// "the network consensus itself is secure" (§V-A); this substrate provides
+/// the two things the protocol actually consumes — total ordering and an
+/// unbiased per-epoch beacon (§III-F).
+namespace fi::ledger {
+
+/// A recorded transaction: the protocol request serialized as a tag plus
+/// payload hash (the protocol state machine executes the semantic request
+/// directly; the chain stores the audit trail).
+struct Transaction {
+  std::string kind;       ///< e.g. "File_Add", "Sector_Register"
+  AccountId sender = 0;
+  crypto::Hash256 payload_hash;
+};
+
+struct Block {
+  std::uint64_t height = 0;
+  crypto::Hash256 parent;
+  crypto::Hash256 beacon;
+  Time timestamp = 0;
+  AccountId proposer = 0;
+  std::vector<Transaction> txs;
+
+  /// Content hash of the block header + transaction list.
+  [[nodiscard]] crypto::Hash256 hash() const;
+};
+
+class Chain {
+ public:
+  /// Creates a chain whose genesis beacon derives from `genesis_seed`.
+  explicit Chain(std::uint64_t genesis_seed);
+
+  /// Appends a block at the next height; fills in height, parent and
+  /// beacon, returning the stored block. References remain valid as the
+  /// chain grows (deque storage).
+  const Block& append(Time timestamp, AccountId proposer,
+                      std::vector<Transaction> txs);
+
+  [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
+  [[nodiscard]] const Block& at(std::uint64_t height) const;
+  [[nodiscard]] const Block& tip() const;
+
+  /// The random beacon for a given epoch (== block height). Epoch 0 is the
+  /// genesis beacon; future epochs are unknown and throw.
+  [[nodiscard]] crypto::Hash256 beacon(std::uint64_t epoch) const;
+
+  /// Validates parent linkage and beacon evolution over the whole chain.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  crypto::Hash256 genesis_beacon_;
+  std::deque<Block> blocks_;
+};
+
+}  // namespace fi::ledger

@@ -1,0 +1,64 @@
+#include "ledger/consensus.h"
+
+#include <cmath>
+#include <limits>
+
+#include "crypto/post.h"
+#include "util/check.h"
+
+namespace fi::ledger {
+
+bool election_wins(const crypto::Hash256& ticket, std::uint64_t power,
+                   std::uint64_t total_power, double expected_winners) {
+  if (power == 0 || total_power == 0) return false;
+  FI_CHECK(power <= total_power);
+  // Win probability p = 1 - (1 - share)^E  (E = expected winners), so that
+  // the expected number of winners across all miners is ~E regardless of how
+  // power is split. Compare the ticket's top 64 bits against p * 2^64.
+  const double share =
+      static_cast<double>(power) / static_cast<double>(total_power);
+  const double p = 1.0 - std::pow(1.0 - share, expected_winners);
+  const double scaled = p * 18446744073709551616.0;  // 2^64
+  const std::uint64_t threshold =
+      (scaled >= 18446744073709551615.0)
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(scaled);
+  return ticket.prefix_u64() < threshold;
+}
+
+std::vector<AccountId> run_election(const crypto::Hash256& beacon,
+                                    const std::vector<PowerEntry>& table,
+                                    double expected_winners) {
+  std::uint64_t total = 0;
+  for (const PowerEntry& e : table) total += e.power;
+  std::vector<AccountId> winners;
+  for (const PowerEntry& e : table) {
+    const crypto::Hash256 ticket =
+        crypto::winning_ticket(beacon, e.miner, e.comm_r);
+    if (election_wins(ticket, e.power, total, expected_winners)) {
+      winners.push_back(e.miner);
+    }
+  }
+  return winners;
+}
+
+std::optional<AccountId> elect_proposer(const crypto::Hash256& beacon,
+                                        const std::vector<PowerEntry>& table,
+                                        double expected_winners) {
+  std::uint64_t total = 0;
+  for (const PowerEntry& e : table) total += e.power;
+  std::optional<AccountId> best;
+  std::uint64_t best_ticket = std::numeric_limits<std::uint64_t>::max();
+  for (const PowerEntry& e : table) {
+    const crypto::Hash256 ticket =
+        crypto::winning_ticket(beacon, e.miner, e.comm_r);
+    if (election_wins(ticket, e.power, total, expected_winners) &&
+        ticket.prefix_u64() < best_ticket) {
+      best_ticket = ticket.prefix_u64();
+      best = e.miner;
+    }
+  }
+  return best;
+}
+
+}  // namespace fi::ledger

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "util/types.h"
+
+/// Expected-Consensus style leader election (paper §IV: "the Expected
+/// Consensus deployed by Filecoin can be directly applied"). A miner whose
+/// WinningPoSt ticket falls under a threshold proportional to its share of
+/// storage power wins the right to propose the epoch's block. Elections are
+/// verifiable: anyone can recompute the ticket from the public beacon.
+namespace fi::ledger {
+
+/// One miner's election weight: its proven storage power (bytes).
+struct PowerEntry {
+  AccountId miner = 0;
+  std::uint64_t power = 0;
+  crypto::Hash256 comm_r;  ///< a replica commitment anchoring the ticket
+};
+
+/// Whether `ticket` wins for a miner holding `power` of `total_power`,
+/// targeting on average `expected_winners` winners per epoch.
+/// Deterministic and threshold-monotone in power.
+bool election_wins(const crypto::Hash256& ticket, std::uint64_t power,
+                   std::uint64_t total_power, double expected_winners = 1.0);
+
+/// Runs one epoch's election over the power table; returns winning miners
+/// (possibly empty — Expected Consensus tolerates empty epochs).
+std::vector<AccountId> run_election(const crypto::Hash256& beacon,
+                                    const std::vector<PowerEntry>& table,
+                                    double expected_winners = 1.0);
+
+/// Picks the epoch's block proposer: the winner with the smallest ticket,
+/// or nullopt if no miner won.
+std::optional<AccountId> elect_proposer(const crypto::Hash256& beacon,
+                                        const std::vector<PowerEntry>& table,
+                                        double expected_winners = 1.0);
+
+}  // namespace fi::ledger

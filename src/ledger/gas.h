@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+/// Gas schedule and metering. The paper requires every request to pay gas
+/// and every pending-list task to carry a *prepaid* gas bound (§III-B4,
+/// §IV-A3); this module supplies the constants and the per-execution meter.
+namespace fi::ledger {
+
+/// Flat per-operation gas costs (simplified EVM-style schedule).
+struct GasSchedule {
+  TokenAmount base_request = 10;      ///< any externally submitted request
+  TokenAmount file_add_per_replica = 5;
+  TokenAmount sector_register = 20;
+  TokenAmount proof_verify = 8;       ///< File_Prove verification work
+  TokenAmount auto_check_alloc = 6;   ///< prepaid: Auto_CheckAlloc
+  TokenAmount auto_check_proof = 4;   ///< prepaid: Auto_CheckProof per replica
+  TokenAmount auto_refresh = 6;       ///< prepaid: Auto_Refresh
+  TokenAmount auto_check_refresh = 4; ///< prepaid: Auto_CheckRefresh
+};
+
+/// Tracks gas consumed within one transaction/task execution against its
+/// prepaid upper bound.
+class GasMeter {
+ public:
+  explicit GasMeter(TokenAmount limit) : limit_(limit) {}
+
+  /// Consumes gas; returns false once the limit is exceeded (the caller
+  /// aborts the task — pending-list tasks must declare sound upper bounds).
+  bool consume(TokenAmount amount) {
+    used_ += amount;
+    return used_ <= limit_;
+  }
+
+  [[nodiscard]] TokenAmount used() const { return used_; }
+  [[nodiscard]] TokenAmount limit() const { return limit_; }
+  [[nodiscard]] bool exhausted() const { return used_ > limit_; }
+
+ private:
+  TokenAmount limit_;
+  TokenAmount used_ = 0;
+};
+
+}  // namespace fi::ledger

@@ -1,0 +1,80 @@
+#include "sim/event_queue.h"
+
+namespace fi::sim {
+
+std::uint64_t EventQueue::schedule_at(Time at, Handler handler) {
+  FI_CHECK_MSG(at >= now_, "cannot schedule event in the past");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  handlers_.emplace(id, std::move(handler));
+  ++live_count_;
+  return id;
+}
+
+std::uint64_t EventQueue::schedule_after(Time delay, Handler handler) {
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::cancel(std::uint64_t event_id) {
+  const auto it = handlers_.find(event_id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);  // entry stays queued; pop skips dead ids
+  --live_count_;
+  return true;
+}
+
+bool EventQueue::pop_and_run() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    Handler handler = std::move(it->second);
+    handlers_.erase(it);
+    --live_count_;
+    now_ = entry.at;
+    handler();
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() { return pop_and_run(); }
+
+Time EventQueue::next_event_time() {
+  while (!queue_.empty() && !handlers_.contains(queue_.top().id)) {
+    queue_.pop();
+  }
+  return queue_.empty() ? kNoTime : queue_.top().at;
+}
+
+void EventQueue::run_until(Time deadline) {
+  FI_CHECK(deadline >= now_);
+  for (;;) {
+    // Peek past cancelled entries to find the next live event time.
+    bool ran = false;
+    while (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (!handlers_.contains(top.id)) {
+        queue_.pop();
+        continue;
+      }
+      if (top.at > deadline) break;
+      pop_and_run();
+      ran = true;
+      break;
+    }
+    if (!ran) break;
+  }
+  now_ = deadline;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && pop_and_run()) ++executed;
+  FI_CHECK_MSG(executed < max_events || empty(),
+               "event budget exhausted: possible self-rescheduling loop");
+  return executed;
+}
+
+}  // namespace fi::sim

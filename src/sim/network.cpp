@@ -1,0 +1,55 @@
+#include "sim/network.h"
+
+#include "util/check.h"
+
+namespace fi::sim {
+
+NodeId Network::add_node(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  down_.push_back(false);
+  return handlers_.size() - 1;
+}
+
+void Network::set_link(NodeId from, NodeId to, LinkProfile profile) {
+  FI_CHECK(from < handlers_.size() && to < handlers_.size());
+  links_[(from << 32) | to] = profile;
+}
+
+void Network::set_node_down(NodeId node, bool down) {
+  FI_CHECK(node < down_.size());
+  down_[node] = down;
+}
+
+LinkProfile Network::link_for(NodeId from, NodeId to) const {
+  const auto it = links_.find((from << 32) | to);
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void Network::send(Message message) {
+  FI_CHECK(message.from < handlers_.size());
+  FI_CHECK(message.to < handlers_.size());
+  ++sent_;
+  if (down_[message.from] || down_[message.to]) {
+    ++dropped_;
+    return;
+  }
+  const LinkProfile link = link_for(message.from, message.to);
+  if (link.drop_probability > 0.0 &&
+      rng_.uniform_double() < link.drop_probability) {
+    ++dropped_;
+    return;
+  }
+  const Time transfer =
+      link.base_latency +
+      link.ticks_per_kib * ((message.payload.size() + 1023) / 1024);
+  queue_.schedule_after(transfer, [this, msg = std::move(message)]() {
+    if (down_[msg.to]) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    handlers_[msg.to](msg);
+  });
+}
+
+}  // namespace fi::sim

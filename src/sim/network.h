@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/prng.h"
+#include "util/types.h"
+
+/// Simulated message network with latency, bandwidth and loss injection.
+///
+/// File transfers in FileInsurer happen off-chain between clients and
+/// providers; the protocol only sets *deadlines* for them
+/// (`DelayPerSize × f.size`). This network model lets integration tests and
+/// examples exercise those deadlines realistically: a slow or partitioned
+/// provider misses its `Auto_CheckAlloc`/`Auto_CheckRefresh` window and the
+/// protocol's failure paths fire.
+namespace fi::sim {
+
+using NodeId = std::uint64_t;
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string kind;                  ///< application-defined tag
+  std::vector<std::uint8_t> payload; ///< opaque bytes (size drives latency)
+  std::uint64_t correlation = 0;     ///< request/response matching
+};
+
+/// Per-link behaviour knobs.
+struct LinkProfile {
+  Time base_latency = 1;      ///< ticks per message, regardless of size
+  Time ticks_per_kib = 1;     ///< bandwidth: extra ticks per KiB of payload
+  double drop_probability = 0.0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(EventQueue& queue, std::uint64_t seed)
+      : queue_(queue), rng_(seed) {}
+
+  /// Registers a node and its message handler; returns the node id.
+  NodeId add_node(Handler handler);
+
+  /// Overrides the default link profile for messages from->to.
+  void set_link(NodeId from, NodeId to, LinkProfile profile);
+  void set_default_link(LinkProfile profile) { default_link_ = profile; }
+
+  /// Cuts (or restores) all delivery to/from a node — models a crashed or
+  /// partitioned participant.
+  void set_node_down(NodeId node, bool down);
+
+  /// Sends a message; delivery is scheduled on the event queue according to
+  /// the link profile. Dropped/partitioned messages vanish silently, as on
+  /// a real network.
+  void send(Message message);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  [[nodiscard]] LinkProfile link_for(NodeId from, NodeId to) const;
+
+  EventQueue& queue_;
+  util::Xoshiro256 rng_;
+  std::vector<Handler> handlers_;
+  std::unordered_map<std::uint64_t, LinkProfile> links_;  // key: from<<32|to
+  LinkProfile default_link_;
+  std::vector<bool> down_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fi::sim

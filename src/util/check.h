@@ -1,0 +1,43 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Invariant checking. `FI_CHECK` guards *internal* invariants — conditions
+/// that can only fail through a programming error — and throws
+/// `fi::util::InvariantViolation` so tests can assert on misuse. Expected
+/// protocol failures use `fi::util::Status` instead (see `util/status.h`).
+namespace fi::util {
+
+/// Thrown when an internal invariant is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& detail) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!detail.empty()) os << " — " << detail;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace fi::util
+
+#define FI_CHECK(expr)                                               \
+  do {                                                               \
+    if (!(expr)) ::fi::util::check_failed(#expr, __FILE__, __LINE__, \
+                                          std::string{});            \
+  } while (false)
+
+#define FI_CHECK_MSG(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream fi_check_os;                                \
+      fi_check_os << msg;                                            \
+      ::fi::util::check_failed(#expr, __FILE__, __LINE__,            \
+                               fi_check_os.str());                   \
+    }                                                                \
+  } while (false)

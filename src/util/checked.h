@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+/// Checked arithmetic for token amounts and byte counts.
+///
+/// Balances, deposits and capacities are `uint64_t`; silent wraparound would
+/// corrupt the money-conservation invariant, so all protocol arithmetic goes
+/// through these helpers, which throw `std::overflow_error` on wrap.
+namespace fi::util {
+
+inline std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw std::overflow_error("u64 addition overflow");
+  }
+  return out;
+}
+
+inline std::uint64_t checked_sub(std::uint64_t a, std::uint64_t b) {
+  if (b > a) throw std::overflow_error("u64 subtraction underflow");
+  return a - b;
+}
+
+inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw std::overflow_error("u64 multiplication overflow");
+  }
+  return out;
+}
+
+/// a * b / c without intermediate overflow (128-bit intermediate);
+/// throws if the final result does not fit in 64 bits or c == 0.
+inline std::uint64_t checked_mul_div(std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t c) {
+  if (c == 0) throw std::overflow_error("mul_div by zero");
+  const __uint128_t wide = static_cast<__uint128_t>(a) * b / c;
+  if (wide > std::numeric_limits<std::uint64_t>::max()) {
+    throw std::overflow_error("mul_div result exceeds u64");
+  }
+  return static_cast<std::uint64_t>(wide);
+}
+
+/// Ceiling division; c must be nonzero.
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t c) {
+  if (c == 0) throw std::overflow_error("ceil_div by zero");
+  return a / c + (a % c != 0 ? 1 : 0);
+}
+
+}  // namespace fi::util

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/prng.h"
+
+/// Fenwick (binary indexed) tree over unsigned weights, supporting point
+/// update, prefix sum, and O(log n) weighted sampling.
+///
+/// This is the engine behind the paper's `RandomSector()`: each sector is a
+/// slot whose weight is its capacity (in `minCapacity` units); disabled,
+/// corrupted, and removed sectors carry weight zero, so a single prefix
+/// search samples a live sector with probability proportional to capacity.
+namespace fi::util {
+
+class FenwickTree {
+ public:
+  /// The tree is 1-indexed internally; slot 0 of `tree_` is a dummy.
+  FenwickTree() : tree_(1, 0) {}
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0), weights_(size, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return weights_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t weight(std::size_t i) const {
+    FI_CHECK(i < weights_.size());
+    return weights_[i];
+  }
+
+  /// Appends a new slot with the given weight; returns its index.
+  std::size_t push_back(std::uint64_t weight) {
+    weights_.push_back(0);
+    tree_.push_back(0);
+    // Rebuild the trailing tree node: tree_[i] covers (i - lowbit(i), i].
+    const std::size_t i = weights_.size();  // 1-based index of the new slot
+    const std::size_t lb = i & (~i + 1);
+    std::uint64_t sum = 0;
+    if (lb > 1) {
+      // Sum the already-built children covering the same range.
+      std::size_t j = i - 1;
+      const std::size_t lo = i - lb;
+      while (j > lo) {
+        sum += tree_[j];
+        j -= j & (~j + 1);
+      }
+    }
+    tree_[i] = sum;
+    set(weights_.size() - 1, weight);
+    return weights_.size() - 1;
+  }
+
+  /// Sets slot `i` to `weight`.
+  void set(std::size_t i, std::uint64_t weight) {
+    FI_CHECK(i < weights_.size());
+    const std::uint64_t old = weights_[i];
+    if (old == weight) return;
+    weights_[i] = weight;
+    if (weight >= old) {
+      add_internal(i, weight - old);
+      total_ += weight - old;
+    } else {
+      sub_internal(i, old - weight);
+      total_ -= old - weight;
+    }
+  }
+
+  /// Sum of weights in [0, i).
+  [[nodiscard]] std::uint64_t prefix_sum(std::size_t i) const {
+    FI_CHECK(i <= weights_.size());
+    std::uint64_t sum = 0;
+    for (std::size_t j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+    return sum;
+  }
+
+  /// Returns the smallest index `i` with prefix_sum(i+1) > target.
+  /// Requires `target < total()`.
+  [[nodiscard]] std::size_t find_by_prefix(std::uint64_t target) const {
+    FI_CHECK_MSG(target < total_, "find_by_prefix target out of range");
+    std::size_t pos = 0;
+    std::size_t mask = 1;
+    while ((mask << 1) <= weights_.size()) mask <<= 1;
+    for (; mask > 0; mask >>= 1) {
+      const std::size_t next = pos + mask;
+      if (next <= weights_.size() && tree_[next] <= target) {
+        pos = next;
+        target -= tree_[next];
+      }
+    }
+    return pos;  // 0-based slot index
+  }
+
+  /// Samples a slot with probability proportional to its weight.
+  /// Requires `total() > 0`.
+  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const {
+    FI_CHECK_MSG(total_ > 0, "cannot sample from empty weight set");
+    return find_by_prefix(rng.uniform_below(total_));
+  }
+
+ private:
+  void add_internal(std::size_t i, std::uint64_t delta) {
+    for (std::size_t j = i + 1; j <= weights_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+  void sub_internal(std::size_t i, std::uint64_t delta) {
+    for (std::size_t j = i + 1; j <= weights_.size(); j += j & (~j + 1)) {
+      FI_CHECK(tree_[j] >= delta);
+      tree_[j] -= delta;
+    }
+  }
+
+  std::vector<std::uint64_t> tree_;     // 1-based implicit binary indexed tree
+  std::vector<std::uint64_t> weights_;  // current weight per slot
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fi::util

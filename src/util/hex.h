@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+/// Hex encoding/decoding for hashes and identifiers in logs and docs.
+namespace fi::util {
+
+/// Lowercase hex rendering of a byte span.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parses a hex string (even length, lowercase or uppercase).
+/// Throws `std::invalid_argument` on malformed input.
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace fi::util

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// Deterministic pseudo-random number generation.
+///
+/// The paper (§III-F) assumes a public random beacon expanded by a PRNG into
+/// "enough public pseudo-random bits". We use xoshiro256++ seeded through
+/// SplitMix64 — fast, high quality, and bit-for-bit reproducible across
+/// platforms (unlike `std::mt19937` + `std::*_distribution`, whose sequences
+/// are implementation-defined for distributions).
+namespace fi::util {
+
+/// SplitMix64 step; used for seeding and for cheap hash mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ generator. Satisfies `std::uniform_random_bit_generator`.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x46696c65496e7375ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Unbiased uniform integer in [0, bound) via Lemire's method.
+  /// `bound` must be nonzero.
+  std::uint64_t uniform_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform_double();
+
+  /// Uniform double in (0, 1] — safe to pass to log().
+  double uniform_double_open_zero();
+
+  /// Jump function: advances the stream by 2^128 steps, giving independent
+  /// substreams for parallel experiment arms.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace fi::util

@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fi::util {
+
+void RunningStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  FI_CHECK(hi > lo);
+  FI_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  FI_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::quantile(double q) const {
+  FI_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return lo_ + width * static_cast<double>(i + 1);
+    }
+  }
+  return hi_;
+}
+
+double chi_squared_statistic(const std::vector<std::uint64_t>& observed,
+                             const std::vector<double>& expected) {
+  FI_CHECK(observed.size() == expected.size());
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    FI_CHECK_MSG(expected[i] > 0.0, "expected count must be positive");
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+}  // namespace fi::util

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/allocation_model.h"
+#include "analysis/bounds.h"
+#include "analysis/placement.h"
+
+namespace fi::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Theorem bounds (closed forms, checked against the paper's worked numbers)
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, Theorem1CapacityBound) {
+  // Uniform workload: every file size 1, value = minValue, capPara chosen
+  // so the value limit doesn't bind. Then r1 = 1 and the bound is
+  // Ns*minCap/(2k).
+  const double r1 = theorem1_r1(/*sum_size_times_value=*/1000.0,
+                                /*sum_size=*/1000.0, /*min_value=*/1.0);
+  EXPECT_DOUBLE_EQ(r1, 1.0);
+  const double r2 = theorem1_r2(/*sum_value=*/1000.0, /*sum_size=*/1000.0,
+                                /*min_capacity=*/1.0, /*min_value=*/1.0,
+                                /*cap_para=*/1000.0);
+  EXPECT_DOUBLE_EQ(r2, 0.001);
+  const double bound = theorem1_capacity_bound(1e6, 1.0, r1, r2, 20);
+  EXPECT_DOUBLE_EQ(bound, 1e6 / 40.0);  // capacity-limited regime
+}
+
+TEST(Bounds, Theorem1ValueLimitedRegime) {
+  // High-value files make the value restriction bind (r2 large).
+  const double bound = theorem1_capacity_bound(1e6, 1.0, 1.0, 100.0, 2);
+  EXPECT_DOUBLE_EQ(bound, 1e6 / 100.0);
+}
+
+TEST(Bounds, Theorem2MatchesPaperExample) {
+  // cap/size = 1000, Ns <= 1e12  =>  Pr < 1e-50 (paper, §V-B2).
+  const double p = theorem2_collision_bound(1e12, 1000.0, 1.0);
+  EXPECT_LT(p, 1e-50);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(Bounds, Theorem2MonotoneInRatio) {
+  EXPECT_GT(theorem2_collision_bound(1e6, 100.0, 1.0),
+            theorem2_collision_bound(1e6, 200.0, 1.0));
+  EXPECT_GT(theorem2_collision_bound(1e7, 100.0, 1.0),
+            theorem2_collision_bound(1e6, 100.0, 1.0));
+}
+
+TEST(Bounds, KlDivergenceProperties) {
+  EXPECT_NEAR(kl_divergence(0.5, 0.5), 0.0, 1e-12);
+  EXPECT_GT(kl_divergence(0.9, 0.1), 0.0);
+  // Lemma 2: for p <= 1/5 and x >= 5p, D(x||p) >= (x/2)·ln(x/p).
+  for (double p : {0.01, 0.05, 0.1, 0.2}) {
+    for (double x = 5 * p; x < 1.0; x += 0.05) {
+      EXPECT_GE(kl_divergence(x, p), 0.5 * x * std::log(x / p) - 1e-12)
+          << "x=" << x << " p=" << p;
+    }
+  }
+}
+
+TEST(Bounds, Theorem3WorkedExampleFirstTwoTerms) {
+  // k=20, Ns=1e6, capPara=1e3, lambda=0.5 (paper §V-B3):
+  //   5*lambda^k = 5*2^-20 ≈ 5e-6;  lambda^(k/2) = 2^-10 ≈ 0.001.
+  EXPECT_NEAR(5.0 * std::pow(0.5, 20), 4.77e-6, 1e-7);
+  EXPECT_NEAR(std::pow(0.5, 10), 9.77e-4, 1e-6);
+  // The full bound is dominated by one of the three terms and must be at
+  // least the max of the first two.
+  const double bound = theorem3_gamma_lost_bound(0.5, 20, 1e6, 0.005, 1e3);
+  EXPECT_GE(bound, std::pow(0.5, 10));
+}
+
+TEST(Bounds, Theorem3DecreasesWithK) {
+  for (std::uint32_t k = 4; k < 40; k += 4) {
+    EXPECT_GE(theorem3_gamma_lost_bound(0.5, k, 1e6, 0.5, 1e3),
+              theorem3_gamma_lost_bound(0.5, k + 4, 1e6, 0.5, 1e3));
+  }
+}
+
+TEST(Bounds, Theorem4ReproducesPaperExample) {
+  // k=20, Ns=1e6, capPara=1e3, lambda=0.5, c=1e-18 => 0.0046 (§V-B4).
+  const double gamma = theorem4_deposit_ratio_bound(0.5, 20, 1e6, 1e3);
+  EXPECT_NEAR(gamma, 0.0046, 0.0002);
+}
+
+TEST(Bounds, Theorem4IncreasesWithLambda) {
+  double prev = 0.0;
+  for (double lambda : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double g = theorem4_deposit_ratio_bound(lambda, 20, 1e6, 1e3);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Bounds, FileLossProbabilityIsLambdaToCp) {
+  EXPECT_DOUBLE_EQ(file_loss_probability(0.5, 3), 0.125);
+  EXPECT_DOUBLE_EQ(file_loss_probability(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(file_loss_probability(1.0, 3), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation model (Table III machinery)
+// ---------------------------------------------------------------------------
+
+TEST(AllocationModelTest, MeanUsageMatchesRedundancy) {
+  auto model = AllocationModel::from_distribution(
+      util::SizeDistribution::uniform01, 100'000, 100, 2.0, 1);
+  EXPECT_NEAR(model.mean_usage(), 0.5, 1e-9);
+}
+
+TEST(AllocationModelTest, MaxUsageInPaperRange) {
+  // Table III row (Ncp=1e5, Ns=100): paper reports ~0.57.
+  auto model = AllocationModel::from_distribution(
+      util::SizeDistribution::uniform01, 100'000, 100, 2.0, 2);
+  double max_over_rounds = 0.0;
+  for (int round = 0; round < 10; ++round) {
+    max_over_rounds = std::max(max_over_rounds, model.reallocate_all());
+  }
+  EXPECT_GT(max_over_rounds, 0.5);
+  EXPECT_LT(max_over_rounds, 0.75);
+}
+
+TEST(AllocationModelTest, RefreshRunningMaxIsMonotoneAndBounded) {
+  auto model = AllocationModel::from_distribution(
+      util::SizeDistribution::exponential, 50'000, 50, 2.0, 3);
+  const double m1 = model.refresh(50'000);
+  const double m2 = model.refresh(50'000);
+  EXPECT_GE(m2, 0.5);
+  EXPECT_LT(m2, 0.8);
+  EXPECT_GE(m2 + 1e-12, m1 * 0.0);  // both well-defined
+  EXPECT_GT(m1, 0.5);
+}
+
+TEST(AllocationModelTest, NoSectorNearCapacityAtScale) {
+  // Theorem 2's event (usage > 7/8) should never occur at cap/size >= 1000.
+  auto model = AllocationModel::from_distribution(
+      util::SizeDistribution::uniform01, 200'000, 100, 2.0, 4);
+  for (int round = 0; round < 5; ++round) {
+    model.reallocate_all();
+    EXPECT_EQ(model.fraction_above_usage(7.0 / 8.0), 0.0);
+  }
+}
+
+TEST(AllocationModelTest, ExplicitSizesRespected) {
+  AllocationModel model({1.0f, 1.0f, 1.0f, 1.0f}, 2, 2.0, 5);
+  EXPECT_EQ(model.sector_count(), 2u);
+  EXPECT_EQ(model.backup_count(), 4u);
+  EXPECT_DOUBLE_EQ(model.sector_capacity(), 4.0);
+  EXPECT_NEAR(model.mean_usage(), 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Placement + adversaries (Theorem 3 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(PlacementTest, RandomCorruptionLossMatchesLambdaToK) {
+  // E[lost fraction] = lambda^k for i.i.d. placement; with k=3, λ=0.5
+  // that's 1/8. Average over several corruption draws.
+  const ReplicaPlacement placement(200'000, 3, 100, 1);
+  util::Xoshiro256 rng(2);
+  double total = 0.0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    total += placement.lost_fraction(random_corruption(100, 0.5, rng));
+  }
+  EXPECT_NEAR(total / kTrials, 0.125, 0.01);
+}
+
+TEST(PlacementTest, NoCorruptionNoLoss) {
+  const ReplicaPlacement placement(1000, 3, 50, 3);
+  const std::vector<bool> none(50, false);
+  EXPECT_EQ(placement.lost_files(none), 0u);
+  const std::vector<bool> all(50, true);
+  EXPECT_EQ(placement.lost_files(all), 1000u);
+}
+
+TEST(PlacementTest, TargetedBeatsRandomAdversary) {
+  // When files are scarce relative to sectors, an informed adversary can
+  // concentrate its budget on whole replica sets: with 100 files of 3
+  // replicas and a 60-sector budget it destroys ~20% of files, while random
+  // corruption manages only ~λ^3 ≈ 2.7%.
+  const ReplicaPlacement placement(100, 3, 200, 4);
+  util::Xoshiro256 rng(5);
+  double random_loss = 0.0, targeted_loss = 0.0;
+  for (int t = 0; t < 5; ++t) {
+    random_loss += placement.lost_fraction(random_corruption(200, 0.3, rng));
+    targeted_loss +=
+        placement.lost_fraction(targeted_corruption(placement, 0.3, rng));
+  }
+  EXPECT_GT(targeted_loss, 2.0 * random_loss);
+}
+
+TEST(PlacementTest, TargetedAdversaryStaysWithinTheoremBound) {
+  // The whole point of Theorem 3: even the targeted adversary cannot push
+  // γ_lost above the bound (w.h.p.). Use workable scale: k=8, Ns=300.
+  const double lambda = 0.3;
+  const ReplicaPlacement placement(50'000, 8, 300, 6);
+  util::Xoshiro256 rng(7);
+  const double gamma_v_m = 1.0;
+  const double cap_para = 50'000.0 * 8 / 300.0 / 8;  // Nv/Ns with Nv=files
+  const double bound =
+      theorem3_gamma_lost_bound(lambda, 8, 300, gamma_v_m, cap_para);
+  for (int t = 0; t < 3; ++t) {
+    const double loss =
+        placement.lost_fraction(targeted_corruption(placement, lambda, rng));
+    EXPECT_LE(loss, bound) << "trial " << t;
+  }
+}
+
+TEST(PlacementTest, Lemma1SplittingUpperBoundsValuedLoss) {
+  // Lemma 1: a network of heterogeneous-value files loses at most as much
+  // value as the equivalent network where every file is split into
+  // unit-value descriptors with k replicas each. Verify empirically: a
+  // valued file of v units has k·v replicas and dies at rate λ^{kv}, while
+  // its v split descriptors die independently at λ^k each — losing
+  // strictly more value in expectation.
+  constexpr std::uint32_t kSectors = 60;
+  constexpr std::uint32_t kK = 2;
+  constexpr double kLambda = 0.5;
+  util::Xoshiro256 rng(11);
+  std::vector<std::uint32_t> values;
+  std::uint64_t total_units = 0;
+  for (int i = 0; i < 4000; ++i) {
+    values.push_back(1 + static_cast<std::uint32_t>(rng.uniform_below(3)));
+    total_units += values.back();
+  }
+  const ValuedReplicaPlacement valued(values, kK, kSectors, 21);
+  const ReplicaPlacement split(total_units, kK, kSectors, 22);
+
+  double valued_loss = 0.0, split_loss = 0.0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto corrupted = random_corruption(kSectors, kLambda, rng);
+    valued_loss += valued.lost_value_fraction(corrupted);
+    split_loss += split.lost_fraction(corrupted);
+  }
+  EXPECT_LT(valued_loss / kTrials, split_loss / kTrials);
+  // And the split loss itself concentrates near λ^k.
+  EXPECT_NEAR(split_loss / kTrials, std::pow(kLambda, kK), 0.03);
+}
+
+TEST(PlacementTest, ValuedPlacementAccounting) {
+  const ValuedReplicaPlacement placement({1, 2, 3}, 2, 10, 5);
+  EXPECT_EQ(placement.file_count(), 3u);
+  EXPECT_EQ(placement.total_value(), 6u);
+  const std::vector<bool> all(10, true);
+  EXPECT_EQ(placement.lost_value(all), 6u);
+  EXPECT_DOUBLE_EQ(placement.lost_value_fraction(all), 1.0);
+  const std::vector<bool> none(10, false);
+  EXPECT_EQ(placement.lost_value(none), 0u);
+}
+
+TEST(PlacementTest, BudgetRespectedByAdversaries) {
+  const ReplicaPlacement placement(1000, 4, 100, 8);
+  util::Xoshiro256 rng(9);
+  for (double lambda : {0.1, 0.25, 0.5}) {
+    const auto random_set = random_corruption(100, lambda, rng);
+    const auto targeted_set = targeted_corruption(placement, lambda, rng);
+    const auto count = [](const std::vector<bool>& v) {
+      return std::count(v.begin(), v.end(), true);
+    };
+    EXPECT_EQ(count(random_set), static_cast<long>(lambda * 100));
+    EXPECT_EQ(count(targeted_set), static_cast<long>(lambda * 100));
+  }
+}
+
+}  // namespace
+}  // namespace fi::analysis

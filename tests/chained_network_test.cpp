@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/chained_network.h"
+#include "crypto/porep.h"
+#include "crypto/post.h"
+#include "ledger/account.h"
+#include "util/prng.h"
+
+namespace fi::core {
+namespace {
+
+Params chain_params() {
+  Params p;
+  p.min_capacity = 8 * 1024;
+  p.min_value = 10;
+  p.k = 2;
+  p.cap_para = 10.0;
+  p.gamma_deposit = 0.2;
+  p.proof_cycle = 100;
+  p.proof_due = 150;
+  p.proof_deadline = 300;
+  p.avg_refresh = 1000.0;
+  p.verify_proofs = false;
+  p.cr_size = 2048;
+  return p;
+}
+
+struct ChainFixture : ::testing::Test {
+  void build(Params p = chain_params(), int sectors = 4) {
+    net = std::make_unique<ChainedNetwork>(p, ledger, /*seed=*/11);
+    net->network().set_auto_prove(true);
+    client = ledger.create_account(1'000'000);
+    for (int i = 0; i < sectors; ++i) {
+      providers.push_back(ledger.create_account(1'000'000));
+      auto id = net->sector_register(providers.back(), 8 * 1024);
+      ASSERT_TRUE(id.is_ok());
+      sectors_.push_back(id.value());
+    }
+  }
+
+  FileId add_and_store(ByteCount size, TokenAmount value) {
+    auto id = net->file_add(client, {size, value, {}});
+    EXPECT_TRUE(id.is_ok());
+    auto& n = net->network();
+    for (ReplicaIndex i = 0; i < n.allocations().replica_count(id.value());
+         ++i) {
+      const AllocEntry& e = n.allocations().entry(id.value(), i);
+      EXPECT_TRUE(net->file_confirm(n.sectors().at(e.next).owner, id.value(),
+                                    i, e.next, {}, std::nullopt)
+                      .is_ok());
+    }
+    net->advance_to(net->now() + 5);
+    return id.value();
+  }
+
+  [[nodiscard]] std::size_t tx_count(const std::string& kind) const {
+    std::size_t count = 0;
+    for (std::uint64_t h = 0; h < net->chain().height(); ++h) {
+      for (const auto& tx : net->chain().at(h).txs) {
+        if (tx.kind == kind) ++count;
+      }
+    }
+    return count;
+  }
+
+  ledger::Ledger ledger;
+  std::unique_ptr<ChainedNetwork> net;
+  ClientId client = 0;
+  std::vector<ProviderId> providers;
+  std::vector<SectorId> sectors_;
+};
+
+TEST_F(ChainFixture, RequestsAreRecordedAsTransactions) {
+  build();
+  const FileId id = add_and_store(1000, 20);
+  ASSERT_TRUE(net->file_discard(client, id).is_ok());
+  net->advance_to(5 * net->network().params().proof_cycle);
+
+  EXPECT_EQ(tx_count("Sector_Register"), 4u);
+  EXPECT_EQ(tx_count("File_Add"), 1u);
+  EXPECT_EQ(tx_count("File_Confirm"), 4u);
+  EXPECT_EQ(tx_count("File_Discard"), 1u);
+  EXPECT_EQ(net->mempool_size(), 0u);  // everything sealed by now
+}
+
+TEST_F(ChainFixture, RejectedRequestsLeaveNoTransaction) {
+  build();
+  EXPECT_FALSE(net->file_add(client, {0, 20, {}}).is_ok());
+  EXPECT_FALSE(net->file_add(999, {100, 20, {}}).is_ok());
+  net->advance_to(2 * net->network().params().proof_cycle);
+  EXPECT_EQ(tx_count("File_Add"), 0u);
+}
+
+TEST_F(ChainFixture, OneBlockPerEpochAndChainValidates) {
+  build();
+  add_and_store(1000, 20);
+  net->advance_to(10 * net->network().params().proof_cycle + 5);
+  // Epochs 0..10 must be sealed.
+  EXPECT_GE(net->chain().height(), 11u);
+  EXPECT_TRUE(net->chain().validate());
+  // Block timestamps track epoch boundaries.
+  for (std::uint64_t h = 0; h < net->chain().height(); ++h) {
+    EXPECT_EQ(net->chain().at(h).timestamp,
+              h * net->network().params().proof_cycle);
+  }
+}
+
+TEST_F(ChainFixture, ProposersAreStorageProviders) {
+  build();
+  net->advance_to(30 * net->network().params().proof_cycle);
+  std::size_t proposed = 0;
+  for (std::uint64_t h = 1; h < net->chain().height(); ++h) {
+    const AccountId proposer = net->chain().at(h).proposer;
+    if (proposer == kNoAccount) continue;  // empty election
+    ++proposed;
+    EXPECT_NE(std::find(providers.begin(), providers.end(), proposer),
+              providers.end())
+        << "unknown proposer at height " << h;
+  }
+  EXPECT_GT(proposed, 0u);
+}
+
+TEST_F(ChainFixture, PowerTableTracksSectorLifecycle) {
+  build();
+  auto table = net->power_table();
+  ASSERT_EQ(table.size(), 4u);
+  for (const auto& entry : table) EXPECT_EQ(entry.power, 8u * 1024u);
+  // Corruption removes power; disabling (still storing) keeps it.
+  net->network().corrupt_sector_now(sectors_[0]);
+  ASSERT_TRUE(net->sector_disable(providers[1], sectors_[1]).is_ok());
+  table = net->power_table();
+  std::uint64_t total = 0;
+  for (const auto& entry : table) total += entry.power;
+  EXPECT_EQ(total, 2u * 8u * 1024u);  // corrupted drops out; disabled empty
+}
+
+TEST_F(ChainFixture, ChainBeaconDrivesWindowPoSt) {
+  // Full-crypto proof verified against the chain's epoch beacon.
+  Params p = chain_params();
+  p.verify_proofs = true;
+  p.seal = {.work = 1, .challenges = 2};
+  p.post_challenges = 2;
+  net = std::make_unique<ChainedNetwork>(p, ledger, 11);
+  client = ledger.create_account(1'000'000);
+  const ProviderId provider = ledger.create_account(1'000'000);
+  auto sector = net->sector_register(provider, 8 * 1024);
+  ASSERT_TRUE(sector.is_ok());
+
+  // Client-side data and File_Add.
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> data(1200);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  FileInfo info{data.size(), 10, crypto::merkle_root_of_data(data)};
+  auto file = net->file_add(client, info);
+  ASSERT_TRUE(file.is_ok());
+
+  // Provider seals and confirms both replicas with real proofs.
+  auto& n = net->network();
+  std::vector<std::vector<std::uint8_t>> sealed_replicas;
+  for (ReplicaIndex i = 0; i < n.allocations().replica_count(file.value());
+       ++i) {
+    const AllocEntry& e = n.allocations().entry(file.value(), i);
+    const crypto::ReplicaId rid{provider, e.next,
+                                replica_nonce(file.value(), i)};
+    auto sealed = crypto::seal(data, rid, p.seal);
+    const auto comm_r = crypto::replica_commitment(sealed);
+    const auto proof = crypto::prove_seal(data, sealed, rid, p.seal);
+    ASSERT_TRUE(net->file_confirm(provider, file.value(), i, e.next, comm_r,
+                                  proof)
+                    .is_ok());
+    sealed_replicas.push_back(std::move(sealed));
+  }
+  net->advance_to(net->now() + 5);  // CheckAlloc
+
+  // Prove at a later epoch using the chain's beacon for that epoch.
+  net->advance_to(3 * p.proof_cycle - 10);
+  for (ReplicaIndex i = 0; i < 2; ++i) {
+    const AllocEntry& e = n.allocations().entry(file.value(), i);
+    const crypto::ReplicaId rid{provider, e.prev,
+                                replica_nonce(file.value(), i)};
+    const auto beacon = n.beacon(net->now());
+    EXPECT_EQ(beacon, net->chain().beacon(net->epoch_of(net->now())));
+    const auto proof = crypto::prove_window(sealed_replicas[i], rid, beacon,
+                                            net->now(), p.post_challenges);
+    auto status = net->file_prove(provider, file.value(), i, e.prev, proof);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+  }
+  // A proof built against the WRONG epoch's beacon is rejected.
+  const AllocEntry& e = n.allocations().entry(file.value(), 0);
+  const crypto::ReplicaId rid{provider, e.prev,
+                              replica_nonce(file.value(), 0)};
+  const auto stale = crypto::prove_window(
+      sealed_replicas[0], rid, net->chain().beacon(0), net->now(),
+      p.post_challenges);
+  EXPECT_EQ(net->file_prove(provider, file.value(), 0, e.prev, stale).code(),
+            util::ErrorCode::proof_invalid);
+  EXPECT_TRUE(net->chain().validate());
+}
+
+}  // namespace
+}  // namespace fi::core

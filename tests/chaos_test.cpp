@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/agents.h"
+
+/// Chaos suite: long agent-level runs with random failures — crashes,
+/// transient outages, selfish behaviour, discards — asserting global
+/// invariants at the end. This exercises the full stack (PoRep disabled for
+/// speed, real transfer/confirm/prove/refresh machinery on).
+namespace fi::core {
+namespace {
+
+Params chaos_params() {
+  Params p;
+  p.min_capacity = 8 * 1024;
+  p.min_value = 10;
+  p.k = 3;
+  p.cap_para = 20.0;
+  p.gamma_deposit = 0.3;
+  p.proof_cycle = 50;
+  p.proof_due = 75;
+  p.proof_deadline = 150;
+  p.avg_refresh = 4.0;
+  p.delay_per_kib = 5;
+  p.min_transfer_window = 5;
+  p.verify_proofs = false;  // agents fall back to trusted proofs
+  p.cr_size = 2048;
+  return p;
+}
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTest, SystemSurvivesRandomFailures) {
+  const std::uint64_t seed = GetParam();
+  Simulation sim(chaos_params(), seed);
+  util::Xoshiro256 rng(seed * 7919 + 3);
+
+  ClientAgent& client = sim.add_client(10'000'000);
+  std::vector<ProviderAgent*> providers;
+  for (int i = 0; i < 8; ++i) {
+    ProviderAgent& p = sim.add_provider(100'000'000);
+    ASSERT_TRUE(p.register_sector(4 * 8 * 1024).is_ok());
+    providers.push_back(&p);
+  }
+
+  auto total_tokens = [&] {
+    TokenAmount t = sim.ledger().balance(client.account());
+    for (ProviderAgent* p : providers) {
+      t += sim.ledger().balance(p->account());
+    }
+    auto& net = sim.network();
+    t += sim.ledger().balance(net.escrow_account());
+    t += sim.ledger().balance(net.pool_account());
+    t += sim.ledger().balance(net.rent_pool_account());
+    t += sim.ledger().balance(net.gas_sink_account());
+    t += sim.ledger().balance(net.traffic_escrow_account());
+    return t;
+  };
+  const TokenAmount initial = total_tokens();
+
+  std::vector<FileId> files;
+  for (int step = 0; step < 60; ++step) {
+    switch (rng.uniform_below(8)) {
+      case 0:
+      case 1: {  // store a file
+        std::vector<std::uint8_t> data(200 + rng.uniform_below(1500));
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+        auto f = client.store_file(std::move(data),
+                                   10 * (1 + rng.uniform_below(2)));
+        if (f.is_ok()) files.push_back(f.value());
+        break;
+      }
+      case 2: {  // discard something
+        if (!files.empty()) {
+          const FileId f = files[rng.uniform_below(files.size())];
+          if (sim.network().file_exists(f) && client.owns(f)) {
+            (void)client.discard_file(f);
+          }
+        }
+        break;
+      }
+      case 3: {  // a provider crashes for good (sometimes)
+        if (rng.uniform_below(6) == 0) {
+          providers[rng.uniform_below(providers.size())]->crash();
+        }
+        break;
+      }
+      case 4: {  // transient outage: dark past ProofDue, back before deadline
+        ProviderAgent* p = providers[rng.uniform_below(providers.size())];
+        if (!p->crashed() && !p->sectors().empty()) {
+          const SectorId s = p->sectors()[0];
+          sim.network().corrupt_sector_physical(s);
+          sim.schedule_after(2 * chaos_params().proof_cycle, [&sim, s] {
+            sim.network().restore_sector_physical(s);
+          });
+        }
+        break;
+      }
+      case 5: {  // toggle selfishness
+        ProviderAgent* p = providers[rng.uniform_below(providers.size())];
+        p->serve_retrieval = !p->serve_retrieval;
+        break;
+      }
+      default: {  // let time pass
+        sim.run_until(sim.now() + 20 + rng.uniform_below(100));
+        break;
+      }
+    }
+  }
+  sim.run_until(sim.now() + 10 * chaos_params().proof_cycle);
+
+  // ---- Invariants ---------------------------------------------------------
+  // 1. Money conservation, always.
+  EXPECT_EQ(total_tokens(), initial);
+
+  // 2. Every file is in a coherent terminal or live state, and every loss
+  //    event carries a compensation record.
+  std::map<FileId, int> lost_events;
+  TokenAmount compensated = 0, lost_value = 0;
+  for (const Event& e : sim.event_log()) {
+    if (const auto* lost = std::get_if<FileLost>(&e)) {
+      ++lost_events[lost->file];
+      compensated += lost->compensated_now;
+      lost_value += lost->value;
+    }
+  }
+  for (const auto& [file, count] : lost_events) {
+    EXPECT_EQ(count, 1) << "file " << file << " lost twice";
+    EXPECT_FALSE(sim.network().file_exists(file));
+  }
+  EXPECT_EQ(compensated + sim.network().deposits().outstanding_liabilities(),
+            lost_value);
+
+  // 3. Live files have live replicas: no entry points at a corrupted
+  //    sector while claiming to be normal.
+  for (FileId f : files) {
+    if (!sim.network().file_exists(f)) continue;
+    const auto& allocs = sim.network().allocations();
+    for (ReplicaIndex i = 0; i < allocs.replica_count(f); ++i) {
+      const AllocEntry& e = allocs.entry(f, i);
+      if (e.state == AllocState::normal) {
+        EXPECT_NE(sim.network().sectors().at(e.prev).state,
+                  SectorState::corrupted)
+            << "file " << f << " replica " << i;
+      }
+    }
+  }
+
+  // 4. DRep invariants hold on every surviving sector.
+  for (ProviderAgent* p : providers) {
+    if (p->crashed()) continue;
+    for (SectorId s : p->sectors()) {
+      if (sim.network().sectors().at(s).state == SectorState::corrupted) {
+        continue;
+      }
+      EXPECT_TRUE(p->drep(s).invariant_holds()) << "sector " << s;
+    }
+  }
+
+  // 5. Whatever survived is still retrievable (if any cooperative holder
+  //    remains).
+  for (ProviderAgent* p : providers) p->serve_retrieval = true;
+  int checked = 0;
+  for (FileId f : files) {
+    if (!sim.network().file_exists(f) || !client.owns(f)) continue;
+    if (checked >= 3) break;  // keep runtime bounded
+    ++checked;
+    bool done = false, ok = false;
+    client.retrieve(f, [&](bool success) {
+      done = true;
+      ok = success;
+    });
+    sim.run_until(sim.now() + 300);
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(ok) << "file " << f << " unretrievable despite surviving";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace fi::core

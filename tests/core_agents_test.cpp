@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/agents.h"
+#include "crypto/merkle.h"
+
+namespace fi::core {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+/// Full-stack parameters: real PoRep/PoSt on small files.
+Params agent_params() {
+  Params p;
+  p.min_capacity = 4096;
+  p.min_value = 10;
+  p.k = 2;
+  p.cap_para = 10.0;
+  p.gamma_deposit = 0.5;
+  p.proof_cycle = 50;
+  p.proof_due = 75;
+  p.proof_deadline = 150;
+  p.avg_refresh = 1000.0;  // no refresh by default
+  p.delay_per_kib = 5;
+  p.min_transfer_window = 5;
+  p.verify_proofs = true;
+  p.seal = {.work = 1, .challenges = 2};
+  p.post_challenges = 2;
+  p.cr_size = 1024;
+  return p;
+}
+
+struct AgentsFixture : ::testing::Test {
+  void build(Params p, int providers = 4, int sectors_each = 1,
+             ByteCount capacity = 8 * 4096, std::uint64_t seed = 0xabc) {
+    sim = std::make_unique<Simulation>(p, seed);
+    client = &sim->add_client(1'000'000);
+    for (int i = 0; i < providers; ++i) {
+      ProviderAgent& provider = sim->add_provider(10'000'000);
+      for (int s = 0; s < sectors_each; ++s) {
+        auto id = provider.register_sector(capacity);
+        ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+      }
+      agents.push_back(&provider);
+    }
+  }
+
+  template <typename E>
+  [[nodiscard]] std::vector<E> events_of() const {
+    std::vector<E> out;
+    for (const Event& e : sim->event_log()) {
+      if (const E* ev = std::get_if<E>(&e)) out.push_back(*ev);
+    }
+    return out;
+  }
+
+  std::unique_ptr<Simulation> sim;
+  ClientAgent* client = nullptr;
+  std::vector<ProviderAgent*> agents;
+};
+
+// ---------------------------------------------------------------------------
+// End-to-end storage with real PoRep
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentsFixture, StoreFileEndToEnd) {
+  build(agent_params());
+  const auto data = random_bytes(1500, 1);
+  auto id = client->store_file(data, 20);  // cp = 4
+  ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+  sim->run_until(100);
+
+  EXPECT_EQ(events_of<FileStored>().size(), 1u);
+  EXPECT_TRUE(events_of<UploadFailed>().empty());
+  auto& net = sim->network();
+  ASSERT_TRUE(net.file_exists(id.value()));
+  // Every entry is active with a registered, *verified* replica commitment.
+  for (ReplicaIndex i = 0; i < 4; ++i) {
+    const AllocEntry& e = net.allocations().entry(id.value(), i);
+    EXPECT_EQ(e.state, AllocState::normal);
+    EXPECT_FALSE(e.comm_r.is_zero());
+  }
+  // Providers hold sealed replicas and their DRep invariants hold.
+  std::size_t held = 0;
+  for (ProviderAgent* p : agents) {
+    held += p->replica_count();
+    for (SectorId s : p->sectors()) {
+      EXPECT_TRUE(p->drep(s).invariant_holds());
+    }
+  }
+  EXPECT_EQ(held, 4u);
+}
+
+TEST_F(AgentsFixture, WindowPoStKeepsFileAliveThroughManyCycles) {
+  build(agent_params());
+  const auto data = random_bytes(800, 2);
+  auto id = client->store_file(data, 10);
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(1000);  // ~20 proof cycles
+  EXPECT_TRUE(sim->network().file_exists(id.value()));
+  EXPECT_EQ(sim->network().stats().punishments, 0u);
+  EXPECT_EQ(sim->network().stats().sectors_corrupted, 0u);
+}
+
+TEST_F(AgentsFixture, RetrievalReturnsOriginalBytes) {
+  build(agent_params());
+  const auto data = random_bytes(2000, 3);
+  auto id = client->store_file(data, 10);
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(100);
+  bool done = false, ok = false;
+  client->retrieve(id.value(), [&](bool success) {
+    done = true;
+    ok = success;
+  });
+  sim->run_until(200);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(AgentsFixture, SelfishProvidersAreRoutedAround) {
+  build(agent_params());
+  const auto data = random_bytes(1200, 4);
+  auto id = client->store_file(data, 10);  // cp = 2
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(100);
+  // Make every provider but one selfish (§VI-E).
+  for (std::size_t i = 0; i + 1 < agents.size(); ++i) {
+    agents[i]->serve_retrieval = false;
+  }
+  bool done = false, ok = false;
+  client->retrieve(id.value(), [&](bool success) {
+    done = true;
+    ok = success;
+  });
+  sim->run_until(300);
+  EXPECT_TRUE(done);
+  // Succeeds iff some cooperative provider holds a replica; with cp=2 of 4
+  // providers this can legitimately fail, so only assert no crash and a
+  // completed callback. Stronger guarantee tested below with all-honest.
+  (void)ok;
+}
+
+TEST_F(AgentsFixture, LazyProviderCausesUploadFailure) {
+  build(agent_params());
+  agents[0]->confirm_enabled = false;
+  agents[1]->confirm_enabled = false;
+  agents[2]->confirm_enabled = false;
+  agents[3]->confirm_enabled = false;
+  const auto data = random_bytes(700, 5);
+  auto id = client->store_file(data, 10);
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(100);
+  EXPECT_EQ(events_of<UploadFailed>().size(), 1u);
+  EXPECT_FALSE(sim->network().file_exists(id.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Crash, detection via missed proofs, compensation
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentsFixture, CrashedProvidersDetectedAndConfiscated) {
+  build(agent_params());
+  const auto data = random_bytes(1000, 6);
+  auto id = client->store_file(data, 10);  // cp=2
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(100);
+  ASSERT_TRUE(sim->network().file_exists(id.value()));
+
+  // Crash every provider holding a replica: data is physically gone; the
+  // chain finds out when proofs stop arriving (ProofDeadline).
+  for (ProviderAgent* p : agents) {
+    if (p->replica_count() > 0) p->crash();
+  }
+  sim->run_until(1000);
+
+  EXPECT_FALSE(sim->network().file_exists(id.value()));
+  const auto lost = events_of<FileLost>();
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].value, 10u);
+  EXPECT_EQ(lost[0].compensated_now, 10u);
+  // The full value flowed out of the pool (rent paid during the detection
+  // window is a separate, legitimate cost).
+  EXPECT_EQ(sim->network().deposits().total_compensated(), 10u);
+  EXPECT_GT(sim->network().stats().sectors_corrupted, 0u);
+}
+
+TEST_F(AgentsFixture, SingleCrashDoesNotLoseFile) {
+  build(agent_params());
+  const auto data = random_bytes(1000, 7);
+  auto id = client->store_file(data, 20);  // cp=4
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(100);
+  // Crash exactly one holder.
+  for (ProviderAgent* p : agents) {
+    if (p->replica_count() > 0) {
+      p->crash();
+      break;
+    }
+  }
+  sim->run_until(1500);
+  EXPECT_TRUE(sim->network().file_exists(id.value()));
+  EXPECT_TRUE(events_of<FileLost>().empty());
+  // And the file is still retrievable from surviving replicas.
+  bool ok = false;
+  client->retrieve(id.value(), [&](bool success) { ok = success; });
+  sim->run_until(1700);
+  EXPECT_TRUE(ok);
+}
+
+// ---------------------------------------------------------------------------
+// Refresh with real re-sealing
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentsFixture, RefreshMovesSealedReplicas) {
+  Params p = agent_params();
+  p.avg_refresh = 1.0;  // refresh nearly every cycle
+  build(p, 6);
+  const auto data = random_bytes(900, 8);
+  auto id = client->store_file(data, 10);
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(2000);
+  const auto& stats = sim->network().stats();
+  EXPECT_GT(stats.refreshes_started, 0u);
+  EXPECT_GT(stats.refreshes_completed, 0u);
+  EXPECT_EQ(stats.refreshes_failed, 0u) << "honest handoffs must not fail";
+  EXPECT_TRUE(sim->network().file_exists(id.value()));
+  // After all that churn the content is still intact.
+  bool ok = false;
+  client->retrieve(id.value(), [&](bool success) { ok = success; });
+  sim->run_until(2300);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(AgentsFixture, RefreshSurvivesSourceCrashViaOtherHolders) {
+  Params p = agent_params();
+  p.avg_refresh = 2.0;
+  build(p, 6);
+  const auto data = random_bytes(900, 9);
+  auto id = client->store_file(data, 20);  // cp=4
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(100);
+  // One holder goes selfish about refresh handoffs: successors fetch the
+  // data from other holders (§III-D liveness argument).
+  for (ProviderAgent* a : agents) {
+    if (a->replica_count() > 0) {
+      a->serve_refresh = false;
+      break;
+    }
+  }
+  sim->run_until(2000);
+  EXPECT_TRUE(sim->network().file_exists(id.value()));
+  EXPECT_GT(sim->network().stats().refreshes_completed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Forgery attempts against the chain
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentsFixture, ForgedConfirmRejected) {
+  build(agent_params());
+  const auto data = random_bytes(600, 10);
+  auto id = client->store_file(data, 10);
+  ASSERT_TRUE(id.is_ok());
+  // Find a pending entry and try to confirm with a bogus commitment.
+  auto& net = sim->network();
+  const AllocEntry& e = net.allocations().entry(id.value(), 0);
+  const ProviderId owner = net.sectors().at(e.next).owner;
+  crypto::Hash256 bogus;
+  bogus.bytes[0] = 1;
+  EXPECT_EQ(
+      net.file_confirm(owner, id.value(), 0, e.next, bogus, std::nullopt)
+          .code(),
+      util::ErrorCode::proof_invalid);
+  // A real seal proof for the *wrong data* also fails (comm_d mismatch).
+  const auto wrong = random_bytes(600, 11);
+  const crypto::ReplicaId rid{owner, e.next, replica_nonce(id.value(), 0)};
+  const auto sealed = crypto::seal(wrong, rid, sim->params().seal);
+  const auto proof =
+      crypto::prove_seal(wrong, sealed, rid, sim->params().seal);
+  EXPECT_EQ(net.file_confirm(owner, id.value(), 0, e.next,
+                             crypto::replica_commitment(sealed), proof)
+                .code(),
+            util::ErrorCode::proof_invalid);
+}
+
+TEST_F(AgentsFixture, SybilReplicaReuseRejected) {
+  // One provider may hold two replica slots of the same file, but each slot
+  // demands its own seal: submitting slot-0's sealed bytes for slot 1 fails.
+  build(agent_params(), 2);
+  const auto data = random_bytes(600, 12);
+  auto id = client->store_file(data, 10);  // cp=2 over 2 providers
+  ASSERT_TRUE(id.is_ok());
+  auto& net = sim->network();
+  const AllocEntry& e0 = net.allocations().entry(id.value(), 0);
+  const AllocEntry& e1 = net.allocations().entry(id.value(), 1);
+  const ProviderId owner0 = net.sectors().at(e0.next).owner;
+  // Build the legitimate seal for slot 0...
+  const crypto::ReplicaId rid0{owner0, e0.next, replica_nonce(id.value(), 0)};
+  const auto sealed0 = crypto::seal(data, rid0, sim->params().seal);
+  const auto proof0 = crypto::prove_seal(data, sealed0, rid0,
+                                         sim->params().seal);
+  // ...and try to pass it off for slot 1 (same provider pretending two
+  // replicas are one copy). The replica id embeds the slot, so this fails.
+  EXPECT_EQ(net.file_confirm(owner0, id.value(), 1, e1.next,
+                             crypto::replica_commitment(sealed0), proof0)
+                .code(),
+            net.sectors().at(e1.next).owner == owner0
+                ? util::ErrorCode::proof_invalid
+                : util::ErrorCode::permission_denied);
+}
+
+TEST_F(AgentsFixture, ForgedWindowProofRejected) {
+  build(agent_params());
+  const auto data = random_bytes(600, 13);
+  auto id = client->store_file(data, 10);
+  ASSERT_TRUE(id.is_ok());
+  sim->run_until(100);
+  auto& net = sim->network();
+  const AllocEntry& e = net.allocations().entry(id.value(), 0);
+  const ProviderId owner = net.sectors().at(e.prev).owner;
+  // A prover who discarded the data and kept only random bytes cannot
+  // answer the beacon's challenges.
+  const auto junk = random_bytes(600, 14);
+  const crypto::ReplicaId rid{owner, e.prev, replica_nonce(id.value(), 0)};
+  auto forged = crypto::prove_window(junk, rid, net.beacon(net.now()),
+                                     net.now(), net.params().post_challenges);
+  forged.comm_r = e.comm_r;  // claim the registered commitment
+  EXPECT_EQ(net.file_prove(owner, id.value(), 0, e.prev, forged).code(),
+            util::ErrorCode::proof_invalid);
+}
+
+// ---------------------------------------------------------------------------
+// Economics and determinism
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentsFixture, MoneyConservedEndToEnd) {
+  build(agent_params(), 5);
+  auto total = [&] {
+    TokenAmount t = sim->ledger().balance(client->account());
+    for (ProviderAgent* p : agents) t += sim->ledger().balance(p->account());
+    auto& net = sim->network();
+    t += sim->ledger().balance(net.escrow_account());
+    t += sim->ledger().balance(net.pool_account());
+    t += sim->ledger().balance(net.rent_pool_account());
+    t += sim->ledger().balance(net.gas_sink_account());
+    t += sim->ledger().balance(net.traffic_escrow_account());
+    return t;
+  };
+  const TokenAmount initial = total();
+  auto id1 = client->store_file(random_bytes(1000, 15), 20);
+  auto id2 = client->store_file(random_bytes(500, 16), 10);
+  ASSERT_TRUE(id1.is_ok());
+  ASSERT_TRUE(id2.is_ok());
+  sim->run_until(300);
+  agents[0]->crash();
+  ASSERT_TRUE(client->discard_file(id2.value()).is_ok());
+  sim->run_until(1500);
+  EXPECT_EQ(total(), initial);
+  EXPECT_EQ(sim->ledger().total_supply(), initial);
+}
+
+TEST_F(AgentsFixture, DeterministicUnderFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(agent_params(), seed);
+    ClientAgent& client = sim.add_client(1'000'000);
+    std::vector<ProviderAgent*> providers;
+    for (int i = 0; i < 4; ++i) {
+      ProviderAgent& p = sim.add_provider(10'000'000);
+      (void)p.register_sector(8 * 4096);
+      providers.push_back(&p);
+    }
+    util::Xoshiro256 rng(seed);
+    std::vector<std::uint8_t> data(1200);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    (void)client.store_file(data, 20);
+    sim.run_until(800);
+    return std::make_tuple(sim.network().stats().files_stored,
+                           sim.network().stats().refreshes_started,
+                           sim.event_log().size(),
+                           sim.ledger().balance(client.account()));
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(std::get<3>(run(1234)), 0u);
+}
+
+}  // namespace
+}  // namespace fi::core

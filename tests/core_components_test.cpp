@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include "core/alloc_table.h"
+#include "core/deposit.h"
+#include "core/drep.h"
+#include "core/params.h"
+#include "core/pending_list.h"
+#include "core/sector.h"
+#include "core/subnet.h"
+#include "util/stats.h"
+
+namespace fi::core {
+namespace {
+
+Params small_params() {
+  Params p;
+  p.min_capacity = 1024;
+  p.min_value = 10;
+  p.k = 3;
+  p.cap_para = 10.0;
+  p.gamma_deposit = 0.05;
+  p.cr_size = 256;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Params
+// ---------------------------------------------------------------------------
+
+TEST(ParamsTest, ReplicaCountFollowsValue) {
+  const Params p = small_params();
+  EXPECT_EQ(p.replica_count(10), 3u);   // k * 1
+  EXPECT_EQ(p.replica_count(50), 15u);  // k * 5
+  EXPECT_THROW((void)p.replica_count(15), util::InvariantViolation);
+  EXPECT_THROW((void)p.replica_count(0), util::InvariantViolation);
+}
+
+TEST(ParamsTest, DepositProportionalToCapacity) {
+  const Params p = small_params();
+  // deposit = units * gamma * capPara * minValue = units * 0.05*10*10 = 5/unit
+  EXPECT_EQ(p.sector_deposit(1024), 5u);
+  EXPECT_EQ(p.sector_deposit(4 * 1024), 20u);
+}
+
+TEST(ParamsTest, DepositRoundsUp) {
+  Params p = small_params();
+  p.gamma_deposit = 0.033;  // 3.3 per unit -> 4
+  EXPECT_EQ(p.sector_deposit(1024), 4u);
+}
+
+TEST(ParamsTest, ValidateRejectsBadConfig) {
+  Params p = small_params();
+  p.proof_deadline = p.proof_due;  // must be strictly greater
+  EXPECT_THROW(p.validate(), util::InvariantViolation);
+  p = small_params();
+  p.cr_size = p.min_capacity + 1;
+  EXPECT_THROW(p.validate(), util::InvariantViolation);
+}
+
+TEST(ParamsTest, TransferWindowScalesWithSize) {
+  const Params p = small_params();
+  EXPECT_EQ(p.transfer_window(1), p.min_transfer_window);
+  EXPECT_EQ(p.transfer_window(10 * 1024), 10u * p.delay_per_kib);
+}
+
+// ---------------------------------------------------------------------------
+// SectorTable
+// ---------------------------------------------------------------------------
+
+TEST(SectorTableTest, RegisterValidatesCapacity) {
+  const Params p = small_params();
+  SectorTable table(p);
+  EXPECT_FALSE(table.register_sector(1, 0, 0).is_ok());
+  EXPECT_FALSE(table.register_sector(1, 1000, 0).is_ok());  // not a multiple
+  const auto id = table.register_sector(1, 2048, 5);
+  ASSERT_TRUE(id.is_ok());
+  const Sector& s = table.at(id.value());
+  EXPECT_EQ(s.capacity, 2048u);
+  EXPECT_EQ(s.free_cap, 2048u);
+  EXPECT_EQ(s.registered_at, 5u);
+  EXPECT_EQ(s.state, SectorState::normal);
+}
+
+TEST(SectorTableTest, RandomSectorWeightedByCapacity) {
+  const Params p = small_params();
+  SectorTable table(p);
+  ASSERT_TRUE(table.register_sector(1, 1024, 0).is_ok());       // weight 1
+  ASSERT_TRUE(table.register_sector(2, 3 * 1024, 0).is_ok());   // weight 3
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint64_t> counts(2, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[table.random_sector(rng).value()];
+  }
+  const std::vector<double> expected{kSamples * 0.25, kSamples * 0.75};
+  EXPECT_LT(util::chi_squared_statistic(counts, expected), 15.1);  // 1 dof
+}
+
+TEST(SectorTableTest, DisabledAndCorruptedNeverSampled) {
+  const Params p = small_params();
+  SectorTable table(p);
+  const SectorId a = table.register_sector(1, 1024, 0).value();
+  const SectorId b = table.register_sector(2, 1024, 0).value();
+  const SectorId c = table.register_sector(3, 1024, 0).value();
+  ASSERT_TRUE(table.disable(a).is_ok());
+  ASSERT_TRUE(table.mark_corrupted(b));
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.random_sector(rng).value(), c);
+  }
+}
+
+TEST(SectorTableTest, NoNormalSectorsFailsSampling) {
+  const Params p = small_params();
+  SectorTable table(p);
+  util::Xoshiro256 rng(3);
+  EXPECT_FALSE(table.random_sector(rng).is_ok());
+  const SectorId a = table.register_sector(1, 1024, 0).value();
+  ASSERT_TRUE(table.mark_corrupted(a));
+  EXPECT_FALSE(table.random_sector(rng).is_ok());
+}
+
+TEST(SectorTableTest, ReserveReleaseAccounting) {
+  const Params p = small_params();
+  SectorTable table(p);
+  const SectorId s = table.register_sector(1, 2048, 0).value();
+  ASSERT_TRUE(table.reserve(s, 1500).is_ok());
+  EXPECT_EQ(table.at(s).free_cap, 548u);
+  EXPECT_EQ(table.reserve(s, 600).code(),
+            util::ErrorCode::insufficient_space);
+  table.release(s, 1500);
+  EXPECT_EQ(table.at(s).free_cap, 2048u);
+}
+
+TEST(SectorTableTest, ReleaseOnCorruptedIsNoOp) {
+  const Params p = small_params();
+  SectorTable table(p);
+  const SectorId s = table.register_sector(1, 2048, 0).value();
+  ASSERT_TRUE(table.reserve(s, 1000).is_ok());
+  table.mark_corrupted(s);
+  table.release(s, 1000);  // dead space is not reusable
+  EXPECT_EQ(table.at(s).free_cap, 1048u);
+}
+
+TEST(SectorTableTest, DisableLifecycle) {
+  const Params p = small_params();
+  SectorTable table(p);
+  const SectorId s = table.register_sector(1, 1024, 0).value();
+  table.add_ref(s);
+  ASSERT_TRUE(table.disable(s).is_ok());
+  EXPECT_EQ(table.at(s).state, SectorState::disabled);
+  EXPECT_FALSE(table.disable(s).is_ok());  // idempotence rejected
+  EXPECT_FALSE(table.reserve(s, 10).is_ok());  // no new data
+  table.drop_ref(s);
+  table.mark_removed(s);
+  EXPECT_EQ(table.at(s).state, SectorState::removed);
+}
+
+TEST(SectorTableTest, CapacityTotals) {
+  const Params p = small_params();
+  SectorTable table(p);
+  table.register_sector(1, 1024, 0);
+  const SectorId b = table.register_sector(2, 2048, 0).value();
+  table.register_sector(3, 4096, 0);
+  table.mark_corrupted(b);
+  EXPECT_EQ(table.total_capacity(SectorState::normal), 5120u);
+  EXPECT_EQ(table.total_capacity(SectorState::corrupted), 2048u);
+  EXPECT_EQ(table.live_capacity(), 5120u);
+}
+
+// ---------------------------------------------------------------------------
+// AllocTable
+// ---------------------------------------------------------------------------
+
+TEST(AllocTableTest, CreateAndQueryEntries) {
+  AllocTable table;
+  table.create_file(1, 3);
+  EXPECT_TRUE(table.has_file(1));
+  EXPECT_EQ(table.replica_count(1), 3u);
+  const AllocEntry& e = table.entry(1, 0);
+  EXPECT_EQ(e.prev, kNoSector);
+  EXPECT_EQ(e.next, kNoSector);
+  EXPECT_EQ(e.state, AllocState::alloc);
+  EXPECT_EQ(e.last, kNoTime);
+}
+
+TEST(AllocTableTest, ReverseIndexesTrackLinks) {
+  AllocTable table;
+  table.create_file(1, 2);
+  table.create_file(2, 1);
+  table.set_next(1, 0, 7);
+  table.set_next(1, 1, 7);
+  table.set_next(2, 0, 7);
+  EXPECT_EQ(table.entries_with_next(7).size(), 3u);
+  table.set_prev(1, 0, 7);
+  table.set_next(1, 0, kNoSector);
+  EXPECT_EQ(table.entries_with_next(7).size(), 2u);
+  EXPECT_EQ(table.entries_with_prev(7).size(), 1u);
+  table.remove_file(1);
+  EXPECT_EQ(table.entries_with_next(7).size(), 1u);
+  EXPECT_TRUE(table.entries_with_prev(7).empty());
+}
+
+TEST(AllocTableTest, NormalSamplerTracksStateTransitions) {
+  AllocTable table;
+  util::Xoshiro256 rng(4);
+  table.create_file(1, 2);
+  EXPECT_EQ(table.normal_entry_count(), 0u);
+  EXPECT_FALSE(table.random_normal_entry(rng).has_value());
+  table.set_state(1, 0, AllocState::normal);
+  table.set_state(1, 1, AllocState::normal);
+  EXPECT_EQ(table.normal_entry_count(), 2u);
+  table.set_state(1, 0, AllocState::alloc);
+  EXPECT_EQ(table.normal_entry_count(), 1u);
+  const auto key = table.random_normal_entry(rng);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, (EntryKey{1, 1}));
+  table.remove_file(1);
+  EXPECT_EQ(table.normal_entry_count(), 0u);
+}
+
+TEST(AllocTableTest, SamplerUniformOverNormalEntries) {
+  AllocTable table;
+  table.create_file(1, 4);
+  for (ReplicaIndex i = 0; i < 4; ++i) table.set_state(1, i, AllocState::normal);
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint64_t> counts(4, 0);
+  constexpr int kSamples = 40'000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[table.random_normal_entry(rng)->second];
+  }
+  const std::vector<double> expected(4, kSamples / 4.0);
+  EXPECT_LT(util::chi_squared_statistic(counts, expected), 21.1);
+}
+
+TEST(AllocTableTest, DuplicateCreateRejected) {
+  AllocTable table;
+  table.create_file(1, 1);
+  EXPECT_THROW(table.create_file(1, 1), util::InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// PendingList
+// ---------------------------------------------------------------------------
+
+TEST(PendingListTest, PopsDueInOrder) {
+  PendingList list;
+  list.schedule(30, {TaskKind::check_proof, 3, 0});
+  list.schedule(10, {TaskKind::check_alloc, 1, 0});
+  list.schedule(20, {TaskKind::check_refresh, 2, 1});
+  EXPECT_EQ(list.next_time(), 10u);
+  const auto due = list.pop_due(20);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].second.file, 1u);
+  EXPECT_EQ(due[1].second.file, 2u);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.next_time(), 30u);
+}
+
+TEST(PendingListTest, InsertionOrderPreservedWithinTimestamp) {
+  PendingList list;
+  for (FileId f = 0; f < 10; ++f) list.schedule(5, {TaskKind::check_proof, f, 0});
+  const auto due = list.pop_due(5);
+  for (FileId f = 0; f < 10; ++f) EXPECT_EQ(due[f].second.file, f);
+}
+
+TEST(PendingListTest, EmptyListReportsNoTime) {
+  PendingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.next_time(), kNoTime);
+  EXPECT_TRUE(list.pop_due(100).empty());
+}
+
+// ---------------------------------------------------------------------------
+// DepositBook
+// ---------------------------------------------------------------------------
+
+struct DepositFixture : ::testing::Test {
+  ledger::Ledger ledger;
+  AccountId escrow = ledger.create_account();
+  AccountId pool = ledger.create_account();
+  AccountId owner = ledger.create_account(1000);
+  AccountId client = ledger.create_account(0);
+  DepositBook book{ledger, escrow, pool};
+};
+
+TEST_F(DepositFixture, PledgeLocksDeposit) {
+  ASSERT_TRUE(book.pledge(1, owner, 400).is_ok());
+  EXPECT_EQ(ledger.balance(owner), 600u);
+  EXPECT_EQ(book.escrow_balance(), 400u);
+  EXPECT_EQ(book.remaining(1), 400u);
+}
+
+TEST_F(DepositFixture, PledgeFailsOnInsufficientFunds) {
+  EXPECT_FALSE(book.pledge(1, owner, 2000).is_ok());
+  EXPECT_EQ(ledger.balance(owner), 1000u);
+}
+
+TEST_F(DepositFixture, PunishMovesBasisPoints) {
+  ASSERT_TRUE(book.pledge(1, owner, 1000).is_ok());
+  EXPECT_EQ(book.punish(1, 100), 10u);  // 1%
+  EXPECT_EQ(book.remaining(1), 990u);
+  EXPECT_EQ(book.pool_balance(), 10u);
+  // Punishing again slashes 1% of the *remaining* deposit.
+  EXPECT_EQ(book.punish(1, 1000), 99u);
+  EXPECT_EQ(book.remaining(1), 891u);
+}
+
+TEST_F(DepositFixture, ConfiscateTakesEverything) {
+  ASSERT_TRUE(book.pledge(1, owner, 700).is_ok());
+  EXPECT_EQ(book.confiscate(1), 700u);
+  EXPECT_EQ(book.remaining(1), 0u);
+  EXPECT_EQ(book.pool_balance(), 700u);
+  EXPECT_EQ(book.total_confiscated(), 700u);
+  EXPECT_EQ(book.confiscate(1), 0u);  // idempotent
+}
+
+TEST_F(DepositFixture, RefundReturnsRemainder) {
+  ASSERT_TRUE(book.pledge(1, owner, 500).is_ok());
+  book.punish(1, 1000);  // 10% -> 50 slashed
+  EXPECT_EQ(book.refund(1), 450u);
+  EXPECT_EQ(ledger.balance(owner), 950u);
+  EXPECT_EQ(book.escrow_balance(), 0u);
+}
+
+TEST_F(DepositFixture, CompensationPaysFromPool) {
+  ASSERT_TRUE(book.pledge(1, owner, 500).is_ok());
+  book.confiscate(1);
+  EXPECT_EQ(book.compensate(client, 300), 300u);
+  EXPECT_EQ(ledger.balance(client), 300u);
+  EXPECT_EQ(book.pool_balance(), 200u);
+  EXPECT_EQ(book.outstanding_liabilities(), 0u);
+}
+
+TEST_F(DepositFixture, ShortfallBecomesLiabilitySettledLater) {
+  ASSERT_TRUE(book.pledge(1, owner, 100).is_ok());
+  ASSERT_TRUE(book.pledge(2, owner, 400).is_ok());
+  book.confiscate(1);  // pool = 100
+  EXPECT_EQ(book.compensate(client, 250), 100u);
+  EXPECT_EQ(book.outstanding_liabilities(), 150u);
+  // The next confiscation settles the debt FIFO.
+  book.confiscate(2);  // pool receives 400, pays 150 immediately
+  EXPECT_EQ(book.outstanding_liabilities(), 0u);
+  EXPECT_EQ(ledger.balance(client), 250u);
+  EXPECT_EQ(book.pool_balance(), 250u);
+  EXPECT_EQ(book.total_compensated(), 250u);
+}
+
+// ---------------------------------------------------------------------------
+// DRep (Fig. 2)
+// ---------------------------------------------------------------------------
+
+TEST(DRepTest, InitialFillMatchesFigure2a) {
+  // capacity 6 CRs: sector starts with exactly six capacity replicas.
+  DRepManager drep(1, 1, 6 * 256, 256, {}, /*materialize=*/false);
+  EXPECT_EQ(drep.cr_count(), 6u);
+  EXPECT_EQ(drep.unsealed_space(), 0u);
+  EXPECT_TRUE(drep.invariant_holds());
+}
+
+TEST(DRepTest, FilesDisplaceCapacityReplicas) {
+  // Fig. 2b: after filling files, two CRs remain.
+  DRepManager drep(1, 1, 6 * 256, 256, {}, false);
+  drep.add_replica(1, 600);
+  drep.add_replica(2, 400);
+  // 1536 total; files use 1000 -> free 536 -> 2 CRs + 24 unsealed.
+  EXPECT_EQ(drep.cr_count(), 2u);
+  EXPECT_EQ(drep.unsealed_space(), 24u);
+  EXPECT_TRUE(drep.invariant_holds());
+}
+
+TEST(DRepTest, RemovalRegeneratesCRs) {
+  // Fig. 2c: when file size decreases, a CR is regenerated.
+  DRepManager drep(1, 1, 6 * 256, 256, {}, false);
+  drep.add_replica(1, 600);
+  drep.add_replica(2, 400);
+  const auto before = drep.present_cr_indices();
+  drep.remove_replica(2);
+  EXPECT_EQ(drep.cr_count(), 3u);
+  EXPECT_GT(drep.regeneration_count(), 0u);
+  // Regenerated CRs take the lowest absent indices.
+  const auto after = drep.present_cr_indices();
+  EXPECT_TRUE(std::includes(after.begin(), after.end(), before.begin(),
+                            before.end()));
+  EXPECT_TRUE(drep.invariant_holds());
+}
+
+TEST(DRepTest, CommitmentsStableAcrossRegeneration) {
+  DRepManager drep(1, 1, 4 * 256, 256, {}, false);
+  const crypto::Hash256 before = drep.cr_commitment(3);
+  drep.add_replica(1, 256);  // drops CR3
+  EXPECT_EQ(drep.cr_count(), 3u);
+  drep.remove_replica(1);  // regenerates it
+  EXPECT_EQ(drep.cr_commitment(3), before);
+}
+
+TEST(DRepTest, MaterializedModeExposesSealedBytes) {
+  DRepManager drep(1, 1, 2 * 256, 256, {.work = 1, .challenges = 2}, true);
+  const auto& bytes = drep.cr_bytes(0);
+  EXPECT_EQ(bytes.size(), 256u);
+  // Sealed zeros are not zeros.
+  EXPECT_NE(bytes, std::vector<std::uint8_t>(256, 0));
+  drep.add_replica(1, 256);
+  EXPECT_THROW((void)drep.cr_bytes(1), util::InvariantViolation);
+}
+
+TEST(DRepTest, DistinctReplicasOfSameFileCoexist) {
+  DRepManager drep(1, 1, 4 * 256, 256, {}, false);
+  drep.add_replica(replica_nonce(9, 0), 100);
+  drep.add_replica(replica_nonce(9, 1), 100);
+  EXPECT_EQ(drep.used_by_files(), 200u);
+  EXPECT_THROW(drep.add_replica(replica_nonce(9, 1), 100),
+               util::InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// §VI-D value subnets
+// ---------------------------------------------------------------------------
+
+TEST(SubnetTest, RoutesByValueLevel) {
+  ledger::Ledger ledger;
+  Params p = small_params();
+  ValueSubnets subnets({10, 100, 1000}, p, ledger, 7);
+  EXPECT_EQ(subnets.subnet_count(), 3u);
+  EXPECT_EQ(subnets.level_for(10).value(), 0u);
+  EXPECT_EQ(subnets.level_for(100).value(), 1u);   // largest dividing level
+  EXPECT_EQ(subnets.level_for(110).value(), 0u);   // only 10 divides 110
+  EXPECT_EQ(subnets.level_for(3000).value(), 2u);
+  EXPECT_FALSE(subnets.level_for(5).is_ok());
+}
+
+TEST(SubnetTest, ReplicaCountStaysNearKAcrossLevels) {
+  ledger::Ledger ledger;
+  Params p = small_params();
+  ValueSubnets subnets({10, 100, 1000}, p, ledger, 7);
+  // A 1000-value file in the level-1000 subnet has exactly k replicas,
+  // instead of k*100 in the base network.
+  EXPECT_EQ(subnets.subnet(2).params().replica_count(1000), p.k);
+}
+
+TEST(SubnetTest, FileAddLandsInCorrectSubnet) {
+  ledger::Ledger ledger;
+  Params p = small_params();
+  p.verify_proofs = false;
+  ValueSubnets subnets({10, 100}, p, ledger, 7);
+  const AccountId provider = ledger.create_account(1'000'000);
+  const AccountId client = ledger.create_account(1'000'000);
+  for (std::size_t level = 0; level < 2; ++level) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          subnets.subnet(level).sector_register(provider, 4 * 1024).is_ok());
+    }
+  }
+  FileInfo info;
+  info.size = 100;
+  info.value = 100;
+  const auto result = subnets.file_add(client, info);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().first, 1u);
+  EXPECT_TRUE(subnets.subnet(1).file_exists(result.value().second));
+  EXPECT_FALSE(subnets.subnet(0).file_exists(result.value().second));
+}
+
+}  // namespace
+}  // namespace fi::core

@@ -1,0 +1,707 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/network.h"
+#include "ledger/account.h"
+
+namespace fi::core {
+namespace {
+
+/// Metadata-mode fixture: proofs are trusted declarations, so protocol
+/// control flow can be tested without sealing bytes (the cryptographic path
+/// is covered by core_agents_test).
+class NetworkFixture : public ::testing::Test {
+ protected:
+  static Params test_params() {
+    Params p;
+    p.min_capacity = 1024;
+    p.min_value = 10;
+    p.k = 2;
+    p.cap_para = 10.0;
+    p.gamma_deposit = 0.5;  // generous pool so compensation is visible
+    p.proof_cycle = 100;
+    p.proof_due = 150;
+    p.proof_deadline = 300;
+    p.avg_refresh = 1000.0;  // effectively no refresh unless a test wants it
+    p.verify_proofs = false;
+    p.cr_size = 256;
+    return p;
+  }
+
+  void build(Params p, int sectors = 4, ByteCount capacity = 4 * 1024) {
+    params = p;
+    net = std::make_unique<Network>(p, ledger, /*seed=*/7);
+    net->subscribe([this](const Event& e) { events.push_back(e); });
+    client = ledger.create_account(1'000'000);
+    for (int i = 0; i < sectors; ++i) {
+      providers.push_back(ledger.create_account(1'000'000));
+      auto id = net->sector_register(providers.back(), capacity);
+      EXPECT_TRUE(id.is_ok()) << id.status().to_string();
+      sectors_.push_back(id.value());
+    }
+  }
+
+  /// Adds a file and confirms every replica, returning the id.
+  FileId add_and_store(ByteCount size, TokenAmount value) {
+    auto id = net->file_add(client, {size, value, {}});
+    EXPECT_TRUE(id.is_ok()) << id.status().to_string();
+    confirm_all(id.value());
+    const Time deadline = net->now() + params.transfer_window(size);
+    net->advance_to(deadline);
+    EXPECT_TRUE(net->file_exists(id.value()));
+    return id.value();
+  }
+
+  void confirm_all(FileId file) {
+    for (ReplicaIndex i = 0; i < net->allocations().replica_count(file); ++i) {
+      const AllocEntry& e = net->allocations().entry(file, i);
+      if (e.state != AllocState::alloc || e.next == kNoSector) continue;
+      const ProviderId owner = net->sectors().at(e.next).owner;
+      auto status =
+          net->file_confirm(owner, file, i, e.next, {}, std::nullopt);
+      EXPECT_TRUE(status.is_ok()) << status.to_string();
+    }
+  }
+
+  template <typename E>
+  [[nodiscard]] std::vector<E> events_of() const {
+    std::vector<E> out;
+    for (const Event& e : events) {
+      if (const E* ev = std::get_if<E>(&e)) out.push_back(*ev);
+    }
+    return out;
+  }
+
+  /// Every token in the system is in a known account.
+  [[nodiscard]] TokenAmount system_total() const {
+    TokenAmount total = ledger.balance(client);
+    for (AccountId p : providers) total += ledger.balance(p);
+    total += ledger.balance(net->escrow_account());
+    total += ledger.balance(net->pool_account());
+    total += ledger.balance(net->rent_pool_account());
+    total += ledger.balance(net->gas_sink_account());
+    total += ledger.balance(net->traffic_escrow_account());
+    return total;
+  }
+
+  Params params;
+  ledger::Ledger ledger;
+  std::unique_ptr<Network> net;
+  ClientId client = 0;
+  std::vector<ProviderId> providers;
+  std::vector<SectorId> sectors_;
+  std::vector<Event> events;
+};
+
+// ---------------------------------------------------------------------------
+// Sector registration / disable
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, RegisterPledgesDeposit) {
+  build(test_params(), 1);
+  const TokenAmount deposit = params.sector_deposit(4 * 1024);
+  EXPECT_EQ(net->deposits().remaining(sectors_[0]), deposit);
+  EXPECT_EQ(ledger.balance(providers[0]),
+            1'000'000 - deposit - params.gas_per_task);
+}
+
+TEST_F(NetworkFixture, RegisterRejectsBadCapacityAndPoorProvider) {
+  build(test_params(), 1);
+  EXPECT_EQ(net->sector_register(providers[0], 1000).status().code(),
+            util::ErrorCode::invalid_argument);
+  const AccountId pauper = ledger.create_account(1);
+  EXPECT_EQ(net->sector_register(pauper, 1024).status().code(),
+            util::ErrorCode::insufficient_funds);
+}
+
+TEST_F(NetworkFixture, DisableEmptySectorRefundsImmediately) {
+  build(test_params(), 1);
+  const TokenAmount before = ledger.balance(providers[0]);
+  ASSERT_TRUE(net->sector_disable(providers[0], sectors_[0]).is_ok());
+  EXPECT_EQ(net->sectors().at(sectors_[0]).state, SectorState::removed);
+  EXPECT_EQ(ledger.balance(providers[0]),
+            before + params.sector_deposit(4 * 1024) - params.gas_per_task);
+  EXPECT_EQ(events_of<SectorRemoved>().size(), 1u);
+}
+
+TEST_F(NetworkFixture, DisableRequiresOwnership) {
+  build(test_params(), 2);
+  EXPECT_EQ(net->sector_disable(providers[0], sectors_[1]).code(),
+            util::ErrorCode::permission_denied);
+}
+
+// ---------------------------------------------------------------------------
+// File_Add validation and allocation
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, FileAddValidatesInputs) {
+  build(test_params());
+  EXPECT_EQ(net->file_add(client, {0, 10, {}}).status().code(),
+            util::ErrorCode::invalid_argument);
+  EXPECT_EQ(net->file_add(client, {100, 15, {}}).status().code(),
+            util::ErrorCode::invalid_argument);
+  EXPECT_EQ(net->file_add(client, {100, 0, {}}).status().code(),
+            util::ErrorCode::invalid_argument);
+  EXPECT_EQ(net->file_add(999, {100, 10, {}}).status().code(),
+            util::ErrorCode::not_found);
+}
+
+TEST_F(NetworkFixture, FileAddReservesSpaceAndEmitsTransfers) {
+  build(test_params());
+  auto id = net->file_add(client, {2048, 20, {}});  // cp = 4
+  ASSERT_TRUE(id.is_ok());
+  const auto requests = events_of<ReplicaTransferRequested>();
+  ASSERT_EQ(requests.size(), 4u);
+  ByteCount reserved = 0;
+  for (SectorId s : sectors_) {
+    reserved += net->sectors().at(s).capacity - net->sectors().at(s).free_cap;
+  }
+  EXPECT_EQ(reserved, 4u * 2048u);
+  for (const auto& r : requests) {
+    EXPECT_EQ(r.from, kNoSector);
+    EXPECT_EQ(r.client, client);
+    EXPECT_EQ(r.deadline, params.transfer_window(2048));
+  }
+}
+
+TEST_F(NetworkFixture, FileAddFailsWhenNothingFits) {
+  build(test_params(), 2, 1024);
+  // 800-byte file, cp=2; both sectors can hold one replica each; a second
+  // file cannot fit anywhere.
+  ASSERT_TRUE(net->file_add(client, {800, 10, {}}).is_ok());
+  const auto result = net->file_add(client, {800, 10, {}});
+  EXPECT_EQ(result.status().code(), util::ErrorCode::insufficient_space);
+  EXPECT_GT(net->stats().add_resamples, 0u);
+  // Failed allocation must not leak reservations.
+  ByteCount reserved = 0;
+  for (SectorId s : sectors_) {
+    reserved += net->sectors().at(s).capacity - net->sectors().at(s).free_cap;
+  }
+  EXPECT_EQ(reserved, 2u * 800u);
+}
+
+TEST_F(NetworkFixture, FileAddWithNoSectorsFails) {
+  build(test_params(), 0);
+  EXPECT_EQ(net->file_add(client, {100, 10, {}}).status().code(),
+            util::ErrorCode::unavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Upload: confirm, CheckAlloc success and failure
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, SuccessfulUploadActivatesReplicas) {
+  build(test_params());
+  const FileId id = add_and_store(1000, 20);
+  EXPECT_EQ(events_of<FileStored>().size(), 1u);
+  EXPECT_EQ(events_of<ReplicaActivated>().size(), 4u);
+  for (ReplicaIndex i = 0; i < 4; ++i) {
+    const AllocEntry& e = net->allocations().entry(id, i);
+    EXPECT_EQ(e.state, AllocState::normal);
+    EXPECT_NE(e.prev, kNoSector);
+    EXPECT_EQ(e.next, kNoSector);
+    EXPECT_NE(e.last, kNoTime);
+  }
+  EXPECT_EQ(net->total_stored_value(), 20u);
+  EXPECT_EQ(net->stats().files_stored, 1u);
+}
+
+TEST_F(NetworkFixture, ConfirmValidations) {
+  build(test_params());
+  auto id = net->file_add(client, {1000, 10, {}});
+  ASSERT_TRUE(id.is_ok());
+  const AllocEntry& e = net->allocations().entry(id.value(), 0);
+  const ProviderId owner = net->sectors().at(e.next).owner;
+  // Wrong provider.
+  const ProviderId wrong =
+      providers[0] == owner ? providers[1] : providers[0];
+  if (net->sectors().at(e.next).owner != wrong) {
+    EXPECT_EQ(net->file_confirm(wrong, id.value(), 0, e.next, {}, std::nullopt)
+                  .code(),
+              util::ErrorCode::permission_denied);
+  }
+  // Unknown file / bad index.
+  EXPECT_EQ(
+      net->file_confirm(owner, 999, 0, e.next, {}, std::nullopt).code(),
+      util::ErrorCode::not_found);
+  EXPECT_EQ(
+      net->file_confirm(owner, id.value(), 9, e.next, {}, std::nullopt).code(),
+      util::ErrorCode::invalid_argument);
+  // Valid confirm, then double-confirm is rejected (state moved on).
+  ASSERT_TRUE(
+      net->file_confirm(owner, id.value(), 0, e.next, {}, std::nullopt).is_ok());
+  EXPECT_EQ(
+      net->file_confirm(owner, id.value(), 0, e.next, {}, std::nullopt).code(),
+      util::ErrorCode::failed_precondition);
+}
+
+TEST_F(NetworkFixture, UnconfirmedUploadFailsAndRefunds) {
+  build(test_params());
+  const TokenAmount before = ledger.balance(client);
+  auto id = net->file_add(client, {1000, 20, {}});  // cp=4
+  ASSERT_TRUE(id.is_ok());
+  // Only confirm replica 0; the rest never arrive.
+  const AllocEntry& e0 = net->allocations().entry(id.value(), 0);
+  const ProviderId owner = net->sectors().at(e0.next).owner;
+  ASSERT_TRUE(
+      net->file_confirm(owner, id.value(), 0, e0.next, {}, std::nullopt).is_ok());
+  net->advance_to(params.transfer_window(1000));
+
+  EXPECT_FALSE(net->file_exists(id.value()));
+  EXPECT_EQ(net->stats().upload_failures, 1u);
+  ASSERT_EQ(events_of<UploadFailed>().size(), 1u);
+  // All reservations released.
+  for (SectorId s : sectors_) {
+    EXPECT_EQ(net->sectors().at(s).free_cap, net->sectors().at(s).capacity);
+  }
+  // Client got back the 3 unconfirmed traffic fees; the confirmed provider
+  // keeps one; gas (request + prepaid CheckAlloc) is burnt.
+  const TokenAmount traffic = params.traffic_fee(1000);
+  EXPECT_EQ(ledger.balance(client),
+            before - 2 * params.gas_per_task - traffic);
+  EXPECT_EQ(ledger.balance(net->traffic_escrow_account()), 0u);
+}
+
+TEST_F(NetworkFixture, ConfirmedProviderEarnsTrafficFee) {
+  build(test_params());
+  auto id = net->file_add(client, {1000, 10, {}});
+  ASSERT_TRUE(id.is_ok());
+  const AllocEntry& e = net->allocations().entry(id.value(), 0);
+  const ProviderId owner = net->sectors().at(e.next).owner;
+  const TokenAmount before = ledger.balance(owner);
+  ASSERT_TRUE(
+      net->file_confirm(owner, id.value(), 0, e.next, {}, std::nullopt).is_ok());
+  EXPECT_EQ(ledger.balance(owner), before + params.traffic_fee(1000));
+}
+
+// ---------------------------------------------------------------------------
+// Proofs, punishment, corruption (Auto_CheckProof)
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, AutoProveKeepsFileHealthy) {
+  build(test_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  net->advance_to(3000);
+  EXPECT_TRUE(net->file_exists(id));
+  EXPECT_EQ(net->stats().punishments, 0u);
+  EXPECT_EQ(net->stats().sectors_corrupted, 0u);
+}
+
+TEST_F(NetworkFixture, ManualTrustedProofsKeepFileHealthy) {
+  build(test_params());
+  const FileId id = add_and_store(1000, 20);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const Time next_check = net->next_task_time();
+    net->advance_to(next_check - 1);
+    for (ReplicaIndex i = 0; i < 4; ++i) {
+      const AllocEntry& e = net->allocations().entry(id, i);
+      auto status = net->file_prove_trusted(net->sectors().at(e.prev).owner,
+                                            id, i, e.prev, net->now());
+      ASSERT_TRUE(status.is_ok()) << status.to_string();
+    }
+    net->advance_to(next_check);
+  }
+  EXPECT_TRUE(net->file_exists(id));
+  EXPECT_EQ(net->stats().punishments, 0u);
+}
+
+TEST_F(NetworkFixture, LateProofPunished) {
+  build(test_params());
+  const FileId id = add_and_store(1000, 20);
+  // Nobody proves: the second CheckProof sees last + proof_due < now.
+  const TokenAmount deposit_before = net->deposits().remaining(
+      net->allocations().entry(id, 0).prev);
+  net->advance_to(251);  // checks at 1+100=101 (fresh), 201 (late)
+  EXPECT_GT(net->stats().punishments, 0u);
+  EXPECT_LT(net->deposits().remaining(net->allocations().entry(id, 0).prev),
+            deposit_before);
+  EXPECT_FALSE(events_of<ProviderPunished>().empty());
+  EXPECT_TRUE(net->file_exists(id));
+}
+
+TEST_F(NetworkFixture, ProofDeadlineCorruptsSector) {
+  build(test_params());
+  const FileId id = add_and_store(1000, 20);
+  // No proofs at all: at t=301+, last(=1) + 300 < now -> confiscation.
+  net->advance_to(402);
+  EXPECT_GT(net->stats().sectors_corrupted, 0u);
+  EXPECT_FALSE(events_of<SectorCorrupted>().empty());
+  const auto corrupted = events_of<SectorCorrupted>();
+  for (const auto& ev : corrupted) {
+    EXPECT_EQ(net->deposits().remaining(ev.sector), 0u);
+    EXPECT_GT(ev.confiscated, 0u);
+  }
+  (void)id;
+}
+
+TEST_F(NetworkFixture, ReplayedProofRejected) {
+  build(test_params());
+  const FileId id = add_and_store(1000, 20);
+  net->advance_to(50);
+  const AllocEntry& e = net->allocations().entry(id, 0);
+  const ProviderId owner = net->sectors().at(e.prev).owner;
+  ASSERT_TRUE(net->file_prove_trusted(owner, id, 0, e.prev, 50).is_ok());
+  EXPECT_EQ(net->file_prove_trusted(owner, id, 0, e.prev, 50).code(),
+            util::ErrorCode::proof_invalid);
+  EXPECT_EQ(net->file_prove_trusted(owner, id, 0, e.prev, 40).code(),
+            util::ErrorCode::proof_invalid);
+  EXPECT_EQ(net->file_prove_trusted(owner, id, 0, e.prev, 99).code(),
+            util::ErrorCode::proof_invalid);  // future-dated
+}
+
+// ---------------------------------------------------------------------------
+// File loss and compensation
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, LosingAllReplicasCompensatesClient) {
+  build(test_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  const TokenAmount before = ledger.balance(client);
+  // Corrupt every sector holding a replica.
+  for (ReplicaIndex i = 0; i < 4; ++i) {
+    const AllocEntry& e = net->allocations().entry(id, i);
+    if (net->sectors().at(e.prev).state != SectorState::corrupted) {
+      net->corrupt_sector_now(e.prev);
+    }
+  }
+  const Time next_check = net->next_task_time();
+  net->advance_to(next_check);
+  EXPECT_FALSE(net->file_exists(id));
+  const auto lost = events_of<FileLost>();
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].value, 20u);
+  EXPECT_EQ(lost[0].compensated_now, 20u);  // pool is well funded
+  // Fig. 8 deducts the cycle's rent + gas before discovering the loss.
+  const TokenAmount cycle_cost =
+      params.rent_per_cycle(1000, 4) + 2 * params.gas_per_task;
+  EXPECT_EQ(ledger.balance(client), before + 20u - cycle_cost);
+  EXPECT_EQ(net->stats().files_lost, 1u);
+  EXPECT_EQ(net->stats().value_lost, 20u);
+}
+
+TEST_F(NetworkFixture, PartialCorruptionKeepsFileAlive) {
+  build(test_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  net->corrupt_sector_now(net->allocations().entry(id, 0).prev);
+  net->advance_to(net->now() + 5 * params.proof_cycle);
+  EXPECT_TRUE(net->file_exists(id));
+  EXPECT_EQ(net->stats().files_lost, 0u);
+}
+
+TEST_F(NetworkFixture, CompensationShortfallBecomesLiability) {
+  Params p = test_params();
+  p.gamma_deposit = 0.001;  // deliberately under-collateralized
+  build(p, 4, 4 * 1024);
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(500, 100);  // cp = 20, value 100
+  const TokenAmount client_before = ledger.balance(client);
+  // Destroy the whole fleet: every replica is gone, but the confiscated
+  // deposits cannot cover the value.
+  for (SectorId s : sectors_) net->corrupt_sector_now(s);
+  net->advance_to(net->now() + params.proof_cycle + 1);
+  EXPECT_FALSE(net->file_exists(id));
+  const auto lost = events_of<FileLost>();
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_LT(lost[0].compensated_now, lost[0].value);
+  EXPECT_GT(net->deposits().outstanding_liabilities(), 0u);
+  // A later confiscation settles the liability FIFO.
+  const AccountId fresh_provider = ledger.create_account(1'000'000);
+  // Big enough that its confiscated deposit covers the whole shortfall.
+  auto fresh = net->sector_register(fresh_provider, 1024 * 1024);
+  ASSERT_TRUE(fresh.is_ok());
+  net->corrupt_sector_now(fresh.value());
+  EXPECT_EQ(net->deposits().outstanding_liabilities(), 0u);
+  // Full value arrives net of the cycle's rent+gas deducted at CheckProof.
+  const TokenAmount cycle_cost =
+      params.rent_per_cycle(500, 20) + 2 * params.gas_per_task;
+  EXPECT_EQ(ledger.balance(client), client_before + 100u - cycle_cost);
+}
+
+// ---------------------------------------------------------------------------
+// Discard and rent
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, DiscardRemovesAtNextCheckProof) {
+  build(test_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  ASSERT_TRUE(net->file_discard(client, id).is_ok());
+  EXPECT_TRUE(net->file_exists(id));  // still there until the check
+  net->advance_to(net->now() + params.proof_cycle + 1);
+  EXPECT_FALSE(net->file_exists(id));
+  const auto discarded = events_of<FileDiscarded>();
+  ASSERT_EQ(discarded.size(), 1u);
+  EXPECT_FALSE(discarded[0].for_unpaid_rent);
+  // Space is reclaimed.
+  for (SectorId s : sectors_) {
+    EXPECT_EQ(net->sectors().at(s).free_cap, net->sectors().at(s).capacity);
+  }
+  EXPECT_EQ(net->stats().files_discarded, 1u);
+}
+
+TEST_F(NetworkFixture, DiscardRequiresOwnership) {
+  build(test_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  EXPECT_EQ(net->file_discard(providers[0], id).code(),
+            util::ErrorCode::permission_denied);
+}
+
+TEST_F(NetworkFixture, RentChargedEachCycleAndDistributed) {
+  build(test_params());
+  net->set_auto_prove(true);
+  const TokenAmount client_before = ledger.balance(client);
+  const FileId id = add_and_store(1000, 20);
+  const TokenAmount after_add = ledger.balance(client);
+  const TokenAmount upload_cost = client_before - after_add;
+  // traffic fees flowed to providers; remaining cost is gas.
+  EXPECT_GT(upload_cost, 0u);
+
+  const TokenAmount rent = params.rent_per_cycle(1000, 4);
+  net->advance_to(net->now() + params.proof_cycle + 1);  // one CheckProof
+  EXPECT_EQ(ledger.balance(client),
+            after_add - rent - 2 * params.gas_per_task);
+
+  // After a full rent period the pool pays out to providers by capacity.
+  net->advance_to(params.rent_period_cycles * params.proof_cycle + 1);
+  EXPECT_FALSE(events_of<RentDistributed>().empty());
+  EXPECT_TRUE(net->file_exists(id));
+}
+
+TEST_F(NetworkFixture, UnpaidRentDiscardsFile) {
+  build(test_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  // Drain the client to a balance below one cycle's rent+gas.
+  const TokenAmount balance = ledger.balance(client);
+  ASSERT_TRUE(ledger.transfer(client, providers[0], balance - 1).is_ok());
+  net->advance_to(net->now() + params.proof_cycle + 1);
+  EXPECT_FALSE(net->file_exists(id));
+  const auto discarded = events_of<FileDiscarded>();
+  ASSERT_EQ(discarded.size(), 1u);
+  EXPECT_TRUE(discarded[0].for_unpaid_rent);
+}
+
+// ---------------------------------------------------------------------------
+// Refresh (Auto_Refresh / Auto_CheckRefresh)
+// ---------------------------------------------------------------------------
+
+class RefreshFixture : public NetworkFixture {
+ protected:
+  static Params refresh_params() {
+    Params p = test_params();
+    p.avg_refresh = 1.0;  // refresh roughly every cycle
+    return p;
+  }
+
+  /// Confirms any in-flight refresh transfers (plays the honest successor).
+  void confirm_refreshes(FileId id) {
+    for (ReplicaIndex i = 0; i < net->allocations().replica_count(id); ++i) {
+      const AllocEntry& e = net->allocations().entry(id, i);
+      if (e.state == AllocState::alloc && e.next != kNoSector &&
+          e.prev != kNoSector) {
+        const ProviderId owner = net->sectors().at(e.next).owner;
+        ASSERT_TRUE(
+            net->file_confirm(owner, id, i, e.next, {}, std::nullopt).is_ok());
+      }
+    }
+  }
+};
+
+TEST_F(RefreshFixture, RefreshMovesReplicaWhenConfirmed) {
+  build(refresh_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  // Drive cycles, confirming every requested handoff, until a refresh
+  // completes.
+  for (int step = 0; step < 200 && net->stats().refreshes_completed == 0;
+       ++step) {
+    const Time next = net->next_task_time();
+    net->advance_to(next);
+    confirm_refreshes(id);
+  }
+  EXPECT_GT(net->stats().refreshes_started, 0u);
+  EXPECT_GT(net->stats().refreshes_completed, 0u);
+  EXPECT_TRUE(net->file_exists(id));
+  // Space accounting stays exact: total used == live replicas * size.
+  ByteCount used = 0;
+  for (SectorId s : sectors_) {
+    const Sector& sec = net->sectors().at(s);
+    if (sec.state == SectorState::normal) used += sec.capacity - sec.free_cap;
+  }
+  ByteCount expected = 0;
+  for (ReplicaIndex i = 0; i < 4; ++i) {
+    const AllocEntry& e = net->allocations().entry(id, i);
+    if (e.prev != kNoSector && e.state != AllocState::corrupted) {
+      expected += 1000;
+    }
+    if (e.next != kNoSector) expected += 1000;
+  }
+  EXPECT_EQ(used, expected);
+}
+
+TEST_F(RefreshFixture, FailedHandoffPunishesAndRetries) {
+  build(refresh_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  // Never confirm refresh transfers: each CheckRefresh punishes the
+  // successor and all holders, then retries.
+  for (int step = 0; step < 60 && net->stats().refreshes_failed == 0; ++step) {
+    net->advance_to(net->next_task_time());
+  }
+  EXPECT_GT(net->stats().refreshes_failed, 0u);
+  EXPECT_GT(net->stats().punishments, 0u);
+  const auto punished = events_of<ProviderPunished>();
+  EXPECT_FALSE(punished.empty());
+  EXPECT_TRUE(net->file_exists(id));  // the replica never left its holder
+}
+
+TEST_F(RefreshFixture, RefreshSkipsWhenTargetFull) {
+  Params p = refresh_params();
+  build(p, 2, 1024);  // two tight sectors
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(800, 10);  // cp=2 fills both sectors
+  for (int step = 0; step < 100 && net->stats().refresh_collisions == 0;
+       ++step) {
+    net->advance_to(net->next_task_time());
+  }
+  EXPECT_GT(net->stats().refresh_collisions, 0u);
+  EXPECT_FALSE(events_of<RefreshSkipped>().empty());
+  EXPECT_TRUE(net->file_exists(id));
+}
+
+// ---------------------------------------------------------------------------
+// Sector disable drains via refresh
+// ---------------------------------------------------------------------------
+
+TEST_F(RefreshFixture, DisabledSectorDrainsAndExits) {
+  build(refresh_params(), 6, 4 * 1024);
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  // Disable the sector holding replica 0.
+  const SectorId victim = net->allocations().entry(id, 0).prev;
+  const ProviderId owner = net->sectors().at(victim).owner;
+  ASSERT_TRUE(net->sector_disable(owner, victim).is_ok());
+  EXPECT_EQ(net->sectors().at(victim).state, SectorState::disabled);
+  // Keep confirming handoffs; refreshes eventually move everything out and
+  // the sector exits with a refund.
+  for (int step = 0; step < 3000; ++step) {
+    if (net->sectors().at(victim).state == SectorState::removed) break;
+    net->advance_to(net->next_task_time());
+    confirm_refreshes(id);
+  }
+  EXPECT_EQ(net->sectors().at(victim).state, SectorState::removed);
+  EXPECT_FALSE(events_of<SectorRemoved>().empty());
+}
+
+// ---------------------------------------------------------------------------
+// File_Get
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, FileGetListsLiveHolders) {
+  build(test_params());
+  net->set_auto_prove(true);
+  const FileId id = add_and_store(1000, 20);
+  auto holders = net->file_get(client, id);
+  ASSERT_TRUE(holders.is_ok());
+  EXPECT_EQ(holders.value().size(), 4u);
+  // Corrupt one holder: every replica it hosted drops out of the list
+  // (i.i.d. placement can put several replicas in one sector).
+  const SectorId victim = holders.value()[0];
+  const auto hosted = static_cast<std::size_t>(
+      std::count(holders.value().begin(), holders.value().end(), victim));
+  net->corrupt_sector_now(victim);
+  auto holders2 = net->file_get(client, id);
+  ASSERT_TRUE(holders2.is_ok());
+  EXPECT_EQ(holders2.value().size(), 4u - hosted);
+  EXPECT_EQ(events_of<RetrievalRequested>().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// distinct_sectors ablation flag
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, DistinctSectorsPlacesReplicasApart) {
+  Params p = test_params();
+  p.distinct_sectors = true;
+  build(p, 4, 16 * 1024);
+  net->set_auto_prove(true);
+  // Many 4-replica files over only 4 sectors: without the flag, duplicate
+  // placements are near-certain; with it, each file must use all 4 sectors.
+  for (int n = 0; n < 10; ++n) {
+    const FileId id = add_and_store(500, 20);
+    std::set<SectorId> used;
+    for (ReplicaIndex i = 0; i < 4; ++i) {
+      used.insert(net->allocations().entry(id, i).prev);
+    }
+    EXPECT_EQ(used.size(), 4u) << "file " << id;
+  }
+  EXPECT_GT(net->stats().add_resamples, 0u);
+}
+
+TEST_F(NetworkFixture, DistinctSectorsFailsWhenNotEnoughSectors) {
+  Params p = test_params();
+  p.distinct_sectors = true;
+  build(p, 3, 16 * 1024);  // cp=4 > 3 sectors: can never place distinctly
+  const auto result = net->file_add(client, {500, 20, {}});
+  EXPECT_EQ(result.status().code(), util::ErrorCode::insufficient_space);
+}
+
+// ---------------------------------------------------------------------------
+// §VI-B admission rebalancing
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, AdmissionRebalanceSwapsBackupsIn) {
+  Params p = test_params();
+  p.admission_rebalance = true;
+  build(p, 4, 16 * 1024);
+  net->set_auto_prove(true);
+  // Store enough backups that the Poisson mean for a new equal-size sector
+  // (~ entries/5) is comfortably positive.
+  std::vector<FileId> files;
+  for (int i = 0; i < 10; ++i) files.push_back(add_and_store(500, 20));
+  const std::uint64_t refreshes_before = net->stats().refreshes_started;
+  const AccountId newcomer = ledger.create_account(1'000'000);
+  auto fresh = net->sector_register(newcomer, 16 * 1024);
+  ASSERT_TRUE(fresh.is_ok());
+  // §VI-B: registering triggered targeted refreshes into the new sector.
+  EXPECT_GT(net->stats().refreshes_started, refreshes_before);
+  bool any_inbound = false;
+  for (FileId f : files) {
+    for (ReplicaIndex i = 0; i < net->allocations().replica_count(f); ++i) {
+      if (net->allocations().entry(f, i).next == fresh.value()) {
+        any_inbound = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_inbound);
+}
+
+// ---------------------------------------------------------------------------
+// Money conservation
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkFixture, TokensConservedThroughBusyScenario) {
+  build(test_params(), 6, 4 * 1024);
+  net->set_auto_prove(true);
+  const TokenAmount initial = system_total();
+  std::vector<FileId> files;
+  for (int i = 0; i < 5; ++i) files.push_back(add_and_store(700, 20));
+  net->advance_to(500);
+  net->corrupt_sector_now(sectors_[0]);
+  net->corrupt_sector_now(sectors_[1]);
+  ASSERT_TRUE(net->file_discard(client, files[0]).is_ok());
+  net->advance_to(2500);
+  EXPECT_EQ(system_total(), initial);
+  EXPECT_EQ(ledger.total_supply(), initial);
+}
+
+}  // namespace
+}  // namespace fi::core

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "erasure/gf256.h"
+#include "erasure/reed_solomon.h"
+#include "erasure/segmenter.h"
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace fi::erasure {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GF(256) field axioms (property sweep over all elements)
+// ---------------------------------------------------------------------------
+
+TEST(GF256Field, MultiplicationCommutesAndAssociatesOnSample) {
+  const GF256& gf = GF256::instance();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const auto b = static_cast<std::uint8_t>(rng());
+    const auto c = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+    EXPECT_EQ(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+    // Distributivity over XOR addition.
+    EXPECT_EQ(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+  }
+}
+
+TEST(GF256Field, InversesForAllNonzeroElements) {
+  const GF256& gf = GF256::instance();
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = gf.inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), inv), 1);
+    EXPECT_EQ(gf.div(1, static_cast<std::uint8_t>(a)), inv);
+  }
+}
+
+TEST(GF256Field, IdentityAndZero) {
+  const GF256& gf = GF256::instance();
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), 1),
+              static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+  EXPECT_THROW((void)gf.inv(0), util::InvariantViolation);
+  EXPECT_THROW((void)gf.div(1, 0), util::InvariantViolation);
+}
+
+TEST(GF256Field, GeneratorHasFullOrder) {
+  const GF256& gf = GF256::instance();
+  // 0x02 generates the multiplicative group: powers 0..254 are distinct.
+  std::vector<bool> seen(256, false);
+  for (unsigned e = 0; e < 255; ++e) {
+    const std::uint8_t v = gf.exp(e);
+    EXPECT_FALSE(seen[v]) << "duplicate power at e=" << e;
+    seen[v] = true;
+  }
+}
+
+TEST(GF256Field, PowMatchesRepeatedMultiplication) {
+  const GF256& gf = GF256::instance();
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const unsigned p = static_cast<unsigned>(rng.uniform_below(10));
+    std::uint8_t expected = 1;
+    for (unsigned j = 0; j < p; ++j) expected = gf.mul(expected, a);
+    EXPECT_EQ(gf.pow(a, p), expected);
+  }
+}
+
+TEST(GF256Field, MulAddSliceMatchesScalarLoop) {
+  const GF256& gf = GF256::instance();
+  auto src = random_bytes(333, 3);
+  auto dst = random_bytes(333, 4);
+  auto expected = dst;
+  const std::uint8_t c = 0x8e;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    expected[i] ^= gf.mul(c, src[i]);
+  }
+  gf.mul_add_slice(dst.data(), src.data(), src.size(), c);
+  EXPECT_EQ(dst, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Reed–Solomon: parameterized sweep over (data, parity) shapes
+// ---------------------------------------------------------------------------
+
+class ReedSolomonParam
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReedSolomonParam, AnyDataShardsSubsetReconstructs) {
+  const auto [data_shards, parity_shards] = GetParam();
+  const ReedSolomon rs(data_shards, parity_shards);
+  const auto data = random_bytes(data_shards * 50, 10 + data_shards);
+  const auto shards = split_into_shards(data, data_shards);
+  auto encoded = rs.encode(shards);
+  ASSERT_EQ(encoded.size(), static_cast<std::size_t>(data_shards + parity_shards));
+  EXPECT_TRUE(rs.verify(encoded));
+
+  // Erase `parity_shards` random shards (the maximum tolerable) and
+  // reconstruct.
+  util::Xoshiro256 rng(100 + data_shards * 7 + parity_shards);
+  std::vector<std::optional<std::vector<std::uint8_t>>> survivors(
+      encoded.begin(), encoded.end());
+  int erased = 0;
+  while (erased < parity_shards) {
+    const std::size_t victim = rng.uniform_below(survivors.size());
+    if (survivors[victim].has_value()) {
+      survivors[victim] = std::nullopt;
+      ++erased;
+    }
+  }
+  auto result = rs.reconstruct(survivors);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(join_shards(result.value(), data.size()), data);
+}
+
+TEST_P(ReedSolomonParam, TooManyErasuresFail) {
+  const auto [data_shards, parity_shards] = GetParam();
+  const ReedSolomon rs(data_shards, parity_shards);
+  const auto data = random_bytes(data_shards * 20, 20 + data_shards);
+  auto encoded = rs.encode(split_into_shards(data, data_shards));
+  std::vector<std::optional<std::vector<std::uint8_t>>> survivors(
+      encoded.begin(), encoded.end());
+  // Erase parity_shards + 1 shards: below the reconstruction threshold.
+  for (int i = 0; i <= parity_shards; ++i) survivors[i] = std::nullopt;
+  const auto result = rs.reconstruct(survivors);
+  EXPECT_FALSE(result.is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReedSolomonParam,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 1),
+                      std::make_tuple(4, 2), std::make_tuple(5, 3),
+                      std::make_tuple(10, 4), std::make_tuple(29, 51),
+                      std::make_tuple(16, 16), std::make_tuple(100, 50)),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ReedSolomon, CorruptedShardDetectedByVerify) {
+  const ReedSolomon rs(4, 2);
+  const auto data = random_bytes(400, 30);
+  auto encoded = rs.encode(split_into_shards(data, 4));
+  EXPECT_TRUE(rs.verify(encoded));
+  encoded[5][3] ^= 1;
+  EXPECT_FALSE(rs.verify(encoded));
+}
+
+TEST(ReedSolomon, ZeroParityIsPassthrough) {
+  const ReedSolomon rs(3, 0);
+  const auto data = random_bytes(300, 31);
+  const auto shards = split_into_shards(data, 3);
+  EXPECT_EQ(rs.encode(shards), shards);
+}
+
+TEST(ReedSolomon, SplitJoinRoundTripWithPadding) {
+  for (std::size_t n : {1u, 9u, 10u, 11u, 100u}) {
+    const auto data = random_bytes(n, 40 + n);
+    const auto shards = split_into_shards(data, 3);
+    EXPECT_EQ(join_shards(shards, n), data) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §VI-C large-file segmentation
+// ---------------------------------------------------------------------------
+
+TEST(Segmenter, SmallFileNeedsNoSegmentation) {
+  const LargeFileCodec codec(1000);
+  EXPECT_FALSE(codec.needs_segmentation(1000));
+  EXPECT_TRUE(codec.needs_segmentation(1001));
+  EXPECT_EQ(codec.segment_count(500), 1u);
+}
+
+TEST(Segmenter, SegmentCountIsSmallestSufficientEven) {
+  const LargeFileCodec codec(1000);
+  EXPECT_EQ(codec.segment_count(1001), 4u);   // k/2=2 data segments of <=1000
+  EXPECT_EQ(codec.segment_count(2000), 4u);
+  EXPECT_EQ(codec.segment_count(2001), 6u);
+  EXPECT_EQ(codec.segment_count(10'000), 20u);
+}
+
+TEST(Segmenter, SegmentsRespectSizeLimitAndValueRule) {
+  const LargeFileCodec codec(1000);
+  const auto data = random_bytes(3500, 50);
+  const auto segmented = codec.segment(data, 800);
+  EXPECT_EQ(segmented.segment_count, 8u);
+  EXPECT_EQ(segmented.data_segments, 4u);
+  ASSERT_EQ(segmented.segments.size(), 8u);
+  for (const auto& seg : segmented.segments) {
+    EXPECT_LE(seg.size, 1000u);
+    // Each segment valued 2·value/k (Fig. §VI-C), rounded up: 2*800/8=200.
+    EXPECT_EQ(seg.value, 200u);
+  }
+}
+
+TEST(Segmenter, RecoversFromHalfSegmentLoss) {
+  const LargeFileCodec codec(1000);
+  const auto data = random_bytes(3700, 51);
+  const auto segmented = codec.segment(data, 800);
+  std::vector<std::optional<std::vector<std::uint8_t>>> survivors;
+  survivors.reserve(segmented.segment_count);
+  for (const auto& seg : segmented.segments) survivors.push_back(seg.data);
+  // Lose exactly half the segments.
+  util::Xoshiro256 rng(52);
+  std::size_t killed = 0;
+  while (killed < segmented.segment_count / 2) {
+    const std::size_t victim = rng.uniform_below(survivors.size());
+    if (survivors[victim].has_value()) {
+      survivors[victim] = std::nullopt;
+      ++killed;
+    }
+  }
+  const auto recovered = codec.recover(segmented, survivors);
+  ASSERT_TRUE(recovered.is_ok());
+  EXPECT_EQ(recovered.value(), data);
+}
+
+TEST(Segmenter, MoreThanHalfLossFailsButCompensationCovers) {
+  const LargeFileCodec codec(1000);
+  const auto data = random_bytes(3500, 53);
+  const TokenAmount value = 801;  // odd value: rounding must still cover
+  const auto segmented = codec.segment(data, value);
+  std::vector<std::optional<std::vector<std::uint8_t>>> survivors;
+  for (const auto& seg : segmented.segments) survivors.push_back(seg.data);
+  for (std::size_t i = 0; i <= segmented.segment_count / 2; ++i) {
+    survivors[i] = std::nullopt;
+  }
+  EXPECT_FALSE(codec.recover(segmented, survivors).is_ok());
+  // The paper's guarantee: losing the file means > k/2 segments lost, whose
+  // summed per-segment values cover the full file value.
+  const TokenAmount per_segment = segmented.segments.front().value;
+  const TokenAmount lost_compensation =
+      per_segment * (segmented.segment_count / 2 + 1);
+  EXPECT_GE(lost_compensation, value);
+}
+
+TEST(Segmenter, SegmentsHaveDistinctRoots) {
+  const LargeFileCodec codec(1000);
+  const auto data = random_bytes(2500, 54);
+  const auto segmented = codec.segment(data, 400);
+  for (std::size_t i = 0; i < segmented.segments.size(); ++i) {
+    for (std::size_t j = i + 1; j < segmented.segments.size(); ++j) {
+      EXPECT_NE(segmented.segments[i].merkle_root,
+                segmented.segments[j].merkle_root);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fi::erasure

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/agents.h"
+
+namespace fi::core {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+Params large_params() {
+  Params p;
+  p.min_capacity = 8 * 1024;
+  p.min_value = 100;
+  p.k = 2;
+  p.cap_para = 20.0;
+  p.gamma_deposit = 0.5;
+  p.proof_cycle = 50;
+  p.proof_due = 75;
+  p.proof_deadline = 150;
+  p.avg_refresh = 1000.0;
+  p.delay_per_kib = 5;
+  p.min_transfer_window = 5;
+  p.verify_proofs = true;
+  p.seal = {.work = 1, .challenges = 2};
+  p.cr_size = 2048;
+  return p;
+}
+
+struct LargeFileFixture : ::testing::Test {
+  void build(int providers = 6) {
+    sim = std::make_unique<Simulation>(large_params(), /*seed=*/0x1a56e);
+    client = &sim->add_client(10'000'000);
+    for (int i = 0; i < providers; ++i) {
+      ProviderAgent& p = sim->add_provider(100'000'000);
+      ASSERT_TRUE(p.register_sector(4 * 8 * 1024).is_ok());
+      agents.push_back(&p);
+    }
+  }
+
+  std::unique_ptr<Simulation> sim;
+  ClientAgent* client = nullptr;
+  std::vector<ProviderAgent*> agents;
+};
+
+TEST_F(LargeFileFixture, SmallFileRejected) {
+  build();
+  const auto result =
+      client->store_large_file(random_bytes(100, 1), 40, /*size_limit=*/2000);
+  EXPECT_EQ(result.status().code(), util::ErrorCode::invalid_argument);
+}
+
+TEST_F(LargeFileFixture, SegmentsStoredAsIndividualFiles) {
+  build();
+  // 7 KB over a 2000-byte limit -> k = 8 segments (4 data), value 2*400/8.
+  const auto data = random_bytes(7000, 2);
+  auto handle = client->store_large_file(data, 400, 2000);
+  ASSERT_TRUE(handle.is_ok()) << handle.status().to_string();
+  EXPECT_EQ(handle.value().layout.segment_count, 8u);
+  EXPECT_EQ(handle.value().segment_files.size(), 8u);
+  sim->run_until(200);
+  auto& net = sim->network();
+  for (FileId f : handle.value().segment_files) {
+    ASSERT_TRUE(net.file_exists(f));
+    EXPECT_EQ(net.file(f).value, 100u);  // 2*400/8
+    EXPECT_EQ(net.file(f).cp, 2u);       // k * 100/minValue
+  }
+}
+
+TEST_F(LargeFileFixture, RoundTripThroughTheNetwork) {
+  build();
+  const auto data = random_bytes(6500, 3);
+  auto handle = client->store_large_file(data, 400, 2000);
+  ASSERT_TRUE(handle.is_ok());
+  sim->run_until(200);
+  std::optional<std::vector<std::uint8_t>> recovered;
+  bool done = false;
+  client->retrieve_large_file(handle.value(), [&](auto bytes) {
+    done = true;
+    recovered = std::move(bytes);
+  });
+  sim->run_until(600);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, data);
+}
+
+TEST_F(LargeFileFixture, RecoversWithHalfTheSegmentsLost) {
+  build();
+  const auto data = random_bytes(7000, 4);
+  auto handle = client->store_large_file(data, 400, 2000);
+  ASSERT_TRUE(handle.is_ok());
+  sim->run_until(200);
+  // Discard exactly half of the segments (simulates their loss without
+  // waiting out proof deadlines).
+  const auto& files = handle.value().segment_files;
+  for (std::size_t i = 0; i < files.size() / 2; ++i) {
+    ASSERT_TRUE(client->discard_file(files[i]).is_ok());
+  }
+  sim->run_until(400);  // Auto_CheckProof removes the discarded segments
+  std::optional<std::vector<std::uint8_t>> recovered;
+  client->retrieve_large_file(handle.value(),
+                              [&](auto bytes) { recovered = std::move(bytes); });
+  sim->run_until(900);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, data);
+}
+
+TEST_F(LargeFileFixture, MoreThanHalfLostFailsButCompensationCoversValue) {
+  build();
+  const auto data = random_bytes(7000, 5);
+  const TokenAmount value = 400;
+  auto handle = client->store_large_file(data, value, 2000);
+  ASSERT_TRUE(handle.is_ok());
+  sim->run_until(200);
+
+  // Destroy every provider: all segments are lost the hard way.
+  for (ProviderAgent* p : agents) p->crash();
+  sim->run_until(1200);
+
+  std::optional<std::vector<std::uint8_t>> recovered;
+  bool done = false;
+  client->retrieve_large_file(handle.value(), [&](auto bytes) {
+    done = true;
+    recovered = std::move(bytes);
+  });
+  sim->run_until(1400);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(recovered.has_value());
+
+  // §VI-C guarantee: per-segment compensation sums to at least the file's
+  // declared value.
+  TokenAmount compensated = 0;
+  for (const Event& e : sim->event_log()) {
+    if (const auto* lost = std::get_if<FileLost>(&e)) {
+      compensated += lost->compensated_now;
+    }
+  }
+  EXPECT_GE(compensated, value);
+}
+
+}  // namespace
+}  // namespace fi::core

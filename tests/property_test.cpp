@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/drep.h"
+#include "core/network.h"
+#include "crypto/merkle.h"
+#include "crypto/porep.h"
+#include "ledger/account.h"
+#include "util/fenwick.h"
+#include "util/prng.h"
+
+/// Property-style suites: parameterized sweeps asserting invariants across
+/// randomized inputs rather than single examples.
+namespace fi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fenwick tree vs a naive reference, across sizes
+// ---------------------------------------------------------------------------
+
+class FenwickProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FenwickProperty, MatchesNaiveReferenceUnderRandomOps) {
+  const std::size_t n = GetParam();
+  util::Xoshiro256 rng(n * 1337 + 1);
+  util::FenwickTree tree(n);
+  std::vector<std::uint64_t> naive(n, 0);
+  for (int op = 0; op < 2000; ++op) {
+    const std::size_t i = rng.uniform_below(n);
+    const std::uint64_t w = rng.uniform_below(50);
+    tree.set(i, w);
+    naive[i] = w;
+    // Invariants: total, random prefix, and sampled slot has weight > 0.
+    std::uint64_t total = 0;
+    for (std::uint64_t x : naive) total += x;
+    ASSERT_EQ(tree.total(), total);
+    const std::size_t q = rng.uniform_below(n + 1);
+    std::uint64_t prefix = 0;
+    for (std::size_t j = 0; j < q; ++j) prefix += naive[j];
+    ASSERT_EQ(tree.prefix_sum(q), prefix);
+    if (total > 0) {
+      ASSERT_GT(naive[tree.sample(rng)], 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FenwickProperty,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 64, 100, 257));
+
+// ---------------------------------------------------------------------------
+// Merkle proofs across random data sizes
+// ---------------------------------------------------------------------------
+
+class MerkleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MerkleProperty, AllProofsVerifyAndCrossProofsFail) {
+  util::Xoshiro256 rng(GetParam());
+  const std::size_t size = 1 + rng.uniform_below(8000);
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const crypto::MerkleTree tree = crypto::MerkleTree::over_data(data);
+  for (std::uint64_t i = 0; i < tree.leaf_count(); ++i) {
+    const auto proof = tree.prove(i);
+    ASSERT_TRUE(crypto::merkle_verify(tree.root(), tree.leaf(i), proof));
+    // A proof for leaf i never verifies another leaf's hash.
+    if (tree.leaf_count() > 1) {
+      const std::uint64_t other = (i + 1) % tree.leaf_count();
+      if (tree.leaf(other) != tree.leaf(i)) {
+        ASSERT_FALSE(
+            crypto::merkle_verify(tree.root(), tree.leaf(other), proof));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MerkleProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// PoRep round trip across (size, work) shapes
+// ---------------------------------------------------------------------------
+
+class PoRepProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(PoRepProperty, SealUnsealProveVerify) {
+  const auto [size, work] = GetParam();
+  const crypto::SealParams params{.work = work, .challenges = 3};
+  util::Xoshiro256 rng(size * 31 + work);
+  std::vector<std::uint8_t> raw(size);
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng());
+  const crypto::ReplicaId id{rng(), rng(), rng()};
+  const auto sealed = crypto::seal(raw, id, params);
+  ASSERT_EQ(crypto::unseal(sealed, id, params), raw);
+  const auto proof = crypto::prove_seal(raw, sealed, id, params);
+  ASSERT_TRUE(crypto::verify_seal(proof, params));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PoRepProperty,
+    ::testing::Combine(::testing::Values(1, 64, 65, 777, 4096),
+                       ::testing::Values(1u, 4u)));
+
+// ---------------------------------------------------------------------------
+// DRep invariant under random replica churn
+// ---------------------------------------------------------------------------
+
+class DRepProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DRepProperty, InvariantHoldsUnderChurn) {
+  util::Xoshiro256 rng(GetParam());
+  const ByteCount cr = 128;
+  const ByteCount capacity = cr * (4 + rng.uniform_below(20));
+  core::DRepManager drep(1, 1, capacity, cr, {}, false);
+  std::map<std::uint64_t, ByteCount> live;
+  std::uint64_t next_key = 0;
+  for (int op = 0; op < 500; ++op) {
+    const bool add = live.empty() || rng.uniform_below(2) == 0;
+    if (add) {
+      const ByteCount size = 1 + rng.uniform_below(cr * 2);
+      if (drep.used_by_files() + size > capacity) continue;
+      drep.add_replica(next_key, size);
+      live[next_key++] = size;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.uniform_below(live.size()));
+      drep.remove_replica(it->first);
+      live.erase(it);
+    }
+    // Paper invariant: unsealed space < one CR; CR count is maximal.
+    ASSERT_TRUE(drep.invariant_holds());
+    const ByteCount free_space = capacity - drep.used_by_files();
+    ASSERT_EQ(drep.cr_count(), free_space / cr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DRepProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Protocol fuzz: random operation sequences preserve global invariants
+// ---------------------------------------------------------------------------
+
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static core::Params fuzz_params() {
+    core::Params p;
+    p.min_capacity = 1024;
+    p.min_value = 10;
+    p.k = 2;
+    p.cap_para = 10.0;
+    p.gamma_deposit = 0.2;
+    p.proof_cycle = 50;
+    p.proof_due = 75;
+    p.proof_deadline = 150;
+    p.avg_refresh = 3.0;  // busy refresh traffic
+    p.verify_proofs = false;
+    p.cr_size = 256;
+    return p;
+  }
+};
+
+TEST_P(ProtocolFuzz, InvariantsHoldUnderRandomOperations) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed);
+  ledger::Ledger ledger;
+  const core::Params params = fuzz_params();
+  core::Network net(params, ledger, seed);
+  net.set_auto_prove(true);
+
+  std::vector<AccountId> clients, providers;
+  std::vector<core::SectorId> sectors;
+  std::vector<core::FileId> files;
+  for (int i = 0; i < 3; ++i) clients.push_back(ledger.create_account(500'000));
+  for (int i = 0; i < 4; ++i) {
+    providers.push_back(ledger.create_account(500'000));
+    auto s = net.sector_register(providers.back(), 8 * 1024);
+    ASSERT_TRUE(s.is_ok());
+    sectors.push_back(s.value());
+  }
+  const TokenAmount initial_supply = ledger.total_supply();
+
+  auto confirm_everything = [&] {
+    for (core::FileId f : files) {
+      if (!net.file_exists(f)) continue;
+      for (core::ReplicaIndex i = 0;
+           i < net.allocations().replica_count(f); ++i) {
+        const core::AllocEntry& e = net.allocations().entry(f, i);
+        if (e.state == core::AllocState::alloc && e.next != core::kNoSector &&
+            rng.uniform_below(10) < 9) {
+          const AccountId owner = net.sectors().at(e.next).owner;
+          (void)net.file_confirm(owner, f, i, e.next, {}, std::nullopt);
+        }
+      }
+    }
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.uniform_below(10)) {
+      case 0:
+      case 1:
+      case 2: {  // add a file
+        const ByteCount size = 100 + rng.uniform_below(900);
+        const TokenAmount value = 10 * (1 + rng.uniform_below(3));
+        const AccountId client = clients[rng.uniform_below(clients.size())];
+        auto f = net.file_add(client, {size, value, {}});
+        if (f.is_ok()) files.push_back(f.value());
+        break;
+      }
+      case 3: {  // discard a file
+        if (!files.empty()) {
+          const core::FileId f = files[rng.uniform_below(files.size())];
+          if (net.file_exists(f)) {
+            (void)net.file_discard(net.file_owner(f), f);
+          }
+        }
+        break;
+      }
+      case 4: {  // register another sector
+        const AccountId p = providers[rng.uniform_below(providers.size())];
+        auto s = net.sector_register(p, 1024 * (1 + rng.uniform_below(8)));
+        if (s.is_ok()) sectors.push_back(s.value());
+        break;
+      }
+      case 5: {  // disable a sector
+        const core::SectorId s = sectors[rng.uniform_below(sectors.size())];
+        (void)net.sector_disable(net.sectors().at(s).owner, s);
+        break;
+      }
+      case 6: {  // corrupt a sector (rarely)
+        if (rng.uniform_below(4) == 0) {
+          const core::SectorId s = sectors[rng.uniform_below(sectors.size())];
+          if (net.sectors().at(s).state == core::SectorState::normal) {
+            net.corrupt_sector_now(s);
+          }
+        }
+        break;
+      }
+      default: {  // let time pass and play honest provider
+        confirm_everything();
+        net.advance(1 + rng.uniform_below(60));
+        confirm_everything();
+        break;
+      }
+    }
+
+    // ---- Invariants, checked continuously -----------------------------
+    // 1. Money is conserved.
+    ASSERT_EQ(ledger.total_supply(), initial_supply);
+
+    // 2. Sector space accounting: used == sum of entry footprints.
+    std::map<core::SectorId, ByteCount> expected_use;
+    for (core::FileId f : files) {
+      if (!net.file_exists(f)) continue;
+      const ByteCount size = net.file(f).size;
+      for (core::ReplicaIndex i = 0;
+           i < net.allocations().replica_count(f); ++i) {
+        const core::AllocEntry& e = net.allocations().entry(f, i);
+        if (e.prev != core::kNoSector &&
+            e.state != core::AllocState::corrupted) {
+          expected_use[e.prev] += size;
+        }
+        if (e.next != core::kNoSector) expected_use[e.next] += size;
+      }
+    }
+    for (core::SectorId s : sectors) {
+      const core::Sector& sec = net.sectors().at(s);
+      if (sec.state == core::SectorState::corrupted ||
+          sec.state == core::SectorState::removed) {
+        continue;
+      }
+      ASSERT_EQ(sec.capacity - sec.free_cap, expected_use[s])
+          << "sector " << s << " step " << step << " seed " << seed;
+    }
+
+    // 3. Reference counts match link counts.
+    std::map<core::SectorId, std::uint32_t> expected_refs;
+    for (core::FileId f : files) {
+      if (!net.file_exists(f)) continue;
+      for (core::ReplicaIndex i = 0;
+           i < net.allocations().replica_count(f); ++i) {
+        const core::AllocEntry& e = net.allocations().entry(f, i);
+        if (e.prev != core::kNoSector) ++expected_refs[e.prev];
+        if (e.next != core::kNoSector) ++expected_refs[e.next];
+      }
+    }
+    for (core::SectorId s : sectors) {
+      ASSERT_EQ(net.sectors().at(s).ref_count, expected_refs[s])
+          << "sector " << s << " step " << step << " seed " << seed;
+    }
+
+    // 4. Deposit escrow equals the sum of per-sector remainders.
+    TokenAmount total_deposits = 0;
+    for (core::SectorId s : sectors) {
+      total_deposits += net.deposits().remaining(s);
+    }
+    ASSERT_EQ(net.deposits().escrow_balance(), total_deposits);
+  }
+
+  // Losses (if any) were compensated up to pool capacity.
+  const auto& stats = net.stats();
+  if (stats.files_lost > 0) {
+    EXPECT_GT(stats.value_compensated + net.deposits().outstanding_liabilities(),
+              0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace fi

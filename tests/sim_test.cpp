@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace fi::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, StableOrderWithinTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(10, [&] { ++ran; });
+  q.schedule_at(20, [&] { ++ran; });
+  q.schedule_at(30, [&] { ++ran; });
+  q.run_until(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now(), 20u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int ran = 0;
+  const auto id = q.schedule_at(10, [&] { ++ran; });
+  q.schedule_at(10, [&] { ++ran; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+  q.run_all();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<Time> fire_times;
+  std::function<void()> recurring = [&] {
+    fire_times.push_back(q.now());
+    if (fire_times.size() < 5) q.schedule_after(10, recurring);
+  };
+  q.schedule_at(0, recurring);
+  q.run_all();
+  EXPECT_EQ(fire_times, (std::vector<Time>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(5, [] {}), util::InvariantViolation);
+}
+
+TEST(EventQueue, NextEventTimeSkipsCancelled) {
+  EventQueue q;
+  const auto id = q.schedule_at(5, [] {});
+  q.schedule_at(9, [] {});
+  EXPECT_EQ(q.next_event_time(), 5u);
+  q.cancel(id);
+  EXPECT_EQ(q.next_event_time(), 9u);
+}
+
+TEST(EventQueue, RunAllGuardsAgainstRunaway) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_after(1, forever); };
+  q.schedule_at(0, forever);
+  EXPECT_THROW(q.run_all(1000), util::InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+struct Inbox {
+  std::vector<Message> messages;
+  Network::Handler handler() {
+    return [this](const Message& m) { messages.push_back(m); };
+  }
+};
+
+TEST(SimNetwork, DeliversWithLatency) {
+  EventQueue q;
+  Network net(q, 1);
+  Inbox a, b;
+  const NodeId na = net.add_node(a.handler());
+  const NodeId nb = net.add_node(b.handler());
+  net.set_default_link({.base_latency = 7, .ticks_per_kib = 0});
+  net.send({na, nb, "ping", {}, 1});
+  q.run_all();
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(b.messages[0].kind, "ping");
+  EXPECT_EQ(q.now(), 7u);
+}
+
+TEST(SimNetwork, BandwidthScalesWithPayload) {
+  EventQueue q;
+  Network net(q, 1);
+  Inbox a, b;
+  const NodeId na = net.add_node(a.handler());
+  const NodeId nb = net.add_node(b.handler());
+  net.set_default_link({.base_latency = 1, .ticks_per_kib = 2});
+  net.send({na, nb, "data", std::vector<std::uint8_t>(4096, 0), 1});
+  q.run_all();
+  EXPECT_EQ(q.now(), 1u + 2u * 4u);
+}
+
+TEST(SimNetwork, PerLinkProfileOverridesDefault) {
+  EventQueue q;
+  Network net(q, 1);
+  Inbox a, b;
+  const NodeId na = net.add_node(a.handler());
+  const NodeId nb = net.add_node(b.handler());
+  net.set_default_link({.base_latency = 100, .ticks_per_kib = 0});
+  net.set_link(na, nb, {.base_latency = 3, .ticks_per_kib = 0});
+  net.send({na, nb, "fast", {}, 1});
+  q.run_all();
+  EXPECT_EQ(q.now(), 3u);
+}
+
+TEST(SimNetwork, DownNodeDropsTraffic) {
+  EventQueue q;
+  Network net(q, 1);
+  Inbox a, b;
+  const NodeId na = net.add_node(a.handler());
+  const NodeId nb = net.add_node(b.handler());
+  net.set_node_down(nb, true);
+  net.send({na, nb, "lost", {}, 1});
+  q.run_all();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  net.set_node_down(nb, false);
+  net.send({na, nb, "found", {}, 2});
+  q.run_all();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(SimNetwork, CrashAfterSendDropsInFlight) {
+  EventQueue q;
+  Network net(q, 1);
+  Inbox a, b;
+  const NodeId na = net.add_node(a.handler());
+  const NodeId nb = net.add_node(b.handler());
+  net.set_default_link({.base_latency = 10, .ticks_per_kib = 0});
+  net.send({na, nb, "in-flight", {}, 1});
+  net.set_node_down(nb, true);  // crashes before delivery
+  q.run_all();
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST(SimNetwork, LossyLinkDropsApproximatelyAtRate) {
+  EventQueue q;
+  Network net(q, 99);
+  Inbox a, b;
+  const NodeId na = net.add_node(a.handler());
+  const NodeId nb = net.add_node(b.handler());
+  net.set_default_link(
+      {.base_latency = 1, .ticks_per_kib = 0, .drop_probability = 0.3});
+  for (int i = 0; i < 2000; ++i) {
+    net.send({na, nb, "maybe", {}, static_cast<std::uint64_t>(i)});
+  }
+  q.run_all();
+  EXPECT_NEAR(b.messages.size() / 2000.0, 0.7, 0.04);
+}
+
+}  // namespace
+}  // namespace fi::sim
