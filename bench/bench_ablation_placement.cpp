@@ -154,7 +154,8 @@ int main() {
         fresh.push_back(
             net.sector_register(provider, p.min_capacity).value());
       }
-      // Let the triggered swap-ins complete (confirm them).
+      // Let the triggered swap-ins complete (confirm them); iterate a
+      // snapshot since confirmation mutates network state.
       for (SectorId target : fresh) {
         for (const auto& [f, idx] :
              net.allocations().entries_with_next(target)) {
@@ -165,10 +166,10 @@ int main() {
 
       std::size_t on_fresh = 0, total = 0;
       for (SectorId s : fresh) {
-        on_fresh += net.allocations().entries_with_prev(s).size();
+        on_fresh += net.allocations().count_with_prev(s);
       }
       for (SectorId s : old_sectors) {
-        total += net.allocations().entries_with_prev(s).size();
+        total += net.allocations().count_with_prev(s);
       }
       total += on_fresh;
       if (total > 0) {

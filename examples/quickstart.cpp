@@ -81,7 +81,7 @@ int main() {
                   static_cast<unsigned long long>(lost->value),
                   static_cast<unsigned long long>(lost->compensated_now));
     } else if (const auto* rent = std::get_if<RentDistributed>(&event)) {
-      std::printf(" %llu tokens to providers",
+      std::printf(" %llu tokens credited to providers",
                   static_cast<unsigned long long>(rent->total));
     }
     std::printf("\n");

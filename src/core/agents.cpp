@@ -173,6 +173,14 @@ ProviderAgent::ProviderAgent(Simulation& sim, ProviderId account)
     : sim_(sim), account_(account) {}
 
 util::Result<SectorId> ProviderAgent::register_sector(ByteCount capacity) {
+  // Rent income is settled lazily; collect it when the balance alone
+  // cannot cover the pledge, so the deposit check sees full liquidity.
+  const TokenAmount required = sim_.params().sector_deposit(capacity) +
+                               sim_.params().gas_per_task;
+  for (SectorId s : sectors_) {
+    if (sim_.ledger().balance(account_) >= required) break;
+    (void)sim_.network().settle_rent(s);
+  }
   auto id = sim_.network().sector_register(account_, capacity);
   if (!id.is_ok()) return id;
   sectors_.push_back(id.value());

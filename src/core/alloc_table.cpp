@@ -80,15 +80,25 @@ void AllocTable::set_comm_r(FileId file, ReplicaIndex idx,
 }
 
 std::vector<EntryKey> AllocTable::entries_with_prev(SectorId sector) const {
-  const auto it = by_prev_.find(sector);
-  if (it == by_prev_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  const auto view = with_prev(sector);
+  return {view.begin(), view.end()};
 }
 
 std::vector<EntryKey> AllocTable::entries_with_next(SectorId sector) const {
+  const auto view = with_next(sector);
+  return {view.begin(), view.end()};
+}
+
+std::span<const EntryKey> AllocTable::with_prev(SectorId sector) const {
+  const auto it = by_prev_.find(sector);
+  if (it == by_prev_.end()) return {};
+  return it->second.items;
+}
+
+std::span<const EntryKey> AllocTable::with_next(SectorId sector) const {
   const auto it = by_next_.find(sector);
   if (it == by_next_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  return it->second.items;
 }
 
 std::optional<EntryKey> AllocTable::random_normal_entry(
@@ -97,21 +107,28 @@ std::optional<EntryKey> AllocTable::random_normal_entry(
   return normal_entries_[rng.uniform_below(normal_entries_.size())];
 }
 
-void AllocTable::index_add(
-    std::unordered_map<SectorId, std::set<EntryKey>>& index, SectorId sector,
-    EntryKey key) {
-  const bool inserted = index[sector].insert(key).second;
+void AllocTable::index_add(SectorIndex& index, SectorId sector, EntryKey key) {
+  KeySet& set = index[sector];
+  const bool inserted =
+      set.positions.emplace(key, set.items.size()).second;
   FI_CHECK_MSG(inserted, "duplicate reverse-index entry");
+  set.items.push_back(key);
 }
 
-void AllocTable::index_remove(
-    std::unordered_map<SectorId, std::set<EntryKey>>& index, SectorId sector,
-    EntryKey key) {
+void AllocTable::index_remove(SectorIndex& index, SectorId sector,
+                              EntryKey key) {
   const auto it = index.find(sector);
   FI_CHECK_MSG(it != index.end(), "reverse index missing sector");
-  const std::size_t erased = it->second.erase(key);
-  FI_CHECK_MSG(erased == 1, "reverse index missing entry");
-  if (it->second.empty()) index.erase(it);
+  KeySet& set = it->second;
+  const auto pos_it = set.positions.find(key);
+  FI_CHECK_MSG(pos_it != set.positions.end(), "reverse index missing entry");
+  const std::size_t pos = pos_it->second;
+  const EntryKey moved = set.items.back();
+  set.items[pos] = moved;
+  set.items.pop_back();
+  set.positions.erase(pos_it);
+  if (moved != key) set.positions[moved] = pos;
+  if (set.items.empty()) index.erase(it);
 }
 
 void AllocTable::sampler_add(EntryKey key) {

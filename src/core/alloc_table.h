@@ -1,9 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -19,6 +18,10 @@
 ///    touches exactly the affected entries (no global scans);
 ///  * a dense sampler over entries in `normal` state, used by §VI-B's
 ///    Poisson admission rebalancing to pick uniform random backups.
+///
+/// Every index uses the same swap-erase layout: a flat vector of keys plus
+/// a positional hash map, so add/remove are O(1) and iteration is a linear
+/// scan over contiguous memory with no per-query allocation.
 namespace fi::core {
 
 struct AllocEntry {
@@ -35,6 +38,13 @@ struct AllocEntry {
 };
 
 using EntryKey = std::pair<FileId, ReplicaIndex>;
+
+struct EntryKeyHash {
+  std::size_t operator()(const EntryKey& key) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (key.first * 0x9e3779b97f4a7c15ull) ^ key.second);
+  }
+};
 
 class AllocTable {
  public:
@@ -60,10 +70,22 @@ class AllocTable {
   void set_last(FileId file, ReplicaIndex idx, Time last);
   void set_comm_r(FileId file, ReplicaIndex idx, const crypto::Hash256& comm_r);
 
-  /// Entries with prev == sector / next == sector (copied snapshots, since
-  /// callers mutate while iterating).
+  /// Entries with prev == sector / next == sector (copied snapshots, for
+  /// callers that mutate while iterating).
   [[nodiscard]] std::vector<EntryKey> entries_with_prev(SectorId sector) const;
   [[nodiscard]] std::vector<EntryKey> entries_with_next(SectorId sector) const;
+
+  /// Allocation-free views of the same index slices. Invalidated by any
+  /// set_prev / set_next / remove_file — read-only consumers only.
+  [[nodiscard]] std::span<const EntryKey> with_prev(SectorId sector) const;
+  [[nodiscard]] std::span<const EntryKey> with_next(SectorId sector) const;
+
+  [[nodiscard]] std::size_t count_with_prev(SectorId sector) const {
+    return with_prev(sector).size();
+  }
+  [[nodiscard]] std::size_t count_with_next(SectorId sector) const {
+    return with_next(sector).size();
+  }
 
   /// Uniform random entry currently in `normal` state (nullopt if none) —
   /// the §VI-B swap-in selector.
@@ -76,20 +98,26 @@ class AllocTable {
   [[nodiscard]] std::size_t file_count() const { return entries_.size(); }
 
  private:
+  /// Swap-erase key set: dense array for iteration/sampling + positional
+  /// map for O(1) membership updates.
+  struct KeySet {
+    std::vector<EntryKey> items;
+    std::unordered_map<EntryKey, std::size_t, EntryKeyHash> positions;
+  };
+  using SectorIndex = std::unordered_map<SectorId, KeySet>;
+
   [[nodiscard]] AllocEntry& mutable_entry(FileId file, ReplicaIndex idx);
-  void index_add(std::unordered_map<SectorId, std::set<EntryKey>>& index,
-                 SectorId sector, EntryKey key);
-  void index_remove(std::unordered_map<SectorId, std::set<EntryKey>>& index,
-                    SectorId sector, EntryKey key);
+  static void index_add(SectorIndex& index, SectorId sector, EntryKey key);
+  static void index_remove(SectorIndex& index, SectorId sector, EntryKey key);
   void sampler_add(EntryKey key);
   void sampler_remove(EntryKey key);
 
   std::unordered_map<FileId, std::vector<AllocEntry>> entries_;
-  std::unordered_map<SectorId, std::set<EntryKey>> by_prev_;
-  std::unordered_map<SectorId, std::set<EntryKey>> by_next_;
+  SectorIndex by_prev_;
+  SectorIndex by_next_;
   /// Dense array + position map for O(1) uniform sampling of normal entries.
   std::vector<EntryKey> normal_entries_;
-  std::map<EntryKey, std::size_t> normal_positions_;
+  std::unordered_map<EntryKey, std::size_t, EntryKeyHash> normal_positions_;
 };
 
 }  // namespace fi::core

@@ -98,7 +98,10 @@ struct RefreshSkipped {
   SectorId sector;
 };
 
-/// Periodic rent payout to providers.
+/// Periodic rent distribution: `total` tokens were credited to providers'
+/// accruals (reward-per-capacity-unit accumulator). The ledger transfer to
+/// each provider happens at that sector's next lazy settlement, not at
+/// emission time.
 struct RentDistributed {
   TokenAmount total;
 };

@@ -87,6 +87,8 @@ util::Result<SectorId> Network::sector_register(ProviderId provider,
   }
   auto id = sector_table_.register_sector(provider, capacity, now_);
   if (!id.is_ok()) return id.status();
+  // Rent accrues only from this point on.
+  sector_table_.mutable_at(id.value()).rent_acc_snapshot = rent_acc_;
   FI_CHECK(deposit_book_.pledge(id.value(), provider, deposit).is_ok());
   if (params_.admission_rebalance) {
     admission_rebalance(id.value());
@@ -102,6 +104,9 @@ util::Status Network::sector_disable(ProviderId provider, SectorId sector) {
     return util::err(util::ErrorCode::permission_denied,
                      "caller does not own the sector");
   }
+  // Settle before the gas check: an exiting provider must not fail on
+  // liquidity its own sector has already earned.
+  settle_rent_internal(sector);
   if (!charge_gas(provider, params_.gas_per_task)) {
     return util::err(util::ErrorCode::insufficient_funds,
                      "cannot pay request gas");
@@ -257,7 +262,7 @@ util::Result<FileId> Network::file_add(ClientId client, const FileInfo& info) {
   for (std::uint32_t i = 0; i < cp; ++i) {
     auto sector = sample_sector_with_space(info.size, chosen);
     if (!sector.is_ok()) {
-      for (SectorId s : chosen) sector_table_.release(s, info.size);
+      for (SectorId s : chosen) release_sector(s, info.size);
       return sector.status();
     }
     chosen.push_back(sector.value());
@@ -424,6 +429,9 @@ void Network::auto_check_proof(FileId file) {
       discarded_for_rent = true;
     } else {
       FI_CHECK(ledger_.transfer(rec.owner, rent_pool_, rent).is_ok());
+      rent_undistributed_scaled_ +=
+          static_cast<RentAcc>(rent) << kRentAccFracBits;
+      total_rent_charged_ = util::checked_add(total_rent_charged_, rent);
       FI_CHECK(charge_gas(rec.owner, gas));
     }
   }
@@ -540,7 +548,7 @@ bool Network::start_refresh_to(FileId file, ReplicaIndex index,
   FI_CHECK(it != files_.end());
   const AllocEntry& e = alloc_table_.entry(file, index);
   FI_CHECK(e.state == AllocState::normal);
-  if (!sector_table_.reserve(target, it->second.desc.size).is_ok()) {
+  if (!reserve_sector(target, it->second.desc.size).is_ok()) {
     return false;
   }
   link_next(file, index, target);
@@ -563,7 +571,7 @@ void Network::auto_check_refresh(FileId file, ReplicaIndex index) {
     // Handoff succeeded: swap prev <- next (Fig. 9).
     const SectorId old = e.prev;
     const SectorId fresh = e.next;
-    sector_table_.release(old, it->second.desc.size);
+    release_sector(old, it->second.desc.size);
     bus_.emit(ReplicaReleased{file, index, old});
     link_prev(file, index, fresh);
     link_next(file, index, kNoSector);
@@ -598,7 +606,7 @@ void Network::auto_check_refresh(FileId file, ReplicaIndex index) {
       bus_.emit(ProviderPunished{other.prev, slashed,
                                  "failed refresh handoff (holder)"});
     }
-    sector_table_.release(e.next, it->second.desc.size);
+    release_sector(e.next, it->second.desc.size);
     link_next(file, index, kNoSector);
     alloc_table_.set_state(file, index, AllocState::normal);
     auto_refresh(file, index);  // Fig. 9: call Refresh(f, i) again
@@ -608,38 +616,82 @@ void Network::auto_check_refresh(FileId file, ReplicaIndex index) {
 }
 
 void Network::distribute_rent() {
-  const TokenAmount balance = ledger_.balance(rent_pool_);
-  if (balance > 0) {
-    // Proportional to capacity over sectors still storing data.
-    ByteCount total_cap = 0;
-    for (SectorId id : sector_table_.all_ids()) {
-      const Sector& s = sector_table_.at(id);
-      if (s.state == SectorState::normal || s.state == SectorState::disabled) {
-        total_cap = util::checked_add(total_cap, s.capacity);
-      }
-    }
-    if (total_cap > 0) {
-      TokenAmount paid_total = 0;
-      for (SectorId id : sector_table_.all_ids()) {
-        const Sector& s = sector_table_.at(id);
-        if (s.state != SectorState::normal &&
-            s.state != SectorState::disabled) {
-          continue;
-        }
-        const TokenAmount share =
-            util::checked_mul_div(balance, s.capacity, total_cap);
-        if (share > 0) {
-          FI_CHECK(ledger_.transfer(rent_pool_, s.owner, share).is_ok());
-          paid_total = util::checked_add(paid_total, share);
-        }
-      }
-      if (paid_total > 0) bus_.emit(RentDistributed{paid_total});
+  // O(1) per cycle: credit the period's rent to the global
+  // reward-per-capacity-unit accumulator; sectors settle lazily. The
+  // committed amount is subtracted from the undistributed balance at full
+  // fixed-point precision, so the sub-unit remainder carries to the next
+  // cycle without ever being credited twice.
+  const std::uint64_t units = sector_table_.rentable_units();
+  if (rent_undistributed_scaled_ > 0 && units > 0) {
+    const RentAcc delta = rent_undistributed_scaled_ / units;
+    if (delta > 0) {
+      rent_acc_ += delta;
+      const RentAcc committed = delta * units;
+      rent_undistributed_scaled_ -= committed;
+      const auto credited =
+          static_cast<TokenAmount>(committed >> kRentAccFracBits);
+      if (credited > 0) bus_.emit(RentDistributed{credited});
     }
   }
   pending_.schedule(
       now_ + static_cast<Time>(params_.rent_period_cycles) *
                  params_.proof_cycle,
       Task{TaskKind::rent_distribution, kNoFile, 0});
+}
+
+TokenAmount Network::owed_rent(const Sector& s) const {
+  if (s.state == SectorState::corrupted || s.state == SectorState::removed) {
+    return 0;
+  }
+  const std::uint64_t units = s.capacity / params_.min_capacity;
+  const RentAcc delta = rent_acc_ - s.rent_acc_snapshot;
+  if (delta == 0 || units == 0) return 0;
+  FI_CHECK_MSG(delta <= ~RentAcc{0} / units, "rent accumulator overflow");
+  return static_cast<TokenAmount>((delta * units) >> kRentAccFracBits);
+}
+
+TokenAmount Network::accrued_rent(SectorId sector) const {
+  return owed_rent(sector_table_.at(sector));
+}
+
+TokenAmount Network::settle_rent_internal(SectorId sector) {
+  Sector& s = sector_table_.mutable_at(sector);
+  const TokenAmount owed = owed_rent(s);
+  if (owed == 0) return 0;
+  // Advance the snapshot by exactly the paid entitlement (rounded up, so
+  // the pool can never be overdrawn); the sub-token fraction keeps
+  // accruing instead of being shaved off at every settlement.
+  const std::uint64_t units = s.capacity / params_.min_capacity;
+  const RentAcc consumed =
+      ((static_cast<RentAcc>(owed) << kRentAccFracBits) + units - 1) / units;
+  s.rent_acc_snapshot += consumed;
+  FI_CHECK(ledger_.transfer(rent_pool_, s.owner, owed).is_ok());
+  total_rent_paid_ = util::checked_add(total_rent_paid_, owed);
+  return owed;
+}
+
+TokenAmount Network::settle_rent(SectorId sector) {
+  FI_CHECK_MSG(sector_table_.exists(sector), "unknown sector");
+  return settle_rent_internal(sector);
+}
+
+TokenAmount Network::settle_all_rent() {
+  TokenAmount paid = 0;
+  for (SectorId id = 0; id < sector_table_.count(); ++id) {
+    paid = util::checked_add(paid, settle_rent_internal(id));
+  }
+  return paid;
+}
+
+util::Status Network::reserve_sector(SectorId sector, ByteCount size) {
+  auto status = sector_table_.reserve(sector, size);
+  if (status.is_ok()) settle_rent_internal(sector);
+  return status;
+}
+
+void Network::release_sector(SectorId sector, ByteCount size) {
+  sector_table_.release(sector, size);
+  settle_rent_internal(sector);
 }
 
 // ---------------------------------------------------------------------------
@@ -664,7 +716,14 @@ void Network::restore_sector_physical(SectorId sector) {
 }
 
 void Network::corrupt_sector_internal(SectorId sector) {
-  if (!sector_table_.mark_corrupted(sector)) return;  // already dead
+  const SectorState state = sector_table_.at(sector).state;
+  if (state == SectorState::corrupted || state == SectorState::removed) {
+    return;  // already dead
+  }
+  // Rent credited before the corruption was honestly earned; pay it out
+  // before the accrual freezes.
+  settle_rent_internal(sector);
+  FI_CHECK(sector_table_.mark_corrupted(sector));
   physically_corrupted_.insert(sector);
   const TokenAmount confiscated = deposit_book_.confiscate(sector);
   ++stats_.sectors_corrupted;
@@ -690,7 +749,7 @@ void Network::corrupt_sector_internal(SectorId sector) {
     }
     if (e.state == AllocState::alloc && e.next != kNoSector) {
       // Outbound refresh whose source just died: cancel the transfer.
-      sector_table_.release(e.next, files_.at(file).desc.size);
+      release_sector(e.next, files_.at(file).desc.size);
       link_next(file, index, kNoSector);
     }
     alloc_table_.set_state(file, index, AllocState::corrupted);
@@ -748,6 +807,7 @@ void Network::unref_and_maybe_remove(SectorId sector) {
   sector_table_.drop_ref(sector);
   const Sector& s = sector_table_.at(sector);
   if (s.state == SectorState::disabled && s.ref_count == 0) {
+    settle_rent_internal(sector);
     const TokenAmount refunded = deposit_book_.refund(sector);
     sector_table_.mark_removed(sector);
     bus_.emit(SectorRemoved{sector, refunded});
@@ -767,7 +827,7 @@ util::Result<SectorId> Network::sample_sector_with_space(
       ++stats_.add_resamples;
       continue;
     }
-    if (sector_table_.reserve(s, size).is_ok()) return s;
+    if (reserve_sector(s, size).is_ok()) return s;
     ++stats_.add_resamples;  // collision: resample (Fig. 4 while-loop)
   }
   return util::err(util::ErrorCode::insufficient_space,
@@ -781,7 +841,7 @@ void Network::remove_file_internal(FileId file) {
   for (ReplicaIndex i = 0; i < it->second.desc.cp; ++i) {
     const AllocEntry e = alloc_table_.entry(file, i);
     if (e.next != kNoSector) {
-      sector_table_.release(e.next, size);
+      release_sector(e.next, size);
       if (e.state == AllocState::confirm) {
         bus_.emit(ReplicaReleased{file, i, e.next});
       }
@@ -789,7 +849,7 @@ void Network::remove_file_internal(FileId file) {
     }
     if (e.prev != kNoSector) {
       if (e.state != AllocState::corrupted) {
-        sector_table_.release(e.prev, size);
+        release_sector(e.prev, size);
         bus_.emit(ReplicaReleased{file, i, e.prev});
       }
       link_prev(file, i, kNoSector);

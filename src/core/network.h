@@ -80,7 +80,9 @@ class Network {
 
   // ---- Provider requests (Fig. 5, Fig. 6) -------------------------------
 
-  /// Sector_Register: pledges the deposit and adds the sector.
+  /// Sector_Register: pledges the deposit and adds the sector. Rent is
+  /// settled lazily, so a provider whose liquidity depends on accrued rent
+  /// should `settle_rent` its existing sectors before pledging.
   util::Result<SectorId> sector_register(ProviderId provider,
                                          ByteCount capacity);
 
@@ -180,6 +182,38 @@ class Network {
     return total_stored_value_;
   }
 
+  // ---- Rent accounting (§IV-A2, O(1) accumulator) --------------------------
+  //
+  // Rent distribution is staking-style: each distribution cycle bumps a
+  // global reward-per-capacity-unit accumulator in O(1); a sector's payout
+  // is settled lazily — whenever the engine touches it (reserve/release/
+  // disable/corrupt/remove) or on explicit query — as
+  // (acc - sector.rent_acc_snapshot) * capacity_units.
+
+  /// Rent earned by `sector` since its last settlement (0 for corrupted or
+  /// removed sectors, whose accrual was settled at the transition).
+  [[nodiscard]] TokenAmount accrued_rent(SectorId sector) const;
+  /// Pays `sector`'s accrued rent to its owner now; returns the amount.
+  TokenAmount settle_rent(SectorId sector);
+  /// Settles every sector (O(#sectors); tests/benches use it to flush all
+  /// outstanding accruals). Returns the total paid.
+  TokenAmount settle_all_rent();
+  /// Total rent ever charged to clients (inflow into the rent pool).
+  [[nodiscard]] TokenAmount total_rent_charged() const {
+    return total_rent_charged_;
+  }
+  /// Total rent ever settled to providers (outflow from the rent pool).
+  [[nodiscard]] TokenAmount total_rent_paid() const {
+    return total_rent_paid_;
+  }
+  /// Rent pool inflow not yet credited to the accumulator (distribution
+  /// dust carried to the next cycle plus the current period's charges),
+  /// in whole tokens.
+  [[nodiscard]] TokenAmount rent_undistributed() const {
+    return static_cast<TokenAmount>(rent_undistributed_scaled_ >>
+                                    kRentAccFracBits);
+  }
+
   /// System account ids (for money-conservation assertions in tests).
   [[nodiscard]] AccountId escrow_account() const { return escrow_; }
   [[nodiscard]] AccountId pool_account() const { return pool_; }
@@ -222,6 +256,16 @@ class Network {
       ByteCount size, const std::vector<SectorId>& already_chosen);
   /// Chain-side sector corruption (deposit confiscation + entry marking).
   void corrupt_sector_internal(SectorId sector);
+  /// Rent owed to a sector since its last settlement (0 for dead sectors);
+  /// the single source of truth for accrued_rent and settlement.
+  [[nodiscard]] TokenAmount owed_rent(const Sector& s) const;
+  /// Settles a sector's accrued rent (no-op for dead sectors); the lazy
+  /// half of the O(1) rent-distribution scheme.
+  TokenAmount settle_rent_internal(SectorId sector);
+  /// SectorTable::reserve / release plus lazy rent settlement — every
+  /// capacity touch doubles as a settlement point.
+  util::Status reserve_sector(SectorId sector, ByteCount size);
+  void release_sector(SectorId sector, ByteCount size);
   /// Removes a file's entries, releasing space and refs.
   void remove_file_internal(FileId file);
   /// Refunds escrowed traffic fees for unconfirmed replicas.
@@ -258,6 +302,18 @@ class Network {
   FileId next_file_id_ = 1;
   Time now_ = 0;
   TokenAmount total_stored_value_ = 0;
+
+  /// Global reward-per-capacity-unit accumulator (fixed point,
+  /// 2^kRentAccFracBits scale); bumped O(1) per rent-distribution cycle.
+  RentAcc rent_acc_ = 0;
+  /// Rent-pool inflow not yet credited to the accumulator, in the same
+  /// fixed-point scale as `rent_acc_` so distribution can subtract its
+  /// exact (fractional) commitment — subtracting only whole credited
+  /// tokens would re-credit the remainder every cycle and let the
+  /// accumulator's liability outgrow the pool.
+  RentAcc rent_undistributed_scaled_ = 0;
+  TokenAmount total_rent_charged_ = 0;
+  TokenAmount total_rent_paid_ = 0;
 
   bool auto_prove_ = false;
   std::unordered_set<SectorId> physically_corrupted_;

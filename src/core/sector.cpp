@@ -21,6 +21,12 @@ util::Result<SectorId> SectorTable::register_sector(ProviderId owner,
   sector.registered_at = now;
   sectors_.push_back(sector);
   weights_.push_back(capacity / params_.min_capacity);
+  capacity_by_state_[static_cast<std::size_t>(SectorState::normal)] =
+      util::checked_add(
+          capacity_by_state_[static_cast<std::size_t>(SectorState::normal)],
+          capacity);
+  rentable_units_ =
+      util::checked_add(rentable_units_, capacity / params_.min_capacity);
   return sector.id;
 }
 
@@ -80,7 +86,7 @@ util::Status SectorTable::disable(SectorId id) {
     return util::err(util::ErrorCode::failed_precondition,
                      "only a normal sector can be disabled");
   }
-  s.state = SectorState::disabled;
+  transition_capacity(s, SectorState::disabled);
   set_weight(id);
   return util::Status::ok();
 }
@@ -90,7 +96,7 @@ bool SectorTable::mark_corrupted(SectorId id) {
   if (s.state == SectorState::corrupted || s.state == SectorState::removed) {
     return false;
   }
-  s.state = SectorState::corrupted;
+  transition_capacity(s, SectorState::corrupted);
   set_weight(id);
   return true;
 }
@@ -100,16 +106,26 @@ void SectorTable::mark_removed(SectorId id) {
   FI_CHECK_MSG(s.state == SectorState::disabled,
                "only a drained disabled sector can be removed");
   FI_CHECK_MSG(s.ref_count == 0, "sector still referenced");
-  s.state = SectorState::removed;
+  transition_capacity(s, SectorState::removed);
   set_weight(id);
 }
 
-ByteCount SectorTable::total_capacity(SectorState state) const {
-  ByteCount total = 0;
-  for (const Sector& s : sectors_) {
-    if (s.state == state) total = util::checked_add(total, s.capacity);
+void SectorTable::transition_capacity(Sector& s, SectorState to) {
+  auto& from_total = capacity_by_state_[static_cast<std::size_t>(s.state)];
+  from_total = util::checked_sub(from_total, s.capacity);
+  auto& to_total = capacity_by_state_[static_cast<std::size_t>(to)];
+  to_total = util::checked_add(to_total, s.capacity);
+
+  const auto earns = [](SectorState state) {
+    return state == SectorState::normal || state == SectorState::disabled;
+  };
+  const std::uint64_t units = s.capacity / params_.min_capacity;
+  if (earns(s.state) && !earns(to)) {
+    rentable_units_ = util::checked_sub(rentable_units_, units);
+  } else if (!earns(s.state) && earns(to)) {
+    rentable_units_ = util::checked_add(rentable_units_, units);
   }
-  return total;
+  s.state = to;
 }
 
 std::vector<SectorId> SectorTable::all_ids() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,11 @@
 /// register, disable and corrupt online.
 namespace fi::core {
 
+/// Fixed-point rent accumulator value: tokens per capacity unit, scaled by
+/// 2^kRentAccFracBits (staking-style reward-per-share accounting).
+using RentAcc = unsigned __int128;
+inline constexpr unsigned kRentAccFracBits = 32;
+
 struct Sector {
   SectorId id = kNoSector;
   ProviderId owner = kNoAccount;
@@ -28,6 +34,9 @@ struct Sector {
   /// Live allocation references (entries with prev or next == this sector);
   /// a disabled sector is removed when this drains to zero.
   std::uint32_t ref_count = 0;
+  /// Global rent accumulator value at this sector's last settlement
+  /// (maintained by Network; rent owed is (acc - snapshot) * capacity units).
+  RentAcc rent_acc_snapshot = 0;
 };
 
 class SectorTable {
@@ -64,12 +73,20 @@ class SectorTable {
   /// Removes a drained disabled sector.
   void mark_removed(SectorId id);
 
-  /// Total capacity over sectors in the given state.
-  [[nodiscard]] ByteCount total_capacity(SectorState state) const;
+  /// Total capacity over sectors in the given state (O(1), maintained
+  /// incrementally across every state transition).
+  [[nodiscard]] ByteCount total_capacity(SectorState state) const {
+    return capacity_by_state_[static_cast<std::size_t>(state)];
+  }
   /// Total capacity of sectors that still hold data (normal + disabled).
   [[nodiscard]] ByteCount live_capacity() const {
     return total_capacity(SectorState::normal) +
            total_capacity(SectorState::disabled);
+  }
+  /// Capacity units (capacity / min_capacity) over rent-earning sectors
+  /// (normal + disabled) — the denominator of the rent accumulator. O(1).
+  [[nodiscard]] std::uint64_t rentable_units() const {
+    return rentable_units_;
   }
 
   /// Mutable access for the protocol engine (state transitions beyond the
@@ -81,10 +98,17 @@ class SectorTable {
 
  private:
   void set_weight(SectorId id);
+  /// Transitions a sector's state, moving its capacity between the
+  /// per-state totals and keeping the rentable-unit count consistent
+  /// (normal/disabled earn rent). The only writer of Sector::state after
+  /// registration.
+  void transition_capacity(Sector& s, SectorState to);
 
   const Params& params_;
   std::vector<Sector> sectors_;
   util::FenwickTree weights_;
+  std::array<ByteCount, kSectorStateCount> capacity_by_state_{};
+  std::uint64_t rentable_units_ = 0;
 };
 
 }  // namespace fi::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/types.h"
@@ -23,6 +24,10 @@ enum class SectorState : std::uint8_t {
   corrupted,  ///< any bit lost; deposit confiscated
   removed,    ///< safely exited; deposit refunded
 };
+
+/// Number of SectorState enumerators (keep tied to the last one above).
+inline constexpr std::size_t kSectorStateCount =
+    static_cast<std::size_t>(SectorState::removed) + 1;
 
 /// File lifecycle (Fig. 1).
 enum class FileState : std::uint8_t {

@@ -159,13 +159,34 @@ TEST(SectorTableTest, DisableLifecycle) {
 TEST(SectorTableTest, CapacityTotals) {
   const Params p = small_params();
   SectorTable table(p);
-  table.register_sector(1, 1024, 0);
+  ASSERT_TRUE(table.register_sector(1, 1024, 0).is_ok());
   const SectorId b = table.register_sector(2, 2048, 0).value();
-  table.register_sector(3, 4096, 0);
+  ASSERT_TRUE(table.register_sector(3, 4096, 0).is_ok());
   table.mark_corrupted(b);
   EXPECT_EQ(table.total_capacity(SectorState::normal), 5120u);
   EXPECT_EQ(table.total_capacity(SectorState::corrupted), 2048u);
   EXPECT_EQ(table.live_capacity(), 5120u);
+}
+
+TEST(SectorTableTest, RentableUnitsTrackLifecycle) {
+  const Params p = small_params();  // min_capacity = 1024
+  SectorTable table(p);
+  EXPECT_EQ(table.rentable_units(), 0u);
+  const SectorId a = table.register_sector(1, 1024, 0).value();
+  const SectorId b = table.register_sector(2, 3072, 0).value();
+  EXPECT_EQ(table.rentable_units(), 4u);
+  // Disabled sectors still hold data and still earn rent.
+  ASSERT_TRUE(table.disable(a).is_ok());
+  EXPECT_EQ(table.rentable_units(), 4u);
+  EXPECT_EQ(table.total_capacity(SectorState::disabled), 1024u);
+  // Corrupted and removed sectors stop earning.
+  table.mark_corrupted(b);
+  EXPECT_EQ(table.rentable_units(), 1u);
+  table.mark_removed(a);
+  EXPECT_EQ(table.rentable_units(), 0u);
+  EXPECT_EQ(table.total_capacity(SectorState::removed), 1024u);
+  EXPECT_EQ(table.total_capacity(SectorState::corrupted), 3072u);
+  EXPECT_EQ(table.live_capacity(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +258,42 @@ TEST(AllocTableTest, DuplicateCreateRejected) {
   AllocTable table;
   table.create_file(1, 1);
   EXPECT_THROW(table.create_file(1, 1), util::InvariantViolation);
+}
+
+TEST(AllocTableTest, IndexViewsMatchCopiesWithoutAllocation) {
+  AllocTable table;
+  table.create_file(1, 3);
+  table.set_next(1, 0, 5);
+  table.set_next(1, 1, 5);
+  table.set_prev(1, 2, 5);
+  EXPECT_EQ(table.count_with_next(5), 2u);
+  EXPECT_EQ(table.count_with_prev(5), 1u);
+  EXPECT_EQ(table.count_with_prev(6), 0u);
+  EXPECT_TRUE(table.with_prev(6).empty());
+  // The span and the copying accessor expose the same slice.
+  const auto view = table.with_next(5);
+  const auto copy = table.entries_with_next(5);
+  ASSERT_EQ(view.size(), copy.size());
+  for (std::size_t i = 0; i < view.size(); ++i) EXPECT_EQ(view[i], copy[i]);
+}
+
+TEST(AllocTableTest, SwapEraseIndexSurvivesInterleavedRelinks) {
+  AllocTable table;
+  table.create_file(1, 4);
+  table.create_file(2, 2);
+  for (ReplicaIndex i = 0; i < 4; ++i) table.set_prev(1, i, 9);
+  table.set_prev(2, 0, 9);
+  // Remove from the middle (swap-erase moves the tail key) and relink.
+  table.set_prev(1, 1, 3);
+  table.set_prev(1, 2, kNoSector);
+  EXPECT_EQ(table.count_with_prev(9), 3u);
+  EXPECT_EQ(table.count_with_prev(3), 1u);
+  table.set_prev(1, 1, 9);  // back again
+  EXPECT_EQ(table.count_with_prev(9), 4u);
+  EXPECT_EQ(table.count_with_prev(3), 0u);
+  table.remove_file(1);
+  EXPECT_EQ(table.count_with_prev(9), 1u);
+  EXPECT_EQ(table.entries_with_prev(9), (std::vector<EntryKey>{{2, 0}}));
 }
 
 // ---------------------------------------------------------------------------
