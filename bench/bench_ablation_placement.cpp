@@ -1,4 +1,5 @@
-// Ablation of FileInsurer's placement design choices (DESIGN.md §5):
+// Ablation of FileInsurer's placement design choices, driven through the
+// scenario engine:
 //
 //  A. i.i.d. replica placement (the paper's assumption, used by the
 //     theorems) vs forcing distinct sectors per file. i.i.d. lets two
@@ -9,113 +10,90 @@
 //  B. §VI-B Poisson admission rebalancing on sector registration, on/off:
 //     without it, late-joining sectors stay underfilled and placement
 //     drifts from i.i.d.; with it, a newcomer immediately receives its
-//     fair share of backups.
+//     fair share of backups (the scenario engine's `admit` phase).
 
 #include <cstdio>
-#include <vector>
 
-#include "core/network.h"
-#include "ledger/account.h"
-#include "util/prng.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
 
 namespace {
 
-using namespace fi;
-using namespace fi::core;
+using fi::scenario::extra_or;
+using fi::scenario::MetricsReport;
+using fi::scenario::PhaseKind;
+using fi::scenario::PhaseSpec;
+using fi::scenario::ScenarioRunner;
+using fi::scenario::ScenarioSpec;
 
-Params base_params() {
-  Params p;
-  p.min_capacity = 32 * 1024;
-  p.min_value = 10;
-  p.k = 2;
-  p.cap_para = 30.0;
-  p.gamma_deposit = 0.2;
-  p.verify_proofs = false;
-  return p;
+constexpr std::uint64_t kSectors = 80;
+constexpr std::uint64_t kFiles = 600;
+constexpr int kTrials = 5;
+
+ScenarioSpec base_spec() {
+  ScenarioSpec spec;
+  spec.sector_units = 1;
+  spec.file_size_min = 1024;
+  spec.file_size_max = 1024;
+  spec.file_value = 10;
+  spec.params.min_capacity = 32 * 1024;
+  spec.params.min_value = 10;
+  spec.params.k = 2;
+  spec.params.cap_para = 30.0;
+  spec.params.gamma_deposit = 0.2;
+  return spec;
 }
 
-struct FillResult {
-  Network* net;
-  std::vector<SectorId> sectors;
-  int files;
-};
-
-/// Builds a network, fills it to ~half capacity, confirming all replicas.
-int fill(Network& net, ledger::Ledger& ledger, AccountId provider,
-         AccountId client, int target_files) {
-  int accepted = 0;
-  (void)ledger;
-  (void)provider;
-  for (int i = 0; i < target_files; ++i) {
-    auto f = net.file_add(client, {1024, 10, {}});
-    if (!f.is_ok()) break;
-    for (ReplicaIndex r = 0; r < net.allocations().replica_count(f.value());
-         ++r) {
-      const AllocEntry& e = net.allocations().entry(f.value(), r);
-      (void)net.file_confirm(net.sectors().at(e.next).owner, f.value(), r,
-                             e.next, {}, std::nullopt);
+/// Files whose two replicas share one sector (possible only under i.i.d.
+/// placement); inspected on a setup-only runner, before corruption
+/// removes the evidence.
+double duplicated_fraction(const ScenarioRunner& runner) {
+  const fi::core::Network& net = runner.network();
+  const std::uint64_t stored = runner.initial_files_stored();
+  if (stored == 0) return 0.0;
+  std::uint64_t duplicated = 0;
+  for (fi::core::FileId f = 1; f <= stored; ++f) {
+    if (!net.file_exists(f)) continue;
+    if (net.allocations().entry(f, 0).prev ==
+        net.allocations().entry(f, 1).prev) {
+      ++duplicated;
     }
-    ++accepted;
   }
-  net.advance_to(net.now() + 5);
-  return accepted;
+  return static_cast<double>(duplicated) / static_cast<double>(stored);
 }
 
 }  // namespace
 
 int main() {
-  constexpr int kSectors = 80;
-  constexpr int kFiles = 600;
-  constexpr int kTrials = 5;
-
   // ---- A: distinct_sectors ablation --------------------------------------
   std::printf("Ablation A — i.i.d. placement (paper) vs distinct sectors\n");
-  std::printf("(k=2, %d sectors, %d files, lambda=0.5, %d trials)\n\n",
-              kSectors, kFiles, kTrials);
+  std::printf("(k=2, %llu sectors, %llu files, lambda=0.5, %d trials)\n\n",
+              static_cast<unsigned long long>(kSectors),
+              static_cast<unsigned long long>(kFiles), kTrials);
   std::printf("%10s %14s %14s %14s\n", "placement", "loss frac",
               "dup-sector files", "add resamples");
   for (const bool distinct : {false, true}) {
     double loss = 0.0, dups = 0.0, resamples = 0.0;
     for (int trial = 0; trial < kTrials; ++trial) {
-      Params p = base_params();
-      p.distinct_sectors = distinct;
-      ledger::Ledger ledger;
-      Network net(p, ledger, 100 + trial);
-      net.set_auto_prove(true);
-      const AccountId provider = ledger.create_account(1'000'000'000ull);
-      std::vector<SectorId> sectors;
-      for (int s = 0; s < kSectors; ++s) {
-        sectors.push_back(
-            net.sector_register(provider, p.min_capacity).value());
-      }
-      const AccountId client = ledger.create_account(1'000'000'000ull);
-      const int accepted = fill(net, ledger, provider, client, kFiles);
+      ScenarioSpec spec = base_spec();
+      spec.name = "ablation_placement";
+      spec.seed = 100 + static_cast<std::uint64_t>(trial);
+      spec.sectors = kSectors;
+      spec.initial_files = kFiles;
+      spec.params.distinct_sectors = distinct;
 
-      // Count files whose two replicas share one sector.
-      int duplicated = 0;
-      for (FileId f = 1; f <= static_cast<FileId>(accepted); ++f) {
-        if (!net.file_exists(f)) continue;
-        if (net.allocations().entry(f, 0).prev ==
-            net.allocations().entry(f, 1).prev) {
-          ++duplicated;
-        }
+      // Same seed, same setup draws: inspect placement on a phase-less
+      // runner, then replay with the corruption burst for the loss rate.
+      {
+        ScenarioRunner placement_probe(spec);
+        dups += duplicated_fraction(placement_probe);
       }
-      dups += static_cast<double>(duplicated) / accepted;
-      resamples += static_cast<double>(net.stats().add_resamples);
-
-      // Corrupt half the sectors, uniformly at random.
-      util::Xoshiro256 rng(900 + trial);
-      std::vector<int> order(kSectors);
-      for (int i = 0; i < kSectors; ++i) order[i] = i;
-      for (int i = 0; i + 1 < kSectors; ++i) {
-        std::swap(order[i], order[i + static_cast<int>(rng.uniform_below(
-                                           kSectors - i))]);
-      }
-      for (int i = 0; i < kSectors / 2; ++i) {
-        net.corrupt_sector_now(sectors[order[i]]);
-      }
-      net.advance_to(net.now() + 2 * p.proof_cycle);
-      loss += static_cast<double>(net.stats().files_lost) / accepted;
+      spec.phases.push_back(PhaseSpec::make_corrupt_burst(0.5, 2));
+      ScenarioRunner runner(std::move(spec));
+      const MetricsReport report = runner.run();
+      loss += static_cast<double>(report.totals.files_lost) /
+              static_cast<double>(report.initial_files);
+      resamples += static_cast<double>(report.totals.add_resamples);
     }
     std::printf("%10s %14.4f %14.4f %14.0f\n",
                 distinct ? "distinct" : "iid", loss / kTrials, dups / kTrials,
@@ -127,54 +105,26 @@ int main() {
 
   // ---- B: §VI-B admission rebalancing -------------------------------------
   std::printf("\nAblation B — §VI-B Poisson admission rebalancing\n");
-  std::printf("(fill %d sectors, then register %d fresh ones; measure their "
-              "backup share)\n\n",
-              kSectors / 2, kSectors / 2);
+  std::printf("(fill %llu sectors, then register %llu fresh ones; measure "
+              "their backup share)\n\n",
+              static_cast<unsigned long long>(kSectors / 2),
+              static_cast<unsigned long long>(kSectors / 2));
   std::printf("%12s %22s %22s\n", "rebalance", "newcomer share (mean)",
               "fair share");
   for (const bool rebalance : {false, true}) {
     double share = 0.0;
     for (int trial = 0; trial < kTrials; ++trial) {
-      Params p = base_params();
-      p.admission_rebalance = rebalance;
-      ledger::Ledger ledger;
-      Network net(p, ledger, 200 + trial);
-      net.set_auto_prove(true);
-      const AccountId provider = ledger.create_account(1'000'000'000ull);
-      std::vector<SectorId> old_sectors;
-      for (int s = 0; s < kSectors / 2; ++s) {
-        old_sectors.push_back(
-            net.sector_register(provider, p.min_capacity).value());
-      }
-      const AccountId client = ledger.create_account(1'000'000'000ull);
-      fill(net, ledger, provider, client, kFiles / 2);
+      ScenarioSpec spec = base_spec();
+      spec.name = "ablation_admission";
+      spec.seed = 200 + static_cast<std::uint64_t>(trial);
+      spec.sectors = kSectors / 2;
+      spec.initial_files = kFiles / 2;
+      spec.params.admission_rebalance = rebalance;
+      spec.phases.push_back(PhaseSpec::make_admit(kSectors / 2, 2));
 
-      std::vector<SectorId> fresh;
-      for (int s = 0; s < kSectors / 2; ++s) {
-        fresh.push_back(
-            net.sector_register(provider, p.min_capacity).value());
-      }
-      // Let the triggered swap-ins complete (confirm them); iterate a
-      // snapshot since confirmation mutates network state.
-      for (SectorId target : fresh) {
-        for (const auto& [f, idx] :
-             net.allocations().entries_with_next(target)) {
-          (void)net.file_confirm(provider, f, idx, target, {}, std::nullopt);
-        }
-      }
-      net.advance_to(net.now() + 2 * p.proof_cycle);
-
-      std::size_t on_fresh = 0, total = 0;
-      for (SectorId s : fresh) {
-        on_fresh += net.allocations().count_with_prev(s);
-      }
-      for (SectorId s : old_sectors) {
-        total += net.allocations().count_with_prev(s);
-      }
-      total += on_fresh;
-      if (total > 0) {
-        share += static_cast<double>(on_fresh) / static_cast<double>(total);
-      }
+      ScenarioRunner runner(std::move(spec));
+      const MetricsReport report = runner.run();
+      share += extra_or(report.phases[0], "newcomer_share");
     }
     std::printf("%12s %22.4f %22.4f\n", rebalance ? "on" : "off",
                 share / kTrials, 0.5);

@@ -6,244 +6,166 @@
 // The headline measurement is the Theorem-1 scalability axis for the
 // economic loop: rent distribution is an O(1)-per-cycle accumulator bump
 // (sectors settle lazily on touch), so the reported per-rent-cycle timing
-// must stay flat as the sector count grows 100x. The old two-sweep
-// distribution was O(#sectors) per cycle and would grow linearly here.
+// must stay flat as the sector count grows 100x.
+//
+// Both sections are thin wrappers over declarative scenario specs — the
+// same workloads are available as configs for `fi_sim` (see
+// configs/churn_1m.cfg for the million-file run with a JSON report).
 //
 // Usage: bench_scale_engine [files]   (default 100000; try 1000000)
 
-#include <chrono>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
-#include "core/network.h"
-#include "ledger/account.h"
-#include "util/prng.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using fi::scenario::MetricsReport;
+using fi::scenario::PhaseKind;
+using fi::scenario::PhaseSpec;
+using fi::scenario::ScenarioRunner;
+using fi::scenario::ScenarioSpec;
 
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-fi::core::Params scale_params() {
-  fi::core::Params p;
-  p.min_capacity = 64 * 1024;
-  p.min_value = 10;
-  p.k = 3;
-  p.cap_para = 200.0;
-  p.gamma_deposit = 0.01;
-  p.proof_cycle = 100;
-  p.proof_due = 150;
-  p.proof_deadline = 300;
-  p.rent_period_cycles = 10;
-  p.verify_proofs = false;  // metadata mode: statistics at scale
-  return p;
-}
-
-/// Advances to `horizon`, batching tasks by timestamp and confirming every
-/// refresh handoff between batches (honest-provider behavior: without
-/// confirmation every refresh fails and retries in a punish storm).
-void advance_confirming(fi::core::Network& net, fi::Time horizon,
-                        std::vector<fi::core::ReplicaTransferRequested>& queue) {
-  while (true) {
-    const fi::Time next = net.next_task_time();
-    if (next == fi::kNoTime || next > horizon) break;
-    net.advance_to(next);
-    for (const auto& req : queue) {
-      (void)net.file_confirm(net.sectors().at(req.to).owner, req.file,
-                             req.index, req.to, {}, std::nullopt);
-    }
-    queue.clear();
-  }
-  net.advance_to(horizon);
-}
-
-/// Stores `nf` ~1.5 KiB files, confirming every replica. Returns the
-/// add+confirm wall time in seconds.
-double fill_network(fi::core::Network& net, fi::AccountId client,
-                    std::size_t nf, fi::util::Xoshiro256& rng,
-                    std::vector<fi::core::FileId>* files_out) {
-  const auto t0 = Clock::now();
-  for (std::size_t f = 0; f < nf; ++f) {
-    const fi::ByteCount size = 1024 + rng.uniform_below(1024);
-    auto id = net.file_add(client, {size, net.params().min_value, {}});
-    if (!id.is_ok()) {
-      std::fprintf(stderr, "file_add failed at %zu: %s\n", f,
-                   id.status().to_string().c_str());
-      std::exit(1);
-    }
-    for (fi::core::ReplicaIndex i = 0;
-         i < net.allocations().replica_count(id.value()); ++i) {
-      const fi::core::AllocEntry& e = net.allocations().entry(id.value(), i);
-      (void)net.file_confirm(net.sectors().at(e.next).owner, id.value(), i,
-                             e.next, {}, std::nullopt);
-    }
-    if (files_out) files_out->push_back(id.value());
-  }
-  return seconds_since(t0);
+ScenarioSpec scale_spec() {
+  ScenarioSpec spec;
+  spec.sector_units = 4;
+  spec.file_size_min = 1024;
+  spec.file_size_max = 2048;
+  spec.file_value = 10;
+  spec.params.min_value = 10;
+  spec.params.k = 3;
+  spec.params.cap_para = 200.0;
+  spec.params.gamma_deposit = 0.01;
+  return spec;
 }
 
 /// Section A: per-rent-cycle cost vs sector count with a fixed file
 /// workload. O(1) distribution => the us/rent-cycle column stays flat as
 /// Ns grows 100x.
 void rent_cycle_scaling() {
-  std::printf("Rent distribution scaling (fixed 200-file workload, 20 rent "
-              "periods)\n");
-  std::printf("%8s %12s %16s %16s %14s\n", "Ns", "reg/s", "advance(ms)",
+  constexpr std::uint64_t kPeriods = 20;
+  std::printf("Rent distribution scaling (fixed 200-file workload, %llu rent "
+              "periods)\n",
+              static_cast<unsigned long long>(kPeriods));
+  std::printf("%8s %12s %16s %16s %14s\n", "Ns", "setup(s)", "advance(ms)",
               "us/rent-cycle", "rent paid");
-  for (const std::size_t ns : {1'000u, 10'000u, 100'000u}) {
-    fi::core::Params p = scale_params();
-    fi::ledger::Ledger ledger;
-    fi::core::Network net(p, ledger, /*seed=*/ns);
-    net.set_auto_prove(true);
-    std::vector<fi::core::ReplicaTransferRequested> refresh_queue;
-    net.subscribe([&refresh_queue](const fi::core::Event& e) {
-      if (const auto* req =
-              std::get_if<fi::core::ReplicaTransferRequested>(&e)) {
-        if (req->from != fi::core::kNoSector) refresh_queue.push_back(*req);
-      }
-    });
-    const fi::AccountId provider =
-        ledger.create_account(1'000'000'000'000ull);
-    const auto reg0 = Clock::now();
-    for (std::size_t s = 0; s < ns; ++s) {
-      auto r = net.sector_register(provider, 4 * p.min_capacity);
-      if (!r.is_ok()) {
-        std::fprintf(stderr, "sector_register failed: %s\n",
-                     r.status().to_string().c_str());
-        std::exit(1);
-      }
-    }
-    const double reg_secs = seconds_since(reg0);
+  for (const std::uint64_t ns : {1'000u, 10'000u, 100'000u}) {
+    ScenarioSpec spec = scale_spec();
+    spec.name = "rent_scaling";
+    spec.seed = ns;
+    spec.sectors = ns;
+    spec.initial_files = 200;
+    spec.phases.push_back(
+        PhaseSpec::make_rent_audit(kPeriods));
 
-    const fi::AccountId client = ledger.create_account(1'000'000'000ull);
-    fi::util::Xoshiro256 rng(ns + 17);
-    fill_network(net, client, 200, rng, nullptr);
-    net.advance_to(net.now() + 3);  // flush Auto_CheckAlloc
-
-    constexpr std::uint64_t kPeriods = 20;
-    const fi::Time horizon =
-        net.now() + kPeriods * p.rent_period_cycles * p.proof_cycle;
-    const auto adv0 = Clock::now();
-    advance_confirming(net, horizon, refresh_queue);
-    const double adv_secs = seconds_since(adv0);
-
-    net.settle_all_rent();
-    const fi::TokenAmount paid = net.total_rent_paid();
-    std::printf("%8zu %12.0f %16.1f %16.2f %14llu\n", ns,
-                static_cast<double>(ns) / reg_secs, adv_secs * 1e3,
-                adv_secs * 1e6 / kPeriods,
-                static_cast<unsigned long long>(paid));
+    ScenarioRunner runner(std::move(spec));
+    const MetricsReport report = runner.run();
+    const double adv_secs = report.phases[0].wall_seconds;
+    std::printf("%8llu %12.2f %16.1f %16.2f %14llu\n",
+                static_cast<unsigned long long>(ns), report.setup_seconds,
+                adv_secs * 1e3,
+                adv_secs * 1e6 / static_cast<double>(kPeriods),
+                static_cast<unsigned long long>(report.rent_paid));
   }
   std::printf("\n");
 }
 
 /// Section B: full churn at scale — add/prove/refresh/corrupt/rent over a
-/// large file population, with a conservation audit at the end.
-void churn_at_scale(std::size_t nf) {
-  const std::size_t ns = nf / 5 < 1'000 ? 1'000 : nf / 5;
-  std::printf("Churn run: %zu files across %zu sectors\n", nf, ns);
+/// large file population, with a conservation audit at the end (the same
+/// workload as configs/churn_1m.cfg, sized by the file-count argument).
+int churn_at_scale(std::uint64_t nf) {
+  const std::uint64_t ns = nf / 5 < 1'000 ? 1'000 : nf / 5;
+  std::printf("Churn run: %llu files across %llu sectors\n",
+              static_cast<unsigned long long>(nf),
+              static_cast<unsigned long long>(ns));
 
-  fi::core::Params p = scale_params();
-  p.avg_refresh = 20.0;  // visible refresh traffic
-  fi::ledger::Ledger ledger;
-  fi::core::Network net(p, ledger, /*seed=*/42);
-  net.set_auto_prove(true);
-  std::vector<fi::core::ReplicaTransferRequested> refresh_queue;
-  net.subscribe([&refresh_queue](const fi::core::Event& e) {
-    if (const auto* req =
-            std::get_if<fi::core::ReplicaTransferRequested>(&e)) {
-      if (req->from != fi::core::kNoSector) refresh_queue.push_back(*req);
-    }
-  });
-  const fi::AccountId provider =
-      ledger.create_account(10'000'000'000'000ull);
-  for (std::size_t s = 0; s < ns; ++s) {
-    auto r = net.sector_register(provider, 4 * p.min_capacity);
-    if (!r.is_ok()) {
-      std::fprintf(stderr, "sector_register failed: %s\n",
-                   r.status().to_string().c_str());
-      std::exit(1);
-    }
-  }
-  const fi::AccountId client =
-      ledger.create_account(1'000'000'000'000ull);
-  fi::util::Xoshiro256 rng(7);
+  ScenarioSpec spec = scale_spec();
+  spec.name = "churn_at_scale";
+  spec.seed = 42;
+  spec.sectors = ns;
+  spec.initial_files = nf;
+  spec.params.avg_refresh = 20.0;  // visible refresh traffic
+  // Three proof cycles of proving/refreshing, then a 1% corruption burst
+  // riding through one full rent period, then settle and audit.
+  spec.phases.push_back(PhaseSpec::make_idle(3));
+  spec.phases.push_back(PhaseSpec::make_corrupt_burst(0.01, 10));
+  spec.phases.push_back(
+      PhaseSpec::make_rent_audit(0));
 
-  std::vector<fi::core::FileId> files;
-  files.reserve(nf);
-  const double add_secs = fill_network(net, client, nf, rng, &files);
-  std::printf("  add+confirm: %10.0f files/s  (%.1fs)\n",
-              static_cast<double>(nf) / add_secs, add_secs);
+  ScenarioRunner runner(std::move(spec));
+  const MetricsReport report = runner.run();
 
-  // Drive three proof cycles: every stored file is rent-charged and
-  // auto-proven each cycle; refreshes fire from their Exp countdowns.
-  constexpr std::uint64_t kCycles = 3;
-  const auto prove0 = Clock::now();
-  advance_confirming(net, net.now() + kCycles * p.proof_cycle + 3,
-                     refresh_queue);
-  const double prove_secs = seconds_since(prove0);
+  // setup_seconds covers the whole population build — sector
+  // registration plus add+confirm — so this is a setup rate, not a pure
+  // File_Add rate.
+  std::printf("  setup (reg+add+confirm): %10.0f files/s  (%.1fs, %llu "
+              "sectors registered)\n",
+              static_cast<double>(report.initial_files) /
+                  report.setup_seconds,
+              report.setup_seconds, static_cast<unsigned long long>(ns));
+  const auto& prove = report.phases[0];
   std::printf("  check_proof: %10.0f file-cycles/s  (%.1fs, %llu refreshes "
               "started)\n",
-              static_cast<double>(nf * kCycles) / prove_secs, prove_secs,
-              static_cast<unsigned long long>(
-                  net.stats().refreshes_started));
-
-  // Corrupt 1% of sectors; each corruption walks only its own entries via
-  // the flat reverse indexes.
-  const std::size_t corrupts = ns / 100 == 0 ? 1 : ns / 100;
-  std::size_t entries_hit = 0;
-  const auto corrupt0 = Clock::now();
-  for (std::size_t i = 0; i < corrupts; ++i) {
-    const fi::core::SectorId victim =
-        rng.uniform_below(ns);
-    entries_hit += net.allocations().count_with_prev(victim);
-    net.corrupt_sector_now(victim);
-  }
-  const double corrupt_secs = seconds_since(corrupt0);
-  std::printf("  corruption:  %10.0f sectors/s  (%zu sectors, %zu entries "
-              "remapped)\n",
-              static_cast<double>(corrupts) / corrupt_secs, corrupts,
-              entries_hit);
-
-  // One more rent period, then settle everything and audit conservation.
-  advance_confirming(net, net.now() + p.rent_period_cycles * p.proof_cycle + 3,
-                     refresh_queue);
-  const auto settle0 = Clock::now();
-  net.settle_all_rent();
-  const double settle_secs = seconds_since(settle0);
-  std::printf("  settle_all:  %10.0f sectors/s\n",
-              static_cast<double>(ns) / settle_secs);
-
-  const fi::TokenAmount pool = ledger.balance(net.rent_pool_account());
-  const bool conserved =
-      net.total_rent_charged() == net.total_rent_paid() + pool;
+              static_cast<double>(report.initial_files * 3) /
+                  prove.wall_seconds,
+              prove.wall_seconds,
+              static_cast<unsigned long long>(prove.delta.refreshes_started));
+  const auto& burst = report.phases[1];
+  std::printf("  corruption:  %.0f sectors hit, %llu files lost, "
+              "%llu/%llu value compensated  (%.1fs)\n",
+              fi::scenario::extra_or(burst, "sectors_hit"),
+              static_cast<unsigned long long>(burst.delta.files_lost),
+              static_cast<unsigned long long>(burst.delta.value_compensated),
+              static_cast<unsigned long long>(burst.delta.value_lost),
+              burst.wall_seconds);
   std::printf("  rent audit:  charged=%llu paid=%llu pool=%llu  %s\n",
-              static_cast<unsigned long long>(net.total_rent_charged()),
-              static_cast<unsigned long long>(net.total_rent_paid()),
-              static_cast<unsigned long long>(pool),
-              conserved ? "CONSERVED" : "LEAK");
+              static_cast<unsigned long long>(report.rent_charged),
+              static_cast<unsigned long long>(report.rent_paid),
+              static_cast<unsigned long long>(report.rent_pool),
+              report.rent_conserved ? "CONSERVED" : "LEAK");
   std::printf("  stats: stored=%llu lost=%llu corrupted=%llu "
               "refresh done=%llu\n",
-              static_cast<unsigned long long>(net.stats().files_stored),
-              static_cast<unsigned long long>(net.stats().files_lost),
-              static_cast<unsigned long long>(net.stats().sectors_corrupted),
+              static_cast<unsigned long long>(report.totals.files_stored),
+              static_cast<unsigned long long>(report.totals.files_lost),
               static_cast<unsigned long long>(
-                  net.stats().refreshes_completed));
-  if (!conserved) std::exit(1);
+                  report.totals.sectors_corrupted),
+              static_cast<unsigned long long>(
+                  report.totals.refreshes_completed));
+  return report.rent_conserved ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t nf = 100'000;
-  if (argc > 1) nf = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  std::uint64_t nf = 100'000;
+  if (argc > 1) {
+    // Validate instead of feeding strtoull garbage into the workload: a
+    // non-numeric or zero argument is an error, and absurd counts clamp.
+    constexpr std::uint64_t kMaxFiles = 10'000'000;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(argv[1], &end, 10);
+    if (errno != 0 || end == argv[1] || *end != '\0' || parsed == 0 ||
+        argv[1][0] == '-') {
+      std::fprintf(stderr,
+                   "bench_scale_engine: file count must be a positive "
+                   "integer, got '%s'\nusage: %s [files]\n",
+                   argv[1], argv[0]);
+      return 2;
+    }
+    nf = parsed;
+    if (nf > kMaxFiles) {
+      std::fprintf(stderr,
+                   "bench_scale_engine: clamping %llu to %llu files\n",
+                   parsed, static_cast<unsigned long long>(kMaxFiles));
+      nf = kMaxFiles;
+    }
+  }
 
   std::printf("Engine scale benchmark — million-file trajectory\n\n");
   rent_cycle_scaling();
-  churn_at_scale(nf);
-  return 0;
+  return churn_at_scale(nf);
 }

@@ -7,85 +7,61 @@
 //     and confiscated deposits pay every loss back in full;
 //   * Filecoin model: deal-time placement loses at the same rate, but the
 //     slashed pledges are burnt — owners see only the deal collateral.
+//
+// The FileInsurer side is a declarative scenario spec (the same workload
+// as configs/attack_half.cfg) executed by the scenario engine.
 
 #include <cstdio>
-#include <vector>
 
 #include "baselines/filecoin_model.h"
-#include "core/network.h"
-#include "ledger/account.h"
-#include "util/prng.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
 
 using namespace fi;
-using namespace fi::core;
+using namespace fi::scenario;
 
 int main() {
   std::printf("== half the storage collapses: FileInsurer vs Filecoin ==\n");
 
-  // ---- FileInsurer, full protocol ---------------------------------------
-  Params params;
-  params.min_capacity = 32 * 1024;
-  params.min_value = 100;
-  params.k = 4;
-  params.cap_para = 30.0;
-  params.gamma_deposit = 0.08;
-  params.verify_proofs = false;
+  // ---- FileInsurer, full protocol via the scenario engine ----------------
+  ScenarioSpec spec;
+  spec.name = "attack_half";
+  spec.seed = 31337;
+  spec.sectors = 120;
+  spec.sector_units = 1;
+  spec.initial_files = 900;
+  spec.file_size_min = 1024;
+  spec.file_size_max = 1024;
+  spec.file_value = 100;
+  spec.params.min_capacity = 32 * 1024;
+  spec.params.min_value = 100;
+  spec.params.k = 4;
+  spec.params.cap_para = 30.0;
+  spec.params.gamma_deposit = 0.08;
+  spec.phases.push_back(PhaseSpec::make_corrupt_burst(0.5, 2));
 
-  ledger::Ledger ledger;
-  Network net(params, ledger, /*seed=*/31337);
-  net.set_auto_prove(true);
-
-  constexpr int kSectors = 120;
-  const AccountId provider = ledger.create_account(1'000'000'000ull);
-  std::vector<SectorId> sectors;
-  for (int s = 0; s < kSectors; ++s) {
-    sectors.push_back(
-        net.sector_register(provider, params.min_capacity).value());
-  }
-  const AccountId client = ledger.create_account(1'000'000'000ull);
-
-  int accepted = 0;
-  for (int i = 0; i < 900; ++i) {
-    auto f = net.file_add(client, {1024, params.min_value, {}});
-    if (!f.is_ok()) break;
-    for (ReplicaIndex r = 0; r < net.allocations().replica_count(f.value());
-         ++r) {
-      const AllocEntry& e = net.allocations().entry(f.value(), r);
-      (void)net.file_confirm(provider, f.value(), r, e.next, {},
-                             std::nullopt);
-    }
-    ++accepted;
-  }
-  net.advance_to(10);
+  ScenarioRunner runner(spec);
+  const MetricsReport report = runner.run();
+  const auto stored = report.initial_files;
   const TokenAmount stored_value =
-      static_cast<TokenAmount>(accepted) * params.min_value;
-  std::printf("\nFileInsurer: %d files stored (value %llu), k=%u, "
+      static_cast<TokenAmount>(stored) * spec.file_value;
+  std::printf("\nFileInsurer: %llu files stored (value %llu), k=%u, "
               "gamma_deposit=%.3f\n",
-              accepted, static_cast<unsigned long long>(stored_value),
-              params.k, params.gamma_deposit);
+              static_cast<unsigned long long>(stored),
+              static_cast<unsigned long long>(stored_value), spec.params.k,
+              spec.params.gamma_deposit);
 
-  // The adversary instantly corrupts a random half of the fleet.
-  util::Xoshiro256 rng(5);
-  std::vector<int> order(kSectors);
-  for (int i = 0; i < kSectors; ++i) order[i] = i;
-  for (int i = 0; i + 1 < kSectors; ++i) {
-    std::swap(order[i],
-              order[i + static_cast<int>(rng.uniform_below(kSectors - i))]);
-  }
-  for (int i = 0; i < kSectors / 2; ++i) {
-    net.corrupt_sector_now(sectors[order[i]]);
-  }
-  net.advance_to(net.now() + 2 * params.proof_cycle);
-
-  const auto& stats = net.stats();
+  const auto& stats = report.totals;
   std::printf("  after the attack:\n");
-  std::printf("    sectors corrupted        : %llu of %d\n",
+  std::printf("    sectors corrupted        : %llu of %llu\n",
               static_cast<unsigned long long>(stats.sectors_corrupted),
-              kSectors);
-  std::printf("    files lost               : %llu of %d  (%.3f%%; "
+              static_cast<unsigned long long>(spec.sectors));
+  std::printf("    files lost               : %llu of %llu  (%.3f%%; "
               "lambda^k = %.3f%%)\n",
-              static_cast<unsigned long long>(stats.files_lost), accepted,
-              100.0 * static_cast<double>(stats.files_lost) / accepted,
+              static_cast<unsigned long long>(stats.files_lost),
+              static_cast<unsigned long long>(stored),
+              100.0 * static_cast<double>(stats.files_lost) /
+                  static_cast<double>(stored),
               100.0 * 0.0625);
   std::printf("    value lost / compensated : %llu / %llu  (coverage %.0f%%, "
               "outstanding %llu)\n",
@@ -96,23 +72,22 @@ int main() {
                   : 100.0 * static_cast<double>(stats.value_compensated) /
                         static_cast<double>(stats.value_lost),
               static_cast<unsigned long long>(
-                  net.deposits().outstanding_liabilities()));
+                  report.outstanding_liabilities));
   std::printf("    compensation pool left   : %llu\n",
-              static_cast<unsigned long long>(
-                  net.deposits().pool_balance()));
+              static_cast<unsigned long long>(report.compensation_pool));
 
   // ---- Filecoin baseline, same catastrophe ------------------------------
   baselines::FilecoinConfig fc;
-  fc.replicas = params.k;
+  fc.replicas = spec.params.k;
   baselines::FilecoinModel filecoin(fc);
   std::vector<baselines::WorkloadFile> workload(
-      static_cast<std::size_t>(accepted),
-      baselines::WorkloadFile{1024, params.min_value});
-  filecoin.setup(kSectors, workload, /*seed=*/31337);
+      static_cast<std::size_t>(stored),
+      baselines::WorkloadFile{1024, spec.file_value});
+  filecoin.setup(spec.sectors, workload, /*seed=*/31337);
   const auto outcome = filecoin.corrupt_random(0.5);
-  std::printf("\nFilecoin baseline (same %d files, %u replicas, same "
+  std::printf("\nFilecoin baseline (same %llu files, %u replicas, same "
               "lambda=0.5):\n",
-              accepted, fc.replicas);
+              static_cast<unsigned long long>(stored), fc.replicas);
   std::printf("    value lost               : %.1f%% of stored value\n",
               100.0 * outcome.lost_value_fraction);
   std::printf("    compensated              : %.0f%% of the loss "

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Usage: check_markdown_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Scans every given markdown file (directories are walked for *.md) for
+inline links/images `[text](target)`, and fails if a relative target does
+not exist on disk (resolved against the file's own directory; `#anchor`
+suffixes are stripped). External (`http://`, `https://`, `mailto:`)
+links are skipped — CI must not depend on network reachability.
+
+Standard library only, by design: the repo's tooling policy is no
+third-party dependencies outside the C++ toolchain.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images; deliberately simple — targets with parentheses or
+# reference-style links are not used in this repo.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    in_code_block = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if in_code_block:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files: list[Path] = []
+    for arg in argv[1:]:
+        root = Path(arg)
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"no such file: {arg}", file=sys.stderr)
+            return 2
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -68,10 +68,21 @@ struct NetworkStats {
 
 class Network {
  public:
-  /// Epoch beacon supplier for PoSt challenges; defaults to a hash chain
-  /// over (seed, time).
+  /// Epoch beacon supplier for PoSt challenges (§III-F public randomness).
+  ///
+  /// Contract: must be a pure function of the epoch time `t` — the engine
+  /// may call it any number of times, in any order, and providers call the
+  /// same function through `beacon()` when building their WindowPoSt, so a
+  /// stateful or clock-dependent supplier would let prover and verifier
+  /// disagree. For reproducible experiments it must also be a fixed
+  /// function of the seed. The default is a domain-separated hash of
+  /// (seed, t).
   using BeaconSource = std::function<crypto::Hash256(Time)>;
 
+  /// Builds an empty network on `ledger` (which must outlive the engine;
+  /// the five system accounts are created here). All protocol randomness
+  /// streams from `seed` — same params, seed, beacon and request sequence
+  /// means a bit-identical run.
   Network(Params params, ledger::Ledger& ledger, std::uint64_t seed,
           BeaconSource beacon = {});
 
@@ -126,10 +137,23 @@ class Network {
   // ---- Time ----------------------------------------------------------------
 
   [[nodiscard]] Time now() const { return now_; }
-  /// Executes all pending-list tasks with timestamp <= `t` in order, then
-  /// sets the clock to `t`.
+  /// Executes all pending-list tasks with timestamp <= `t`, then sets the
+  /// clock to `t`. Semantics:
+  ///  * Tasks run batch-by-batch in (timestamp, scheduling-order) order,
+  ///    with the clock set to each batch's timestamp while it runs, so a
+  ///    task observes the time it was scheduled for — not `t`.
+  ///  * Tasks a task schedules at or before `t` (e.g. Auto_CheckProof
+  ///    re-arming itself) execute within the same call.
+  ///  * Off-chain actors react to events *between* calls; callers driving
+  ///    long horizons should step batch-by-batch via `next_task_time()`
+  ///    and confirm requested transfers in between (as
+  ///    `scenario::ScenarioRunner` does), or refreshes miss their
+  ///    deadlines wholesale.
+  ///  * Time is monotonic: `t < now()` is an invariant violation.
   void advance_to(Time t);
   void advance(Time dt) { advance_to(now_ + dt); }
+  /// Timestamp of the earliest pending task (kNoTime when idle) — the
+  /// granularity at which `advance_to` will do work.
   [[nodiscard]] Time next_task_time() const { return pending_.next_time(); }
 
   /// The epoch beacon (for providers building PoSt proofs).
@@ -172,9 +196,14 @@ class Network {
   [[nodiscard]] bool file_exists(FileId file) const {
     return files_.contains(file);
   }
+  /// Descriptor / owning client of a live file. Unknown ids are an
+  /// invariant violation — guard with `file_exists` (files vanish
+  /// asynchronously at Auto_CheckProof after discard or loss).
   [[nodiscard]] const FileDescriptor& file(FileId file) const;
   [[nodiscard]] ClientId file_owner(FileId file) const;
+  /// Files currently tracked (stored or mid-upload).
   [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  /// Scheduled-but-unexecuted automatic tasks.
   [[nodiscard]] std::size_t pending_tasks() const { return pending_.size(); }
 
   /// Sum of `value` over stored files (for γ_v^m bookkeeping).
@@ -223,6 +252,12 @@ class Network {
     return traffic_escrow_;
   }
 
+  /// Registers an event observer (`core/events.h`). Listeners run
+  /// synchronously inside the emitting request or task, in subscription
+  /// order; they see a consistent mid-transaction snapshot and must not
+  /// call back into the engine re-entrantly — queue work and apply it
+  /// after the `advance_to` / request returns (see
+  /// `scenario::ScenarioRunner::drain_transfers`).
   void subscribe(EventBus::Listener listener) {
     bus_.subscribe(std::move(listener));
   }

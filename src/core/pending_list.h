@@ -9,8 +9,15 @@
 
 /// Pending list (Fig. 1): tasks the network executes automatically at a
 /// specific future time. Tasks at the same timestamp run in scheduling
-/// order, so executions are deterministic. Gas for scheduled tasks is
-/// prepaid at scheduling time (§III-B4).
+/// order, so executions are deterministic.
+///
+/// Gas prepayment (§IV-A3): the request that schedules a task pays its
+/// gas up front — e.g. File_Add charges the Auto_CheckAlloc gas in the
+/// same transaction, and each Auto_CheckProof charges the client rent
+/// *plus* the gas for its own re-arming. The pending list itself never
+/// touches balances; by the time a task is queued its execution is
+/// already funded, so tasks cannot fail for lack of gas and the list
+/// never needs to evict.
 namespace fi::core {
 
 enum class TaskKind : std::uint8_t {
@@ -20,6 +27,9 @@ enum class TaskKind : std::uint8_t {
   rent_distribution, ///< periodic rent payout (§IV-A2)
 };
 
+/// One scheduled execution. `file` is kNoFile for network-wide tasks
+/// (rent distribution); `index` is meaningful only for per-replica kinds
+/// (check_refresh).
 struct Task {
   TaskKind kind = TaskKind::check_alloc;
   FileId file = kNoFile;
@@ -28,6 +38,9 @@ struct Task {
 
 class PendingList {
  public:
+  /// Enqueues `task` for execution at time `at` (gas already prepaid by
+  /// the scheduling request). `at` may equal the current batch time:
+  /// Network::advance_to runs such tasks within the same call.
   void schedule(Time at, Task task) { tasks_.emplace(at, task); }
 
   /// Pops every task with timestamp <= `t`, ordered by (time, insertion).

@@ -1,0 +1,218 @@
+#include "scenario/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/config.h"
+
+namespace fi::scenario {
+
+namespace {
+
+/// Minimal streaming JSON writer with fixed two-space indentation. Only
+/// what the report needs: objects, arrays, strings, integers, doubles,
+/// booleans — emitted in call order, so output order is fully determined
+/// by the serialization code below.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostringstream& out) : out_(out) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array(const std::string& key) {
+    comma_and_indent();
+    write_string(key);
+    out_ << ": ";
+    out_ << '[';
+    fresh_ = true;
+    ++depth_;
+  }
+  void end_array() { close(']'); }
+
+  void key(const std::string& name) {
+    comma_and_indent();
+    write_string(name);
+    out_ << ": ";
+  }
+  void object(const std::string& name) {
+    key(name);
+    out_ << '{';
+    fresh_ = true;
+    ++depth_;
+  }
+
+  void field(const std::string& name, const std::string& value) {
+    key(name);
+    write_string(value);
+  }
+  void field(const std::string& name, std::uint64_t value) {
+    key(name);
+    out_ << value;
+  }
+  void field(const std::string& name, bool value) {
+    key(name);
+    out_ << (value ? "true" : "false");
+  }
+  void field(const std::string& name, double value) {
+    key(name);
+    write_double(value);
+  }
+
+ private:
+  void open(char c) {
+    comma_and_indent();
+    out_ << c;
+    fresh_ = true;
+    ++depth_;
+  }
+
+  void close(char c) {
+    --depth_;
+    if (!fresh_) {
+      out_ << '\n';
+      indent();
+    }
+    out_ << c;
+    fresh_ = false;
+  }
+
+  void comma_and_indent() {
+    if (depth_ == 0) {
+      return;  // the root value has no preceding key or comma
+    }
+    if (!fresh_) out_ << ',';
+    out_ << '\n';
+    indent();
+    fresh_ = false;
+  }
+
+  void indent() {
+    for (int i = 0; i < depth_; ++i) out_ << "  ";
+  }
+
+  void write_string(const std::string& s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default: out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  void write_double(double value) {
+    // JSON has no NaN/Inf literal; emit null rather than invalid output.
+    if (!std::isfinite(value)) {
+      out_ << "null";
+      return;
+    }
+    // Exact small integers print as integers; everything else uses the
+    // shortest strtod-round-trippable decimal form, so the rendering is a
+    // pure function of the bits.
+    if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+      out_ << static_cast<long long>(value);
+      return;
+    }
+    out_ << util::format_shortest_double(value);
+  }
+
+  std::ostringstream& out_;
+  int depth_ = 0;
+  bool fresh_ = true;  ///< no sibling emitted yet at the current depth
+};
+
+void write_counters(JsonWriter& json, const core::NetworkStats& stats,
+                    TokenAmount rent_charged, TokenAmount rent_paid) {
+  json.field("files_added", stats.files_added);
+  json.field("files_stored", stats.files_stored);
+  json.field("upload_failures", stats.upload_failures);
+  json.field("files_discarded", stats.files_discarded);
+  json.field("files_lost", stats.files_lost);
+  json.field("value_lost", stats.value_lost);
+  json.field("value_compensated", stats.value_compensated);
+  json.field("sectors_corrupted", stats.sectors_corrupted);
+  json.field("refreshes_started", stats.refreshes_started);
+  json.field("refreshes_completed", stats.refreshes_completed);
+  json.field("refreshes_failed", stats.refreshes_failed);
+  json.field("refreshes_self", stats.refreshes_self);
+  json.field("refresh_collisions", stats.refresh_collisions);
+  json.field("add_resamples", stats.add_resamples);
+  json.field("punishments", stats.punishments);
+  json.field("rent_charged", rent_charged);
+  json.field("rent_paid", rent_paid);
+}
+
+}  // namespace
+
+double extra_or(const PhaseMetrics& phase, std::string_view name,
+                double fallback) {
+  for (const auto& [key, value] : phase.extras) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::string MetricsReport::to_json(bool include_timings) const {
+  std::ostringstream out;
+  JsonWriter json(out);
+
+  json.begin_object();
+  json.field("scenario", scenario);
+  json.field("seed", seed);
+  json.field("sectors", sectors);
+  json.field("initial_files", initial_files);
+
+  json.begin_array("phases");
+  for (const PhaseMetrics& phase : phases) {
+    json.begin_object();
+    json.field("label", phase.label);
+    json.field("kind", phase.kind);
+    json.field("start_time", phase.start_time);
+    json.field("end_time", phase.end_time);
+    json.object("counters");
+    write_counters(json, phase.delta, phase.rent_charged, phase.rent_paid);
+    json.end_object();
+    if (!phase.extras.empty()) {
+      json.object("extras");
+      for (const auto& [name, value] : phase.extras) {
+        json.field(name, value);
+      }
+      json.end_object();
+    }
+    if (include_timings) {
+      json.field("wall_seconds", phase.wall_seconds);
+    }
+    json.end_object();
+  }
+  json.end_array();
+
+  json.object("totals");
+  write_counters(json, totals, rent_charged, rent_paid);
+  json.field("rent_pool", rent_pool);
+  json.field("rent_conserved", rent_conserved);
+  json.field("compensation_pool", compensation_pool);
+  json.field("outstanding_liabilities", outstanding_liabilities);
+  json.end_object();
+
+  json.object("final");
+  json.field("files", final_files);
+  json.field("time", final_time);
+  json.end_object();
+
+  if (include_timings) {
+    json.object("timings");
+    json.field("setup_seconds", setup_seconds);
+    json.field("total_seconds", wall_seconds);
+    json.end_object();
+  }
+
+  json.end_object();
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace fi::scenario

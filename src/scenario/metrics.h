@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/network.h"
+#include "util/types.h"
+
+/// Structured results of a scenario run.
+///
+/// The report is designed for trend tracking across commits: all counters
+/// are exact integers from the engine, serialization order is fixed, and
+/// wall-clock timings are segregated behind `include_timings` so that two
+/// runs of the same spec (same seed) produce byte-identical JSON by
+/// default.
+namespace fi::scenario {
+
+/// Counters for one phase: the delta of the engine's `NetworkStats` plus
+/// the rent flows over the phase window.
+struct PhaseMetrics {
+  std::string label;
+  std::string kind;
+  /// Simulated-clock window [start_time, end_time] the phase covered.
+  Time start_time = 0;
+  Time end_time = 0;
+  /// `Network::stats()` at phase end minus at phase start.
+  core::NetworkStats delta;
+  /// Rent charged to clients / settled to providers during the phase.
+  TokenAmount rent_charged = 0;
+  TokenAmount rent_paid = 0;
+  /// Phase-kind-specific scalar metrics (e.g. selfish_refresh emits
+  /// `ever_captive_fraction`), in a fixed emission order.
+  std::vector<std::pair<std::string, double>> extras;
+  /// Host wall-clock cost; serialized only with `include_timings`.
+  double wall_seconds = 0.0;
+};
+
+/// Looks up a phase's extra metric by name; `fallback` when absent.
+[[nodiscard]] double extra_or(const PhaseMetrics& phase,
+                              std::string_view name, double fallback = 0.0);
+
+/// The complete machine-readable outcome of `ScenarioRunner::run()`.
+struct MetricsReport {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::uint64_t sectors = 0;
+  std::uint64_t initial_files = 0;
+
+  std::vector<PhaseMetrics> phases;
+
+  /// Cumulative engine counters at the end of the run.
+  core::NetworkStats totals;
+  /// Rent conservation (§IV-A2): `rent_charged == rent_paid + rent_pool`
+  /// must hold exactly after the final settlement.
+  TokenAmount rent_charged = 0;
+  TokenAmount rent_paid = 0;
+  TokenAmount rent_pool = 0;
+  bool rent_conserved = false;
+  /// Insurance ledger at the end of the run (§IV-B).
+  TokenAmount compensation_pool = 0;
+  TokenAmount outstanding_liabilities = 0;
+
+  std::uint64_t final_files = 0;
+  Time final_time = 0;
+
+  /// Host wall-clock: population setup and the whole run. Serialized only
+  /// with `include_timings` (they differ between identical runs).
+  double setup_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  /// Serializes the report as pretty-printed JSON. With
+  /// `include_timings == false` (the default) the output is a pure
+  /// function of the scenario spec, so same-seed runs are byte-identical.
+  [[nodiscard]] std::string to_json(bool include_timings = false) const;
+};
+
+}  // namespace fi::scenario

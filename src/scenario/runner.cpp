@@ -1,0 +1,437 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+#include <variant>
+
+#include "util/check.h"
+#include "util/checked.h"
+#include "util/distributions.h"
+
+namespace fi::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::NetworkStats stats_delta(const core::NetworkStats& after,
+                               const core::NetworkStats& before) {
+  core::NetworkStats d;
+  d.files_added = after.files_added - before.files_added;
+  d.files_stored = after.files_stored - before.files_stored;
+  d.upload_failures = after.upload_failures - before.upload_failures;
+  d.files_discarded = after.files_discarded - before.files_discarded;
+  d.files_lost = after.files_lost - before.files_lost;
+  d.value_lost = after.value_lost - before.value_lost;
+  d.value_compensated = after.value_compensated - before.value_compensated;
+  d.sectors_corrupted = after.sectors_corrupted - before.sectors_corrupted;
+  d.refreshes_started = after.refreshes_started - before.refreshes_started;
+  d.refreshes_completed =
+      after.refreshes_completed - before.refreshes_completed;
+  d.refreshes_failed = after.refreshes_failed - before.refreshes_failed;
+  d.refreshes_self = after.refreshes_self - before.refreshes_self;
+  d.refresh_collisions = after.refresh_collisions - before.refresh_collisions;
+  d.add_resamples = after.add_resamples - before.add_resamples;
+  d.punishments = after.punishments - before.punishments;
+  return d;
+}
+
+/// Planned number of file adds across setup and every churn phase —
+/// the basis of the client's funding estimate.
+std::uint64_t planned_adds(const ScenarioSpec& spec) {
+  std::uint64_t adds = spec.initial_files;
+  for (const PhaseSpec& phase : spec.phases) {
+    if (phase.kind == PhaseKind::churn) {
+      adds = util::checked_add(
+          adds, util::checked_mul(phase.adds_per_cycle, phase.cycles));
+    }
+  }
+  return adds;
+}
+
+std::uint64_t planned_cycles(const ScenarioSpec& spec) {
+  std::uint64_t cycles = 8;  // setup flush + slack
+  for (const PhaseSpec& phase : spec.phases) {
+    cycles += phase.kind == PhaseKind::rent_audit
+                  ? phase.periods * spec.params.rent_period_cycles
+                  : phase.cycles;
+  }
+  return cycles;
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
+    : spec_(std::move(spec)),
+      workload_rng_(spec_.seed ^ kWorkloadSeedSalt) {
+  {
+    const util::Status valid = spec_.validate();
+    FI_CHECK_MSG(valid.is_ok(), "invalid ScenarioSpec: " << valid.to_string());
+  }
+  const auto setup0 = Clock::now();
+  const core::Params& p = spec_.params;
+  const ByteCount capacity =
+      util::checked_mul(spec_.sector_units, p.min_capacity);
+
+  // Fund the provider for every deposit it will ever pledge (setup fleet
+  // plus admit phases) and the client for every add plus the whole run's
+  // rent and gas; over-funding is harmless (scenarios study the protocol,
+  // not bankruptcy — a lapsed client would silently turn churn into
+  // discard-for-unpaid-rent noise).
+  std::uint64_t total_sectors = spec_.sectors;
+  for (const PhaseSpec& phase : spec_.phases) {
+    if (phase.kind == PhaseKind::admit) {
+      total_sectors = util::checked_add(total_sectors, phase.add_sectors);
+    }
+  }
+  const TokenAmount per_sector =
+      util::checked_add(p.sector_deposit(capacity), p.gas_per_task);
+  provider_ = ledger_.create_account(util::checked_add(
+      util::checked_mul(total_sectors, per_sector), 1'000'000'000ull));
+
+  const std::uint64_t adds = planned_adds(spec_);
+  const std::uint32_t cp = p.replica_count(spec_.effective_file_value());
+  const TokenAmount upfront = util::checked_add(
+      util::checked_mul(p.traffic_fee(spec_.file_size_max), cp),
+      util::checked_mul(p.gas_per_task, 2));
+  const TokenAmount per_cycle =
+      util::checked_add(p.rent_per_cycle(spec_.file_size_max, cp),
+                        util::checked_mul(p.gas_per_task, 2));
+  const TokenAmount per_file = util::checked_add(
+      upfront, util::checked_mul(per_cycle, planned_cycles(spec_)));
+  client_ = ledger_.create_account(util::checked_add(
+      util::checked_mul(util::checked_add(adds, 1), per_file),
+      1'000'000'000ull));
+
+  net_ = std::make_unique<core::Network>(p, ledger_, spec_.seed);
+  net_->set_auto_prove(true);
+  net_->subscribe([this](const core::Event& event) {
+    if (const auto* transfer =
+            std::get_if<core::ReplicaTransferRequested>(&event)) {
+      transfer_queue_.push_back(*transfer);
+    } else if (const auto* lost = std::get_if<core::FileLost>(&event)) {
+      forget_file(lost->file);
+    } else if (const auto* gone = std::get_if<core::FileDiscarded>(&event)) {
+      forget_file(gone->file);
+    } else if (const auto* failed = std::get_if<core::UploadFailed>(&event)) {
+      forget_file(failed->file);
+    }
+  });
+
+  for (std::uint64_t s = 0; s < spec_.sectors; ++s) {
+    const auto id = net_->sector_register(provider_, capacity);
+    FI_CHECK_MSG(id.is_ok(),
+                 "setup sector_register failed: " << id.status().to_string());
+  }
+  drain_transfers();  // §VI-B swap-ins, when admission_rebalance is on
+
+  for (std::uint64_t f = 0; f < spec_.initial_files; ++f) {
+    if (!add_file()) break;  // fleet full: record the shortfall and move on
+    ++initial_files_stored_;
+  }
+  // Let every initial upload confirm and pass Auto_CheckAlloc so phase 0
+  // starts from a fully stored population.
+  advance_confirming(net_->now() +
+                     p.transfer_window(spec_.file_size_max) + 1);
+  setup_seconds_ = seconds_since(setup0);
+}
+
+void ScenarioRunner::drain_transfers() {
+  // Confirming can trigger follow-on work but never emits new transfer
+  // requests synchronously; iterate over a swapped-out batch anyway so the
+  // queue stays valid if that ever changes.
+  std::vector<core::ReplicaTransferRequested> batch;
+  batch.swap(transfer_queue_);
+  for (const core::ReplicaTransferRequested& req : batch) {
+    if (!net_->sectors().exists(req.to)) continue;
+    // Rejections are expected (the file may have been lost or discarded
+    // between request and confirmation) and are visible in the punishment
+    // and refresh-failure counters, so they are not tracked separately.
+    (void)net_->file_confirm(net_->sectors().at(req.to).owner, req.file,
+                             req.index, req.to, {}, std::nullopt);
+  }
+}
+
+void ScenarioRunner::advance_confirming(Time horizon) {
+  // Confirm before the first advance: requests already queued (e.g. the
+  // just-added files' uploads) may have deadlines at the very next task
+  // batch, and Auto_CheckAlloc must find them confirmed.
+  drain_transfers();
+  while (true) {
+    const Time next = net_->next_task_time();
+    if (next == kNoTime || next > horizon) break;
+    net_->advance_to(next);
+    drain_transfers();
+  }
+  net_->advance_to(horizon);
+  drain_transfers();
+}
+
+void ScenarioRunner::advance_cycles(std::uint64_t cycles) {
+  advance_confirming(net_->now() +
+                     util::checked_mul(cycles, spec_.params.proof_cycle));
+}
+
+bool ScenarioRunner::add_file() {
+  const ByteCount span = spec_.file_size_max - spec_.file_size_min + 1;
+  const ByteCount size =
+      spec_.file_size_min + workload_rng_.uniform_below(span);
+  const auto id =
+      net_->file_add(client_, {size, spec_.effective_file_value(), {}});
+  if (!id.is_ok()) {
+    ++add_rejections_;
+    return false;
+  }
+  live_positions_.emplace(id.value(), live_files_.size());
+  live_files_.push_back(id.value());
+  return true;
+}
+
+core::FileId ScenarioRunner::sample_live_file() {
+  while (!live_files_.empty()) {
+    const std::size_t idx = static_cast<std::size_t>(
+        workload_rng_.uniform_below(live_files_.size()));
+    const core::FileId file = live_files_[idx];
+    if (net_->file_exists(file)) return file;
+    forget_file(file);  // stale entry: drop and redraw
+  }
+  return core::kNoFile;
+}
+
+void ScenarioRunner::forget_file(core::FileId file) {
+  const auto it = live_positions_.find(file);
+  if (it == live_positions_.end()) return;
+  const std::size_t idx = it->second;
+  const core::FileId moved = live_files_.back();
+  live_files_[idx] = moved;
+  live_positions_[moved] = idx;
+  live_files_.pop_back();
+  live_positions_.erase(file);
+}
+
+MetricsReport ScenarioRunner::run() {
+  FI_CHECK_MSG(!ran_, "ScenarioRunner::run() is single-shot");
+  ran_ = true;
+
+  const auto run0 = Clock::now();
+  MetricsReport report;
+  report.scenario = spec_.name;
+  report.seed = spec_.seed;
+  report.sectors = spec_.sectors;
+  report.initial_files = initial_files_stored_;
+  report.setup_seconds = setup_seconds_;
+
+  for (const PhaseSpec& phase : spec_.phases) {
+    PhaseMetrics metrics;
+    metrics.label = phase.display_label();
+    metrics.kind = phase_kind_name(phase.kind);
+    metrics.start_time = net_->now();
+    const core::NetworkStats before = net_->stats();
+    const TokenAmount charged0 = net_->total_rent_charged();
+    const TokenAmount paid0 = net_->total_rent_paid();
+    const auto phase0 = Clock::now();
+
+    run_phase(phase, metrics);
+
+    metrics.wall_seconds = seconds_since(phase0);
+    metrics.end_time = net_->now();
+    metrics.delta = stats_delta(net_->stats(), before);
+    metrics.rent_charged = net_->total_rent_charged() - charged0;
+    metrics.rent_paid = net_->total_rent_paid() - paid0;
+    report.phases.push_back(std::move(metrics));
+  }
+
+  report.totals = net_->stats();
+  report.rent_charged = net_->total_rent_charged();
+  report.rent_paid = net_->total_rent_paid();
+  report.rent_pool = ledger_.balance(net_->rent_pool_account());
+  report.rent_conserved =
+      report.rent_charged == report.rent_paid + report.rent_pool;
+  report.compensation_pool = net_->deposits().pool_balance();
+  report.outstanding_liabilities = net_->deposits().outstanding_liabilities();
+  report.final_files = net_->file_count();
+  report.final_time = net_->now();
+  report.wall_seconds = seconds_since(run0);
+  return report;
+}
+
+void ScenarioRunner::run_phase(const PhaseSpec& phase, PhaseMetrics& metrics) {
+  switch (phase.kind) {
+    case PhaseKind::idle:
+      advance_cycles(phase.cycles);
+      break;
+    case PhaseKind::churn:
+      phase_churn(phase, metrics);
+      break;
+    case PhaseKind::corrupt_burst:
+      phase_corrupt_burst(phase, metrics);
+      break;
+    case PhaseKind::selfish_refresh:
+      phase_selfish_refresh(phase, metrics);
+      break;
+    case PhaseKind::rent_audit:
+      phase_rent_audit(phase, metrics);
+      break;
+    case PhaseKind::admit:
+      phase_admit(phase, metrics);
+      break;
+  }
+}
+
+void ScenarioRunner::phase_churn(const PhaseSpec& phase,
+                                 PhaseMetrics& metrics) {
+  const std::uint64_t rejections0 = add_rejections_;
+  for (std::uint64_t cycle = 0; cycle < phase.cycles; ++cycle) {
+    const std::uint64_t arrivals =
+        phase.poisson_arrivals
+            ? util::sample_poisson(
+                  workload_rng_,
+                  static_cast<double>(phase.adds_per_cycle))
+            : phase.adds_per_cycle;
+    for (std::uint64_t a = 0; a < arrivals; ++a) {
+      (void)add_file();
+    }
+    const double expected_discards =
+        phase.discard_fraction * static_cast<double>(live_files_.size());
+    const std::uint64_t discards =
+        expected_discards > 0.0
+            ? util::sample_poisson(workload_rng_, expected_discards)
+            : 0;
+    for (std::uint64_t d = 0; d < discards; ++d) {
+      const core::FileId file = sample_live_file();
+      if (file == core::kNoFile) break;
+      (void)net_->file_discard(client_, file);
+      forget_file(file);  // removal completes at the next Auto_CheckProof
+    }
+    advance_cycles(1);
+  }
+  metrics.extras.emplace_back(
+      "add_rejections", static_cast<double>(add_rejections_ - rejections0));
+}
+
+void ScenarioRunner::phase_corrupt_burst(const PhaseSpec& phase,
+                                         PhaseMetrics& metrics) {
+  std::vector<core::SectorId> normal;
+  for (core::SectorId id = 0; id < net_->sectors().count(); ++id) {
+    if (net_->sectors().at(id).state == core::SectorState::normal) {
+      normal.push_back(id);
+    }
+  }
+  const auto hits = static_cast<std::size_t>(std::llround(
+      phase.corrupt_fraction * static_cast<double>(normal.size())));
+  // Partial Fisher–Yates: the first `hits` entries become a uniform draw
+  // without replacement.
+  for (std::size_t i = 0; i < hits && i + 1 < normal.size(); ++i) {
+    std::swap(normal[i],
+              normal[i + static_cast<std::size_t>(workload_rng_.uniform_below(
+                             normal.size() - i))]);
+  }
+  for (std::size_t i = 0; i < hits && i < normal.size(); ++i) {
+    net_->corrupt_sector_now(normal[i]);
+  }
+  advance_cycles(phase.cycles);
+  metrics.extras.emplace_back("sectors_hit", static_cast<double>(hits));
+}
+
+void ScenarioRunner::phase_selfish_refresh(const PhaseSpec& phase,
+                                           PhaseMetrics& metrics) {
+  // Sector ids are dense in registration order, so "the coalition" is the
+  // prefix [0, cutoff) of the fleet — a deterministic α-fraction.
+  const auto cutoff = static_cast<core::SectorId>(
+      std::ceil(phase.coalition_fraction *
+                static_cast<double>(net_->sectors().count())));
+  std::unordered_map<core::FileId, std::uint64_t> streak;
+  std::unordered_set<core::FileId> observed;
+  std::unordered_set<core::FileId> ever_captive;
+  std::uint64_t max_streak = 0;
+
+  for (std::uint64_t cycle = 0; cycle < phase.cycles; ++cycle) {
+    advance_cycles(1);
+    for (const core::FileId file : live_files_) {
+      if (!net_->file_exists(file)) continue;
+      observed.insert(file);
+      const std::uint32_t cp = net_->allocations().replica_count(file);
+      bool captive = cp > 0;
+      for (core::ReplicaIndex r = 0; r < cp; ++r) {
+        const core::SectorId holder =
+            net_->allocations().entry(file, r).prev;
+        if (holder == core::kNoSector || holder >= cutoff) {
+          captive = false;
+          break;
+        }
+      }
+      if (captive) {
+        ever_captive.insert(file);
+        max_streak = std::max(max_streak, ++streak[file]);
+      } else {
+        streak.erase(file);
+      }
+    }
+  }
+  metrics.extras.emplace_back(
+      "ever_captive_fraction",
+      observed.empty() ? 0.0
+                       : static_cast<double>(ever_captive.size()) /
+                             static_cast<double>(observed.size()));
+  metrics.extras.emplace_back("max_captive_streak",
+                              static_cast<double>(max_streak));
+  metrics.extras.emplace_back("observed_files",
+                              static_cast<double>(observed.size()));
+}
+
+void ScenarioRunner::phase_rent_audit(const PhaseSpec& phase,
+                                      PhaseMetrics& metrics) {
+  advance_confirming(
+      net_->now() +
+      util::checked_mul(
+          phase.periods,
+          util::checked_mul(spec_.params.rent_period_cycles,
+                            spec_.params.proof_cycle)));
+  const TokenAmount settled = net_->settle_all_rent();
+  const TokenAmount pool = ledger_.balance(net_->rent_pool_account());
+  const bool conserved =
+      net_->total_rent_charged() == net_->total_rent_paid() + pool;
+  metrics.extras.emplace_back("settled_now", static_cast<double>(settled));
+  metrics.extras.emplace_back("rent_pool", static_cast<double>(pool));
+  metrics.extras.emplace_back("rent_conserved", conserved ? 1.0 : 0.0);
+}
+
+void ScenarioRunner::phase_admit(const PhaseSpec& phase,
+                                 PhaseMetrics& metrics) {
+  const ByteCount capacity =
+      util::checked_mul(spec_.sector_units, spec_.params.min_capacity);
+  std::vector<core::SectorId> admitted;
+  admitted.reserve(phase.add_sectors);
+  for (std::uint64_t s = 0; s < phase.add_sectors; ++s) {
+    const auto id = net_->sector_register(provider_, capacity);
+    FI_CHECK_MSG(id.is_ok(),
+                 "admit sector_register failed: " << id.status().to_string());
+    admitted.push_back(id.value());
+  }
+  drain_transfers();  // confirm the §VI-B swap-ins
+  advance_cycles(phase.cycles);
+
+  std::size_t on_admitted = 0;
+  std::size_t total = 0;
+  for (core::SectorId id = 0; id < net_->sectors().count(); ++id) {
+    total += net_->allocations().count_with_prev(id);
+  }
+  for (const core::SectorId id : admitted) {
+    on_admitted += net_->allocations().count_with_prev(id);
+  }
+  metrics.extras.emplace_back("admitted_sectors",
+                              static_cast<double>(admitted.size()));
+  metrics.extras.emplace_back(
+      "newcomer_share",
+      total == 0 ? 0.0
+                 : static_cast<double>(on_admitted) /
+                       static_cast<double>(total));
+}
+
+}  // namespace fi::scenario

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network.h"
+#include "ledger/account.h"
+#include "scenario/metrics.h"
+#include "scenario/spec.h"
+#include "util/prng.h"
+
+/// Drives `core::Network` through a declarative `ScenarioSpec`.
+///
+/// The runner owns the whole experiment: it builds the ledger and engine,
+/// registers the provider fleet, uploads the initial file population, then
+/// executes each phase by stepping the pending-list epoch loop one task
+/// batch at a time, playing the honest off-chain side in between —
+/// confirming every requested replica transfer (initial uploads and
+/// refresh handoffs) before its deadline, exactly the discipline a real
+/// provider daemon follows. Skipping that discipline turns every refresh
+/// into a punish/retry storm, which is a workload you would express as an
+/// adversary knob, not an accident of the harness.
+///
+/// Determinism: a run is a pure function of the spec. The engine streams
+/// from `spec.seed`; the workload generator (file sizes, arrival counts,
+/// discard picks, corruption targets) streams from `spec.seed ^
+/// kWorkloadSeedSalt` so workload draws never perturb protocol draws.
+namespace fi::scenario {
+
+/// Salt folded into `spec.seed` for the workload generator stream (kept
+/// public so tests can mirror the runner's draws call for call).
+inline constexpr std::uint64_t kWorkloadSeedSalt = 0x5363656e6172696fULL;
+
+class ScenarioRunner {
+ public:
+  /// Builds the network and setup population; `spec` must validate.
+  explicit ScenarioRunner(ScenarioSpec spec);
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Executes every phase and assembles the report. Single-shot: a second
+  /// call is an invariant violation (build a fresh runner per run).
+  MetricsReport run();
+
+  /// Post-run (or post-setup) inspection for wrappers that derive custom
+  /// statistics beyond the standard report.
+  [[nodiscard]] const core::Network& network() const { return *net_; }
+  [[nodiscard]] const ledger::Ledger& ledger() const { return ledger_; }
+  [[nodiscard]] AccountId client_account() const { return client_; }
+  [[nodiscard]] AccountId provider_account() const { return provider_; }
+  /// Files added during setup (`spec.initial_files` unless the fleet
+  /// filled up first).
+  [[nodiscard]] std::uint64_t initial_files_stored() const {
+    return initial_files_stored_;
+  }
+
+ private:
+  // ---- Epoch loop ---------------------------------------------------------
+  /// Confirms every queued replica-transfer request (upload or refresh).
+  void drain_transfers();
+  /// Advances to `horizon` one task batch at a time, draining transfer
+  /// requests between batches.
+  void advance_confirming(Time horizon);
+  void advance_cycles(std::uint64_t cycles);
+
+  // ---- Workload primitives ------------------------------------------------
+  /// Adds one file (size uniform in the spec's range) and queues its
+  /// upload confirmations. Returns false on protocol rejection (full
+  /// fleet, funds).
+  bool add_file();
+  /// Uniform random live file, or kNoFile when none.
+  core::FileId sample_live_file();
+  void forget_file(core::FileId file);
+
+  // ---- Phase bodies -------------------------------------------------------
+  void run_phase(const PhaseSpec& phase, PhaseMetrics& metrics);
+  void phase_churn(const PhaseSpec& phase, PhaseMetrics& metrics);
+  void phase_corrupt_burst(const PhaseSpec& phase, PhaseMetrics& metrics);
+  void phase_selfish_refresh(const PhaseSpec& phase, PhaseMetrics& metrics);
+  void phase_rent_audit(const PhaseSpec& phase, PhaseMetrics& metrics);
+  void phase_admit(const PhaseSpec& phase, PhaseMetrics& metrics);
+
+  ScenarioSpec spec_;
+  ledger::Ledger ledger_;
+  std::unique_ptr<core::Network> net_;
+  util::Xoshiro256 workload_rng_;
+
+  AccountId provider_ = kNoAccount;
+  AccountId client_ = kNoAccount;
+
+  /// Outstanding transfer requests (the honest provider's inbox).
+  std::vector<core::ReplicaTransferRequested> transfer_queue_;
+
+  /// Dense live-file set (swap-erase + position map) kept in sync through
+  /// engine events; O(1) uniform sampling for churn discards.
+  std::vector<core::FileId> live_files_;
+  std::unordered_map<core::FileId, std::size_t> live_positions_;
+
+  std::uint64_t initial_files_stored_ = 0;
+  std::uint64_t add_rejections_ = 0;
+  double setup_seconds_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace fi::scenario

@@ -1,0 +1,195 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/params.h"
+#include "util/config.h"
+#include "util/status.h"
+#include "util/types.h"
+
+/// Declarative workload specifications for the scenario engine.
+///
+/// A `ScenarioSpec` is everything needed to reproduce a run of the full
+/// protocol engine: network parameters, the provider/file populations built
+/// during setup, and an ordered list of epoch-driven workload phases. Specs
+/// parse from `util::Config` (key=value files or flat JSON) and serialize
+/// back losslessly, so any run can be archived as a small text file and
+/// replayed bit-for-bit (`ScenarioRunner` is deterministic in the spec).
+namespace fi::scenario {
+
+/// Workload phase archetypes. Each phase advances simulated time through
+/// the pending-list epoch loop; the kinds differ in the requests injected
+/// per proof cycle.
+enum class PhaseKind : std::uint8_t {
+  /// Advance `cycles` proof cycles with no new client requests (existing
+  /// files keep proving, refreshing and paying rent).
+  idle,
+  /// Per proof cycle: add `adds_per_cycle` files (optionally
+  /// Poisson-distributed arrivals) and discard an expected
+  /// `discard_fraction` of the live population.
+  churn,
+  /// Corrupt a `corrupt_fraction` of live normal sectors at phase start
+  /// (the §V-B3 adversarial catastrophe), then run `cycles` proof cycles
+  /// of detection, compensation and re-replication.
+  corrupt_burst,
+  /// §VI-E selfish-coalition study: the first `coalition_fraction` of the
+  /// registered fleet refuses retrieval; tracks per-file captivity streaks
+  /// over `cycles` proof cycles while location refresh churns placement.
+  selfish_refresh,
+  /// Advance `periods` whole rent periods, then settle every sector and
+  /// audit the conservation identity `charged == paid + pool` (§IV-A2).
+  rent_audit,
+  /// Register `add_sectors` fresh sectors mid-run (§VI-B admission
+  /// rebalancing study), confirm the triggered swap-ins, then run
+  /// `cycles` proof cycles; reports the newcomers' backup share.
+  admit,
+};
+
+[[nodiscard]] const char* phase_kind_name(PhaseKind kind);
+[[nodiscard]] util::Result<PhaseKind> phase_kind_from_name(
+    std::string_view name);
+
+/// One workload phase. Fields irrelevant to a phase's kind must stay at
+/// their defaults — `validate()` rejects e.g. a `churn` phase with a
+/// `corrupt_fraction`, so configs cannot silently carry dead knobs.
+struct PhaseSpec {
+  PhaseKind kind = PhaseKind::idle;
+  /// Display label in reports; defaults to the kind name.
+  std::string label;
+  /// Proof cycles to run (all kinds except rent_audit).
+  std::uint64_t cycles = 1;
+  /// rent_audit: whole rent periods to advance before settling (0 =
+  /// settle and audit immediately).
+  std::uint64_t periods = 0;
+  /// churn: mean file arrivals per proof cycle.
+  std::uint64_t adds_per_cycle = 0;
+  /// churn: draw arrivals from Poisson(adds_per_cycle) instead of a
+  /// constant rate.
+  bool poisson_arrivals = false;
+  /// churn: expected fraction of live files discarded per proof cycle.
+  double discard_fraction = 0.0;
+  /// corrupt_burst: fraction of live normal sectors corrupted at start.
+  double corrupt_fraction = 0.0;
+  /// selfish_refresh: fraction of the fleet held by the coalition.
+  double coalition_fraction = 0.0;
+  /// admit: fresh sectors registered at phase start.
+  std::uint64_t add_sectors = 0;
+
+  [[nodiscard]] std::string display_label() const {
+    return label.empty() ? phase_kind_name(kind) : label;
+  }
+
+  // ---- Factories for in-code spec construction ---------------------------
+
+  static PhaseSpec make_idle(std::uint64_t cycles) {
+    PhaseSpec p;
+    p.kind = PhaseKind::idle;
+    p.cycles = cycles;
+    return p;
+  }
+  static PhaseSpec make_churn(std::uint64_t cycles,
+                              std::uint64_t adds_per_cycle,
+                              double discard_fraction = 0.0,
+                              bool poisson_arrivals = false) {
+    PhaseSpec p;
+    p.kind = PhaseKind::churn;
+    p.cycles = cycles;
+    p.adds_per_cycle = adds_per_cycle;
+    p.discard_fraction = discard_fraction;
+    p.poisson_arrivals = poisson_arrivals;
+    return p;
+  }
+  static PhaseSpec make_corrupt_burst(double corrupt_fraction,
+                                      std::uint64_t cycles) {
+    PhaseSpec p;
+    p.kind = PhaseKind::corrupt_burst;
+    p.corrupt_fraction = corrupt_fraction;
+    p.cycles = cycles;
+    return p;
+  }
+  static PhaseSpec make_selfish_refresh(double coalition_fraction,
+                                        std::uint64_t cycles) {
+    PhaseSpec p;
+    p.kind = PhaseKind::selfish_refresh;
+    p.coalition_fraction = coalition_fraction;
+    p.cycles = cycles;
+    return p;
+  }
+  static PhaseSpec make_rent_audit(std::uint64_t periods) {
+    PhaseSpec p;
+    p.kind = PhaseKind::rent_audit;
+    p.periods = periods;
+    return p;
+  }
+  static PhaseSpec make_admit(std::uint64_t add_sectors,
+                              std::uint64_t cycles) {
+    PhaseSpec p;
+    p.kind = PhaseKind::admit;
+    p.add_sectors = add_sectors;
+    p.cycles = cycles;
+    return p;
+  }
+};
+
+/// Scenario-mode protocol parameters: identical to the engine defaults
+/// except `verify_proofs`, which is off — the scenario engine drives the
+/// network in metadata mode (replicas auto-prove) so million-file runs do
+/// not pay per-replica proof traffic. `ScenarioSpec::validate()` rejects
+/// `net.verify_proofs = true` until the runner grows a proving actor.
+[[nodiscard]] inline core::Params default_scenario_params() {
+  core::Params params;
+  params.verify_proofs = false;
+  return params;
+}
+
+/// A complete declarative scenario: `ScenarioRunner(spec).run()` is the
+/// whole experiment.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  /// Master seed: seeds the network engine (placement, refresh countdowns,
+  /// beacons) and, salted, the workload generator (file sizes, arrival
+  /// draws, corruption targets).
+  std::uint64_t seed = 1;
+
+  /// Protocol parameters, exposed as `net.*` config keys.
+  core::Params params = default_scenario_params();
+
+  // ---- Setup population ---------------------------------------------------
+  /// Sectors registered before phase 0 (single well-funded provider).
+  std::uint64_t sectors = 0;
+  /// Capacity of each sector, in `params.min_capacity` units.
+  std::uint64_t sector_units = 1;
+  /// Files added (and fully confirmed) before phase 0.
+  std::uint64_t initial_files = 0;
+  /// File sizes are drawn uniformly from [file_size_min, file_size_max].
+  ByteCount file_size_min = 1024;
+  ByteCount file_size_max = 2048;
+  /// Value of every file; 0 means `params.min_value`.
+  TokenAmount file_value = 0;
+
+  std::vector<PhaseSpec> phases;
+
+  /// Parses a spec from a config, consuming every key it understands and
+  /// rejecting configs with unknown keys (typo defense). Phases are the
+  /// dotted groups `phase.<i>.*` for i = 0, 1, ... with no gaps.
+  static util::Result<ScenarioSpec> from_config(const util::Config& config);
+  /// `Config::load` + `from_config`.
+  static util::Result<ScenarioSpec> from_file(const std::string& path);
+
+  /// Cross-field validation (also called by `from_config`).
+  [[nodiscard]] util::Status validate() const;
+
+  /// Lossless key=value serialization: `from_config(parse(spec
+  /// .to_config_string()))` reproduces the spec exactly.
+  [[nodiscard]] std::string to_config_string() const;
+
+  /// The effective per-file value (`file_value` defaulted).
+  [[nodiscard]] TokenAmount effective_file_value() const {
+    return file_value == 0 ? params.min_value : file_value;
+  }
+};
+
+}  // namespace fi::scenario

@@ -1,0 +1,124 @@
+// fi_sim — run a declarative FileInsurer scenario and emit a JSON report.
+//
+//   fi_sim --scenario configs/churn_1m.cfg --out report.json
+//   fi_sim --scenario configs/smoke.cfg --set seed=7 --set sectors=500
+//
+// The report (schema: docs/BENCHMARKS.md) goes to --out, or stdout when no
+// --out is given; a one-line human summary always goes to stderr. Without
+// --timings the JSON is a pure function of the spec, so two runs with the
+// same config are byte-identical — diff reports to track trends.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "util/config.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --scenario <config> [--out <report.json>] [--timings]\n"
+      "          [--set key=value ...] [--dump-spec]\n"
+      "\n"
+      "  --scenario <config>  scenario spec (key=value or flat JSON file)\n"
+      "  --out <path>         write the JSON report here (default: stdout)\n"
+      "  --timings            include wall-clock timings in the report\n"
+      "                       (breaks byte-for-byte reproducibility)\n"
+      "  --set key=value      override a config key (repeatable)\n"
+      "  --dump-spec          print the normalized spec and exit\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_path;
+  std::string out_path;
+  bool timings = false;
+  bool dump_spec = false;
+  std::vector<std::pair<std::string, std::string>> overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scenario" && i + 1 < argc) {
+      scenario_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--timings") {
+      timings = true;
+    } else if (arg == "--dump-spec") {
+      dump_spec = true;
+    } else if (arg == "--set" && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "fi_sim: --set expects key=value, got '%s'\n",
+                     kv.c_str());
+        return usage(argv[0]);
+      }
+      overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else {
+      std::fprintf(stderr, "fi_sim: unknown argument '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (scenario_path.empty()) {
+    std::fprintf(stderr, "fi_sim: --scenario is required\n");
+    return usage(argv[0]);
+  }
+
+  auto config = fi::util::Config::load(scenario_path);
+  if (!config.is_ok()) {
+    std::fprintf(stderr, "fi_sim: %s\n", config.status().to_string().c_str());
+    return 1;
+  }
+  for (auto& [key, value] : overrides) {
+    config.value().set(key, value);
+  }
+
+  auto spec = fi::scenario::ScenarioSpec::from_config(config.value());
+  if (!spec.is_ok()) {
+    std::fprintf(stderr, "fi_sim: %s: %s\n", scenario_path.c_str(),
+                 spec.status().to_string().c_str());
+    return 1;
+  }
+
+  if (dump_spec) {
+    std::fputs(spec.value().to_config_string().c_str(), stdout);
+    return 0;
+  }
+
+  fi::scenario::ScenarioRunner runner(std::move(spec).value());
+  const fi::scenario::MetricsReport report = runner.run();
+  const std::string json = report.to_json(timings);
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    out << json;
+    out.close();
+    if (!out.good()) {
+      std::fprintf(stderr, "fi_sim: failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(
+      stderr,
+      "fi_sim: %s seed=%llu — %llu files stored, %llu lost, "
+      "rent %s, %.1fs (setup %.1fs)\n",
+      report.scenario.c_str(), static_cast<unsigned long long>(report.seed),
+      static_cast<unsigned long long>(report.totals.files_stored),
+      static_cast<unsigned long long>(report.totals.files_lost),
+      report.rent_conserved ? "conserved" : "LEAKED",
+      report.wall_seconds + report.setup_seconds, report.setup_seconds);
+  return report.rent_conserved ? 0 : 1;
+}
