@@ -3,23 +3,31 @@
 // Auto_Refresh, corruption, rent — at 10^3..10^5 sectors and up to 10^5-10^6
 // files, and reports ops/sec plus the per-rent-cycle cost.
 //
-// The headline measurement is the Theorem-1 scalability axis for the
-// economic loop: rent distribution is an O(1)-per-cycle accumulator bump
-// (sectors settle lazily on touch), so the reported per-rent-cycle timing
-// must stay flat as the sector count grows 100x.
+// Three sections:
+//   A. Rent-distribution scaling — the O(1)-per-cycle accumulator must stay
+//      flat as the sector count grows 100x.
+//   B. Worker sweep — per-epoch latency of the parallel challenge/refresh
+//      sweeps at increasing `engine.workers`, with a byte-identity check of
+//      every report against the serial run (the determinism contract).
+//   C. Full churn at scale with a conservation audit (exit status).
 //
-// Both sections are thin wrappers over declarative scenario specs — the
-// same workloads are available as configs for `fi_sim` (see
-// configs/churn_1m.cfg for the million-file run with a JSON report).
+// With --json, sections A and B are additionally emitted as machine-readable
+// JSON (schema: docs/BENCHMARKS.md); CI feeds that file to
+// scripts/check_bench_regression.py against bench/baseline.json.
 //
-// Usage: bench_scale_engine [files]   (default 100000; try 1000000)
+// Usage: bench_scale_engine [files] [--sweep 1,2,4,8] [--json <path>]
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "util/task_pool.h"
 
 namespace {
 
@@ -28,6 +36,13 @@ using fi::scenario::PhaseKind;
 using fi::scenario::PhaseSpec;
 using fi::scenario::ScenarioRunner;
 using fi::scenario::ScenarioSpec;
+
+/// Fleet sizing shared by every file-count-driven section (and by the
+/// emitted JSON, so the reported sector count always matches the measured
+/// workload).
+std::uint64_t sectors_for(std::uint64_t files) {
+  return files / 5 < 1'000 ? 1'000 : files / 5;
+}
 
 ScenarioSpec scale_spec() {
   ScenarioSpec spec;
@@ -42,16 +57,29 @@ ScenarioSpec scale_spec() {
   return spec;
 }
 
+struct RentRow {
+  std::uint64_t sectors = 0;
+  double us_per_rent_cycle = 0.0;
+};
+
+struct SweepRow {
+  std::uint64_t workers = 0;
+  double per_epoch_seconds = 0.0;
+  double speedup_vs_serial = 1.0;
+  bool report_identical_to_serial = true;
+};
+
 /// Section A: per-rent-cycle cost vs sector count with a fixed file
 /// workload. O(1) distribution => the us/rent-cycle column stays flat as
 /// Ns grows 100x.
-void rent_cycle_scaling() {
+std::vector<RentRow> rent_cycle_scaling() {
   constexpr std::uint64_t kPeriods = 20;
   std::printf("Rent distribution scaling (fixed 200-file workload, %llu rent "
               "periods)\n",
               static_cast<unsigned long long>(kPeriods));
   std::printf("%8s %12s %16s %16s %14s\n", "Ns", "setup(s)", "advance(ms)",
               "us/rent-cycle", "rent paid");
+  std::vector<RentRow> rows;
   for (const std::uint64_t ns : {1'000u, 10'000u, 100'000u}) {
     ScenarioSpec spec = scale_spec();
     spec.name = "rent_scaling";
@@ -64,20 +92,90 @@ void rent_cycle_scaling() {
     ScenarioRunner runner(std::move(spec));
     const MetricsReport report = runner.run();
     const double adv_secs = report.phases[0].wall_seconds;
+    const double us_per_cycle =
+        adv_secs * 1e6 / static_cast<double>(kPeriods);
     std::printf("%8llu %12.2f %16.1f %16.2f %14llu\n",
                 static_cast<unsigned long long>(ns), report.setup_seconds,
-                adv_secs * 1e3,
-                adv_secs * 1e6 / static_cast<double>(kPeriods),
+                adv_secs * 1e3, us_per_cycle,
                 static_cast<unsigned long long>(report.rent_paid));
+    rows.push_back({ns, us_per_cycle});
   }
   std::printf("\n");
+  return rows;
 }
 
-/// Section B: full churn at scale — add/prove/refresh/corrupt/rent over a
+/// Section B: per-epoch latency of the proving/refresh epoch loop over a
+/// fixed stored population, as a function of the sweep worker count. The
+/// serial run is the reference for both speedup and byte-identity.
+std::vector<SweepRow> worker_sweep(std::uint64_t nf,
+                                   const std::vector<std::uint64_t>& workers) {
+  constexpr std::uint64_t kCycles = 4;
+  const std::uint64_t ns = sectors_for(nf);
+  std::printf("Worker sweep: %llu files, %llu sectors, %llu proving epochs "
+              "per point\n",
+              static_cast<unsigned long long>(nf),
+              static_cast<unsigned long long>(ns),
+              static_cast<unsigned long long>(kCycles));
+  std::printf("%8s %16s %10s %10s\n", "workers", "s/epoch", "speedup",
+              "identical");
+
+  std::vector<SweepRow> rows;
+  std::string serial_json;
+  double serial_epoch = 0.0;
+  // One untimed warmup so the serial reference is not penalized for
+  // first-run costs (allocator pools, page faults) that later points
+  // would otherwise inherit for free.
+  {
+    ScenarioSpec warm = scale_spec();
+    warm.name = "worker_sweep_warmup";
+    warm.seed = 42;
+    warm.sectors = ns;
+    warm.initial_files = nf;
+    warm.params.avg_refresh = 20.0;
+    warm.phases.push_back(PhaseSpec::make_idle(1));
+    ScenarioRunner runner(std::move(warm));
+    (void)runner.run();
+  }
+  for (const std::uint64_t w : workers) {
+    ScenarioSpec spec = scale_spec();
+    spec.name = "worker_sweep";
+    spec.seed = 42;
+    spec.engine_workers = w;
+    spec.sectors = ns;
+    spec.initial_files = nf;
+    spec.params.avg_refresh = 20.0;  // visible refresh traffic
+    spec.phases.push_back(PhaseSpec::make_idle(kCycles));
+
+    ScenarioRunner runner(std::move(spec));
+    const MetricsReport report = runner.run();
+    const std::string json = report.to_json(false);
+    SweepRow row;
+    row.workers = w;
+    row.per_epoch_seconds =
+        report.phases[0].wall_seconds / static_cast<double>(kCycles);
+    if (rows.empty()) {
+      serial_json = json;
+      serial_epoch = row.per_epoch_seconds;
+    }
+    row.speedup_vs_serial =
+        row.per_epoch_seconds > 0.0 ? serial_epoch / row.per_epoch_seconds
+                                    : 1.0;
+    row.report_identical_to_serial = (json == serial_json);
+    std::printf("%8llu %16.4f %10.2f %10s\n",
+                static_cast<unsigned long long>(w), row.per_epoch_seconds,
+                row.speedup_vs_serial,
+                row.report_identical_to_serial ? "yes" : "NO");
+    rows.push_back(row);
+  }
+  std::printf("\n");
+  return rows;
+}
+
+/// Section C: full churn at scale — add/prove/refresh/corrupt/rent over a
 /// large file population, with a conservation audit at the end (the same
 /// workload as configs/churn_1m.cfg, sized by the file-count argument).
 int churn_at_scale(std::uint64_t nf) {
-  const std::uint64_t ns = nf / 5 < 1'000 ? 1'000 : nf / 5;
+  const std::uint64_t ns = sectors_for(nf);
   std::printf("Churn run: %llu files across %llu sectors\n",
               static_cast<unsigned long long>(nf),
               static_cast<unsigned long long>(ns));
@@ -137,35 +235,132 @@ int churn_at_scale(std::uint64_t nf) {
   return report.rent_conserved ? 0 : 1;
 }
 
+bool write_json(const std::string& path, std::uint64_t files,
+                const std::vector<SweepRow>& sweep,
+                const std::vector<RentRow>& rent) {
+  const std::uint64_t ns = sectors_for(files);
+  std::ofstream out(path, std::ios::binary);
+  out << "{\n";
+  out << "  \"bench\": \"bench_scale_engine\",\n";
+  out << "  \"files\": " << files << ",\n";
+  out << "  \"sectors\": " << ns << ",\n";
+  out << "  \"worker_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workers\": %llu, \"per_epoch_seconds\": %.6f, "
+                  "\"speedup_vs_serial\": %.3f, "
+                  "\"report_identical_to_serial\": %s}%s\n",
+                  static_cast<unsigned long long>(sweep[i].workers),
+                  sweep[i].per_epoch_seconds, sweep[i].speedup_vs_serial,
+                  sweep[i].report_identical_to_serial ? "true" : "false",
+                  i + 1 < sweep.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  out << "  \"rent_scaling\": [\n";
+  for (std::size_t i = 0; i < rent.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"sectors\": %llu, \"us_per_rent_cycle\": %.3f}%s\n",
+                  static_cast<unsigned long long>(rent[i].sectors),
+                  rent[i].us_per_rent_cycle,
+                  i + 1 < rent.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n";
+  out << "}\n";
+  out.close();
+  return out.good();
+}
+
+int usage(const char* argv0, const char* complaint) {
+  std::fprintf(stderr,
+               "bench_scale_engine: %s\n"
+               "usage: %s [files] [--sweep 1,2,4,8] [--json <path>]\n",
+               complaint, argv0);
+  return 2;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || parsed == 0 ||
+      text[0] == '-') {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t nf = 100'000;
-  if (argc > 1) {
-    // Validate instead of feeding strtoull garbage into the workload: a
-    // non-numeric or zero argument is an error, and absurd counts clamp.
-    constexpr std::uint64_t kMaxFiles = 10'000'000;
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long parsed = std::strtoull(argv[1], &end, 10);
-    if (errno != 0 || end == argv[1] || *end != '\0' || parsed == 0 ||
-        argv[1][0] == '-') {
-      std::fprintf(stderr,
-                   "bench_scale_engine: file count must be a positive "
-                   "integer, got '%s'\nusage: %s [files]\n",
-                   argv[1], argv[0]);
-      return 2;
+  std::vector<std::uint64_t> sweep_workers{1, 2, 4, 8};
+  std::string json_path;
+  bool files_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--json" || arg == "--sweep") && i + 1 >= argc) {
+      return usage(argv[0], (arg + " expects a value").c_str());
     }
-    nf = parsed;
-    if (nf > kMaxFiles) {
-      std::fprintf(stderr,
-                   "bench_scale_engine: clamping %llu to %llu files\n",
-                   parsed, static_cast<unsigned long long>(kMaxFiles));
-      nf = kMaxFiles;
+    if (arg == "--json") {
+      json_path = argv[++i];
+    } else if (arg == "--sweep") {
+      sweep_workers.clear();
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string token =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        std::uint64_t w = 0;
+        if (!parse_u64(token.c_str(), w) ||
+            w > fi::util::TaskPool::kMaxWorkers) {
+          return usage(argv[0],
+                       "--sweep expects a comma-separated list of positive "
+                       "worker counts");
+        }
+        sweep_workers.push_back(w);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (!files_given && !arg.empty() && arg[0] != '-') {
+      // Validate instead of feeding strtoull garbage into the workload: a
+      // non-numeric or zero argument is an error, and absurd counts clamp.
+      constexpr std::uint64_t kMaxFiles = 10'000'000;
+      if (!parse_u64(argv[i], nf)) {
+        return usage(argv[0], "file count must be a positive integer");
+      }
+      files_given = true;
+      if (nf > kMaxFiles) {
+        std::fprintf(stderr,
+                     "bench_scale_engine: clamping %llu to %llu files\n",
+                     static_cast<unsigned long long>(nf),
+                     static_cast<unsigned long long>(kMaxFiles));
+        nf = kMaxFiles;
+      }
+    } else {
+      return usage(argv[0], ("unknown argument '" + arg + "'").c_str());
     }
+  }
+  if (sweep_workers.empty() || sweep_workers.front() != 1) {
+    // The first sweep point is the serial reference for speedup and the
+    // byte-identity check.
+    sweep_workers.insert(sweep_workers.begin(), 1);
   }
 
   std::printf("Engine scale benchmark — million-file trajectory\n\n");
-  rent_cycle_scaling();
+  const std::vector<RentRow> rent = rent_cycle_scaling();
+  const std::vector<SweepRow> sweep = worker_sweep(nf, sweep_workers);
+  if (!json_path.empty() && !write_json(json_path, nf, sweep, rent)) {
+    std::fprintf(stderr, "bench_scale_engine: failed to write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
   return churn_at_scale(nf);
 }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate bench_scale_engine results against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py <measured.json> <baseline.json> [--threshold 2.0]
+
+Both files follow the bench_scale_engine --json schema (docs/BENCHMARKS.md).
+For every point in the *baseline* the measured run must exist and must not
+be slower than baseline * threshold; the threshold is deliberately generous
+(default 2x) because CI runners vary — the gate catches algorithmic
+regressions (a hot path going accidentally quadratic, a sweep silently
+serializing), not single-digit-percent noise.  Additionally, every sweep
+point's report must be byte-identical to the serial run — a cheap ride-along
+check of the determinism contract.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def index_by(rows, key):
+    return {row[key]: row for row in rows}
+
+
+def check_axis(name, measured_rows, baseline_rows, key, metric, threshold,
+               failures):
+    measured = index_by(measured_rows, key)
+    for point, base in index_by(baseline_rows, key).items():
+        got = measured.get(point)
+        if got is None:
+            failures.append(
+                f"{name}: baseline point {key}={point} missing from the "
+                f"measured run")
+            continue
+        limit = base[metric] * threshold
+        if got[metric] > limit:
+            failures.append(
+                f"{name} [{key}={point}]: {metric} regressed — measured "
+                f"{got[metric]:.6f} > allowed {limit:.6f} "
+                f"(baseline {base[metric]:.6f} x threshold {threshold})")
+        else:
+            print(f"ok: {name} [{key}={point}] {metric} "
+                  f"{got[metric]:.6f} <= {limit:.6f}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare bench_scale_engine JSON against a baseline")
+    parser.add_argument("measured")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="allowed slowdown factor (default: 2.0)")
+    args = parser.parse_args()
+
+    with open(args.measured, encoding="utf-8") as f:
+        measured = json.load(f)
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    failures = []
+    check_axis("worker_sweep", measured.get("worker_sweep", []),
+               baseline.get("worker_sweep", []), "workers",
+               "per_epoch_seconds", args.threshold, failures)
+    check_axis("rent_scaling", measured.get("rent_scaling", []),
+               baseline.get("rent_scaling", []), "sectors",
+               "us_per_rent_cycle", args.threshold, failures)
+
+    for row in measured.get("worker_sweep", []):
+        if not row.get("report_identical_to_serial", False):
+            failures.append(
+                f"worker_sweep [workers={row.get('workers')}]: report is "
+                f"NOT byte-identical to the serial run — determinism "
+                f"contract broken")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression check(s) FAILED:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall bench regression checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,8 +65,17 @@ void ClientAgent::retrieve_data(FileId file, DataCallback on_done) {
                             sim_.market().ask_of(table.at(b).owner);
                    });
   auto attempt = std::make_shared<std::function<void(std::size_t)>>();
-  *attempt = [this, sectors, attempt, file, expected_root, size,
+  // The stored callable must not capture `attempt` strongly — that is a
+  // shared_ptr cycle (function owns itself) and the chain would leak.
+  // Scheduled continuations hold the strong references instead, so the
+  // chain stays alive exactly until no retry is pending, and the weak
+  // lock below always succeeds while a continuation is running.
+  *attempt = [this, sectors, weak_attempt = std::weak_ptr<
+                  std::function<void(std::size_t)>>(attempt),
+              file, expected_root, size,
               on_done = std::move(on_done)](std::size_t i) {
+    auto attempt = weak_attempt.lock();
+    FI_CHECK_MSG(attempt != nullptr, "retrieval chain outlived its owner");
     if (i >= sectors->size()) {
       on_done(std::nullopt);
       return;

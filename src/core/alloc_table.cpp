@@ -36,6 +36,18 @@ const AllocEntry& AllocTable::entry(FileId file, ReplicaIndex idx) const {
   return it->second[idx];
 }
 
+std::span<const AllocEntry> AllocTable::entries_of(FileId file) const {
+  const auto it = entries_.find(file);
+  FI_CHECK_MSG(it != entries_.end(), "unknown file");
+  return it->second;
+}
+
+std::span<AllocEntry> AllocTable::sweep_entries_of(FileId file) {
+  const auto it = entries_.find(file);
+  FI_CHECK_MSG(it != entries_.end(), "unknown file");
+  return it->second;
+}
+
 AllocEntry& AllocTable::mutable_entry(FileId file, ReplicaIndex idx) {
   const auto it = entries_.find(file);
   FI_CHECK_MSG(it != entries_.end(), "unknown file");

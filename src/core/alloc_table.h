@@ -62,6 +62,19 @@ class AllocTable {
 
   [[nodiscard]] const AllocEntry& entry(FileId file, ReplicaIndex idx) const;
 
+  /// Per-file shard views for the engine's epoch sweeps: all of a file's
+  /// entries as one contiguous span (one hash lookup instead of one per
+  /// replica).
+  ///
+  /// Concurrency contract: lookups are safe from concurrent readers as
+  /// long as no thread mutates the table's structure (create/remove_file,
+  /// set_prev/next/state). Through the mutable span, a sweep worker may
+  /// write ONLY `last` — and only for files its shard owns; prev/next/
+  /// state/comm_r are coupled to the reverse indexes and the normal-entry
+  /// sampler and must go through the setters above.
+  [[nodiscard]] std::span<const AllocEntry> entries_of(FileId file) const;
+  [[nodiscard]] std::span<AllocEntry> sweep_entries_of(FileId file);
+
   /// Entry mutation: `set_prev` / `set_next` keep the reverse indexes
   /// consistent; `set_state` keeps the normal-entry sampler consistent.
   void set_prev(FileId file, ReplicaIndex idx, SectorId sector);

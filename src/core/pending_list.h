@@ -41,10 +41,27 @@ class PendingList {
   /// Enqueues `task` for execution at time `at` (gas already prepaid by
   /// the scheduling request). `at` may equal the current batch time:
   /// Network::advance_to runs such tasks within the same call.
-  void schedule(Time at, Task task) { tasks_.emplace(at, task); }
+  ///
+  /// Consecutive schedules at the same timestamp reuse the previous
+  /// insertion position as a hint, making re-arming storms (every file in
+  /// a proof batch reschedules at now + ProofCycle) amortized O(1)
+  /// instead of O(log n). Insertion order within a timestamp — and hence
+  /// execution order — is identical either way: a cold insert lands at
+  /// the upper bound of the equal range, a hinted one right after the
+  /// previous insert, which is that same upper bound.
+  void schedule(Time at, Task task) {
+    if (hint_valid_ && hint_time_ == at) {
+      hint_it_ = tasks_.emplace_hint(std::next(hint_it_), at, task);
+    } else {
+      hint_it_ = tasks_.emplace(at, task);
+      hint_time_ = at;
+      hint_valid_ = true;
+    }
+  }
 
   /// Pops every task with timestamp <= `t`, ordered by (time, insertion).
   [[nodiscard]] std::vector<std::pair<Time, Task>> pop_due(Time t) {
+    hint_valid_ = false;  // erasure may invalidate the cached position
     std::vector<std::pair<Time, Task>> due;
     auto it = tasks_.begin();
     while (it != tasks_.end() && it->first <= t) {
@@ -64,6 +81,11 @@ class PendingList {
 
  private:
   std::multimap<Time, Task> tasks_;
+  /// Last-insert hint (see `schedule`). Iterators into a multimap survive
+  /// unrelated inserts; only `pop_due`'s erasures invalidate the cache.
+  std::multimap<Time, Task>::iterator hint_it_;
+  Time hint_time_ = 0;
+  bool hint_valid_ = false;
 };
 
 }  // namespace fi::core

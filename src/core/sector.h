@@ -49,6 +49,10 @@ class SectorTable {
                                          Time now);
 
   [[nodiscard]] bool exists(SectorId id) const { return id < sectors_.size(); }
+  /// Concurrency contract: `exists` / `at` / the O(1) totals below are
+  /// plain reads over stable storage and are safe from concurrent sweep
+  /// workers as long as no thread mutates the table (register / reserve /
+  /// release / state transitions all count as mutations).
   [[nodiscard]] const Sector& at(SectorId id) const;
   [[nodiscard]] std::size_t count() const { return sectors_.size(); }
 

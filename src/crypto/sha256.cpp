@@ -38,6 +38,9 @@ void Sha256::reset() {
 }
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) {
+  // An empty span may carry a null data() — passing that to memcpy is UB
+  // even with a zero length.
+  if (data.empty()) return *this;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "util/task_pool.h"
+
 namespace fi::scenario {
 
 namespace {
@@ -202,6 +204,15 @@ util::Result<ScenarioSpec> ScenarioSpec::from_config(
   FI_SPEC_FIELD(get_u64_or, file_value);
 #undef FI_SPEC_FIELD
 
+  {
+    // Strict range validation: negative values fail the unsigned parse,
+    // absurd counts fail the range check (0 = hardware concurrency).
+    auto workers = config.get_u64_in_range_or(
+        "engine.workers", spec.engine_workers, 0, util::TaskPool::kMaxWorkers);
+    if (!workers.is_ok()) return workers.status();
+    spec.engine_workers = workers.value();
+  }
+
   if (util::Status s = parse_params(config, spec.params); !s.is_ok()) {
     return s;
   }
@@ -246,6 +257,14 @@ util::Status ScenarioSpec::validate() const {
     return util::err(util::ErrorCode::invalid_argument,
                      "the scenario engine runs the network in metadata mode "
                      "(auto-prove); net.verify_proofs must be false");
+  }
+  if (engine_workers > util::TaskPool::kMaxWorkers) {
+    // File configs get this from from_config's range check; this covers
+    // in-code specs.
+    return util::err(util::ErrorCode::invalid_argument,
+                     "engine.workers must be at most " +
+                         std::to_string(util::TaskPool::kMaxWorkers) +
+                         " (0 = one per hardware thread)");
   }
   if (sectors == 0) {
     return util::err(util::ErrorCode::invalid_argument,
@@ -341,6 +360,7 @@ std::string ScenarioSpec::to_config_string() const {
   std::ostringstream out;
   out << "name = " << name << "\n";
   out << "seed = " << seed << "\n";
+  out << "engine.workers = " << engine_workers << "\n";
   out << "sectors = " << sectors << "\n";
   out << "sector_units = " << sector_units << "\n";
   out << "initial_files = " << initial_files << "\n";

@@ -154,6 +154,12 @@ struct ScenarioSpec {
   /// draws, corruption targets).
   std::uint64_t seed = 1;
 
+  /// Worker threads for the engine's parallel epoch sweeps
+  /// (`engine.workers`): 1 = serial (default), 0 = one per hardware
+  /// thread, at most `util::TaskPool::kMaxWorkers`. Purely a performance
+  /// knob — reports are byte-identical for every value.
+  std::uint64_t engine_workers = 1;
+
   /// Protocol parameters, exposed as `net.*` config keys.
   core::Params params = default_scenario_params();
 

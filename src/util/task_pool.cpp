@@ -1,0 +1,119 @@
+#include "util/task_pool.h"
+
+#include "util/check.h"
+
+namespace fi::util {
+
+TaskPool::TaskPool(unsigned workers) : workers_(workers) {
+  FI_CHECK_MSG(workers >= 1, "TaskPool needs at least one worker");
+  threads_.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::worker_loop() {
+  std::uint64_t seen_job = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (job_id_ != seen_job && job_.remaining > 0);
+      });
+      if (shutdown_) return;
+      seen_job = job_id_;
+    }
+    drain_current_job();
+  }
+}
+
+void TaskPool::drain_current_job() {
+  while (true) {
+    std::size_t shard;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_.next_shard >= job_.shards) return;
+      shard = job_.next_shard++;
+    }
+    std::exception_ptr error;
+    try {
+      (*job_.fn)(shard);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && (!job_.error || shard < job_.first_error_shard)) {
+        job_.error = error;
+        job_.first_error_shard = shard;
+      }
+      if (--job_.remaining == 0) {
+        job_done_.notify_all();
+        return;
+      }
+    }
+  }
+}
+
+void TaskPool::run_shards(std::size_t shards,
+                          const std::function<void(std::size_t)>& fn) {
+  if (shards == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FI_CHECK_MSG(job_.remaining == 0, "TaskPool::run_shards is not reentrant");
+    job_.shards = shards;
+    job_.fn = &fn;
+    job_.next_shard = 0;
+    job_.remaining = shards;
+    job_.first_error_shard = 0;
+    job_.error = nullptr;
+    ++job_id_;
+  }
+  work_ready_.notify_all();
+  drain_current_job();  // the caller is a worker too
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [&] { return job_.remaining == 0; });
+    error = job_.error;
+    job_.fn = nullptr;
+    job_.error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t shards = workers_;
+  const std::size_t chunk = (n + shards - 1) / shards;
+  const std::function<void(std::size_t)> shard_fn = [&](std::size_t shard) {
+    const std::size_t begin = shard * chunk;
+    if (begin >= n) return;
+    const std::size_t end = begin + chunk < n ? begin + chunk : n;
+    fn(begin, end, shard);
+  };
+  run_shards(shards, shard_fn);
+}
+
+unsigned TaskPool::resolve_workers(std::uint64_t requested) {
+  std::uint64_t workers = requested;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : hw;
+  }
+  return static_cast<unsigned>(workers < kMaxWorkers ? workers : kMaxWorkers);
+}
+
+}  // namespace fi::util

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// Fixed-size worker-thread pool for sharded sweeps.
+///
+/// The pool is built for the engine's deterministic parallel sweeps, so it
+/// deliberately has no task queue and no work stealing: a call hands every
+/// worker the same callable, each worker claims shard indices from a shared
+/// atomic counter, and the call returns only when every shard ran. Shards
+/// are the unit of determinism — callers partition their data into shards,
+/// give each shard its own output slot, and fold the slots in shard order
+/// after the barrier, so results cannot depend on which thread ran what.
+///
+/// The calling thread participates as a worker, so `TaskPool(1)` spawns no
+/// threads and runs everything inline — the degenerate pool is exactly the
+/// serial loop.
+namespace fi::util {
+
+class TaskPool {
+ public:
+  /// Spawns `workers - 1` threads (the caller is the remaining worker).
+  /// `workers` must be at least 1.
+  explicit TaskPool(unsigned workers);
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Joins all workers. Must not be called while a `run_shards` is active.
+  ~TaskPool();
+
+  [[nodiscard]] unsigned worker_count() const { return workers_; }
+
+  /// Runs `fn(shard)` for every shard in [0, shards) across the pool and
+  /// blocks until all shards completed. Shards are claimed dynamically but
+  /// each runs exactly once. If any shard throws, the exception from the
+  /// *lowest-indexed* throwing shard is rethrown on the calling thread
+  /// after the barrier (the remaining shards still run), so failure
+  /// reporting is as deterministic as success. Not reentrant: `fn` must
+  /// not call back into the same pool.
+  void run_shards(std::size_t shards, const std::function<void(std::size_t)>& fn);
+
+  /// Chunked parallel-for: splits [0, n) into `worker_count()` contiguous
+  /// ranges (the last one short) and calls `fn(begin, end, shard)` for
+  /// each non-empty range. With n == 0, `fn` is never called.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Maps a requested worker count to an effective one: 0 means "one per
+  /// hardware thread" (at least 1), anything else is clamped to
+  /// `kMaxWorkers`.
+  [[nodiscard]] static unsigned resolve_workers(std::uint64_t requested);
+
+  /// Upper bound on sensible worker counts; `resolve_workers` clamps to it
+  /// and config validation rejects requests beyond it outright.
+  static constexpr std::uint64_t kMaxWorkers = 256;
+
+ private:
+  void worker_loop();
+  /// Claims and runs shards of the current job until none remain; safe to
+  /// call from both pool threads and the caller.
+  void drain_current_job();
+
+  struct Job {
+    std::size_t shards = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t next_shard = 0;     ///< next unclaimed shard (under mutex)
+    std::size_t remaining = 0;      ///< shards not yet finished
+    /// Lowest-indexed shard that threw, and its exception.
+    std::size_t first_error_shard = 0;
+    std::exception_ptr error;
+  };
+
+  const unsigned workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  Job job_;
+  std::uint64_t job_id_ = 0;  ///< bumped per run_shards; wakes the workers
+  bool shutdown_ = false;
+};
+
+}  // namespace fi::util

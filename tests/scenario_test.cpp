@@ -165,6 +165,34 @@ TEST(ScenarioSpecTest, RejectsMalformedConfigs) {
   (void)spec_error(base + "net.avg_refresh = inf\n");
   // Out-of-range values for uint32 params must error, not wrap.
   (void)spec_error(base + "net.k = 4294967299\n");
+  // engine.workers: negative values fail the unsigned parse, absurd
+  // counts fail util::Config's range validation.
+  (void)spec_error(base + "engine.workers = -1\n");
+  (void)spec_error(base + "engine.workers = 100000\n");
+  (void)spec_error(base + "engine.workers = four\n");
+}
+
+TEST(ScenarioSpecTest, EngineWorkersParsesAndRoundTrips) {
+  const auto config = Config::parse("sectors = 10\nengine.workers = 8\n");
+  ASSERT_TRUE(config.is_ok());
+  const auto spec = ScenarioSpec::from_config(config.value());
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().engine_workers, 8u);
+
+  // The key survives serialization (the `--set engine.workers=K` ->
+  // `--dump-spec` round trip) and reparses to the same spec.
+  const std::string text = spec.value().to_config_string();
+  EXPECT_NE(text.find("engine.workers = 8\n"), std::string::npos);
+  const auto reparsed = ScenarioSpec::from_config(Config::parse(text).value());
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed.value().engine_workers, 8u);
+  EXPECT_EQ(reparsed.value().to_config_string(), text);
+
+  // 0 = one worker per hardware thread — a valid request.
+  const auto zero = ScenarioSpec::from_config(
+      Config::parse("sectors = 10\nengine.workers = 0\n").value());
+  ASSERT_TRUE(zero.is_ok());
+  EXPECT_EQ(zero.value().engine_workers, 0u);
 }
 
 TEST(ScenarioSpecTest, ValidateRejectsWrongKindKnobsOnInCodeSpecs) {

@@ -1,0 +1,136 @@
+// util::TaskPool: shard coverage, chunked parallel_for ranges, degenerate
+// inputs (empty range, more shards than items), deterministic exception
+// propagation, and pool reuse after a failed job.
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/task_pool.h"
+
+namespace {
+
+using fi::util::TaskPool;
+
+TEST(TaskPoolTest, RunsEveryShardExactlyOnce) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  constexpr std::size_t kShards = 64;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.run_shards(kShards, [&](std::size_t shard) { ++hits[shard]; });
+  for (std::size_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "shard " << i;
+  }
+}
+
+TEST(TaskPoolTest, SingleWorkerRunsInline) {
+  // TaskPool(1) spawns no threads: every shard runs on the calling thread,
+  // so the degenerate pool is exactly the serial loop.
+  TaskPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.run_shards(8, [&](std::size_t shard) {
+    seen[shard] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(TaskPoolTest, ParallelForCoversRangeWithContiguousChunks) {
+  TaskPool pool(3);
+  constexpr std::size_t kItems = 100;
+  std::vector<std::atomic<int>> hits(kItems);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_for(kItems, [&](std::size_t begin, std::size_t end,
+                                std::size_t shard) {
+    EXPECT_LT(shard, pool.worker_count());
+    EXPECT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    const std::lock_guard<std::mutex> lock(mutex);
+    ranges.emplace_back(begin, end);
+  });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+  // Chunks partition [0, n): sorted by begin, each picks up where the
+  // previous ended.
+  std::set<std::pair<std::size_t, std::size_t>> sorted(ranges.begin(),
+                                                       ranges.end());
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : sorted) {
+    EXPECT_EQ(begin, expect_begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, kItems);
+}
+
+TEST(TaskPoolTest, EmptyRangeNeverInvokesTheCallback) {
+  TaskPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  pool.run_shards(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(TaskPoolTest, MoreShardsThanItems) {
+  // 8 workers over 3 items: the surplus shards get empty ranges and the
+  // callback never sees them.
+  TaskPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<int> invocations{0};
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end, std::size_t) {
+    ++invocations;
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_LE(invocations.load(), 3);
+  EXPECT_GE(invocations.load(), 1);
+}
+
+TEST(TaskPoolTest, PropagatesTheLowestShardsException) {
+  TaskPool pool(4);
+  // Two shards throw; the caller must deterministically see the
+  // lowest-indexed one's exception regardless of claim order, and every
+  // non-throwing shard must still have run.
+  std::vector<std::atomic<int>> hits(32);
+  try {
+    pool.run_shards(32, [&](std::size_t shard) {
+      if (shard == 5) throw std::runtime_error("shard five");
+      if (shard == 20) throw std::runtime_error("shard twenty");
+      ++hits[shard];
+    });
+    FAIL() << "expected run_shards to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard five");
+  }
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (i == 5 || i == 20) continue;
+    EXPECT_EQ(hits[i].load(), 1) << "shard " << i;
+  }
+}
+
+TEST(TaskPoolTest, ReusableAfterAnException) {
+  TaskPool pool(4);
+  EXPECT_THROW(pool.run_shards(
+                   8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.run_shards(8, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(TaskPoolTest, ResolveWorkers) {
+  EXPECT_GE(TaskPool::resolve_workers(0), 1u);  // hardware concurrency
+  EXPECT_EQ(TaskPool::resolve_workers(1), 1u);
+  EXPECT_EQ(TaskPool::resolve_workers(7), 7u);
+  EXPECT_EQ(TaskPool::resolve_workers(1'000'000),
+            static_cast<unsigned>(TaskPool::kMaxWorkers));
+}
+
+}  // namespace

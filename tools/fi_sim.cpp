@@ -24,12 +24,15 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --scenario <config> [--out <report.json>] [--timings]\n"
-      "          [--set key=value ...] [--dump-spec]\n"
+      "          [--workers <n>] [--set key=value ...] [--dump-spec]\n"
       "\n"
       "  --scenario <config>  scenario spec (key=value or flat JSON file)\n"
       "  --out <path>         write the JSON report here (default: stdout)\n"
       "  --timings            include wall-clock timings in the report\n"
       "                       (breaks byte-for-byte reproducibility)\n"
+      "  --workers <n>        engine sweep workers (alias for --set\n"
+      "                       engine.workers=<n>; 0 = hardware threads);\n"
+      "                       reports are byte-identical for every value\n"
       "  --set key=value      override a config key (repeatable)\n"
       "  --dump-spec          print the normalized spec and exit\n",
       argv0);
@@ -53,6 +56,11 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--timings") {
       timings = true;
+    } else if (arg == "--workers" && i + 1 < argc) {
+      // Routed through the config override path so the value gets
+      // util::Config's strict unsigned-parse + range validation and
+      // round-trips via --dump-spec like any other key.
+      overrides.emplace_back("engine.workers", argv[++i]);
     } else if (arg == "--dump-spec") {
       dump_spec = true;
     } else if (arg == "--set" && i + 1 < argc) {
