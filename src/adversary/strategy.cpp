@@ -1,0 +1,336 @@
+#include "adversary/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace fi::adversary {
+
+std::vector<core::SectorId> normal_sector_ids(const core::Network& net) {
+  std::vector<core::SectorId> ids;
+  ids.reserve(net.sectors().count());
+  for (core::SectorId id = 0; id < net.sectors().count(); ++id) {
+    if (net.sectors().at(id).state == core::SectorState::normal) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+namespace {
+
+using core::SectorId;
+using core::SectorState;
+
+/// Uniform sample of `count` entries without replacement (over a copy;
+/// result in draw order).
+std::vector<SectorId> sample_sectors(std::vector<SectorId> pool,
+                                     std::size_t count,
+                                     util::Xoshiro256& rng) {
+  pool.resize(util::shuffle_prefix(pool, count, rng));
+  return pool;
+}
+
+std::size_t fraction_of(std::size_t n, double fraction) {
+  return static_cast<std::size_t>(std::llround(fraction * static_cast<double>(n)));
+}
+
+// ---- targeted_file ---------------------------------------------------------
+
+/// Theorem 3 stressor: lock onto one live file and corrupt its current
+/// replica holders every epoch, racing the location refresh that keeps
+/// re-scattering them.
+class TargetedFile final : public AdversaryStrategy {
+ public:
+  explicit TargetedFile(AdversarySpec spec) : spec_(std::move(spec)) {}
+
+  void on_epoch(AdversaryView& view) override {
+    if (view.epoch() < spec_.start_epoch) return;
+    if (target_ == core::kNoFile) {
+      if (view.live_files().empty()) return;  // retry next epoch
+      target_ = view.live_files()[static_cast<std::size_t>(
+          view.rng().uniform_below(view.live_files().size()))];
+      view.set_extra("target_file", static_cast<double>(target_));
+    }
+    if (lost_ || !view.net().file_exists(target_)) {
+      if (!lost_) {
+        lost_ = true;
+        view.set_extra("target_lost_epoch", static_cast<double>(view.epoch()));
+      }
+      return;
+    }
+    // Current healthy holders of the target, ascending sector id (the
+    // alloc table keeps `prev` through corruption, so filter by state).
+    std::vector<SectorId> holders;
+    const std::uint32_t cp = view.net().allocations().replica_count(target_);
+    for (core::ReplicaIndex r = 0; r < cp; ++r) {
+      const core::AllocEntry& e = view.net().allocations().entry(target_, r);
+      if (e.state == core::AllocState::corrupted || e.prev == core::kNoSector) {
+        continue;
+      }
+      const SectorState state = view.net().sectors().at(e.prev).state;
+      if (state == SectorState::normal || state == SectorState::disabled) {
+        holders.push_back(e.prev);
+      }
+    }
+    std::sort(holders.begin(), holders.end());
+    holders.erase(std::unique(holders.begin(), holders.end()), holders.end());
+
+    std::uint64_t quota = spec_.sectors_per_epoch;
+    if (spec_.budget != 0) {
+      quota = std::min(quota, spec_.budget - std::min(spent_, spec_.budget));
+    }
+    for (std::size_t i = 0; i < holders.size() && quota > 0; ++i, --quota) {
+      view.corrupt_sector(holders[i]);
+      ++spent_;
+    }
+  }
+
+  void on_run_end(AdversaryView& view) override {
+    const bool alive =
+        target_ != core::kNoFile && view.net().file_exists(target_);
+    // A target that died during the run's final proof cycle was never
+    // observed dead by on_epoch; backfill the loss epoch so target_alive
+    // and target_lost_epoch stay consistent.
+    if (target_ != core::kNoFile && !alive && !lost_) {
+      lost_ = true;
+      view.set_extra("target_lost_epoch", static_cast<double>(view.epoch()));
+    }
+    view.set_extra("target_alive", alive ? 1.0 : 0.0);
+  }
+
+ private:
+  AdversarySpec spec_;
+  core::FileId target_ = core::kNoFile;
+  bool lost_ = false;
+  std::uint64_t spent_ = 0;
+};
+
+// ---- colluding_pool --------------------------------------------------------
+
+/// Theorem 4 stressor: a fraction of the fleet corrupts itself across a
+/// coordinated window of epochs (the §V-B3 catastrophe, spread in time so
+/// detection and compensation interleave with further losses).
+class ColludingPool final : public AdversaryStrategy {
+ public:
+  explicit ColludingPool(AdversarySpec spec) : spec_(std::move(spec)) {}
+
+  void on_epoch(AdversaryView& view) override {
+    if (view.epoch() < spec_.start_epoch) return;
+    if (!recruited_) {
+      recruited_ = true;
+      // The fraction is of the *live* fleet at recruitment time, not of
+      // every sector ever registered — earlier attrition must not inflate
+      // the coalition's effective share.
+      std::vector<SectorId> pool = normal_sector_ids(view.net());
+      const std::size_t quota = fraction_of(pool.size(), spec_.fraction);
+      members_ = sample_sectors(std::move(pool), quota, view.rng());
+      view.set_extra("pool_size", static_cast<double>(members_.size()));
+      // Spread the pool evenly over the window, remainder up front.
+      per_epoch_ = (members_.size() + spec_.window - 1) / spec_.window;
+    }
+    for (std::uint64_t n = 0; n < per_epoch_ && next_ < members_.size();
+         ++n, ++next_) {
+      view.corrupt_sector(members_[next_]);
+    }
+  }
+
+ private:
+  AdversarySpec spec_;
+  bool recruited_ = false;
+  std::vector<SectorId> members_;
+  std::size_t per_epoch_ = 0;
+  std::size_t next_ = 0;
+};
+
+// ---- proof_withholder ------------------------------------------------------
+
+/// Rational challenge skipping (generalizes the §VI-E selfish logic from
+/// retrieval to proofs): a member withholds its WindowPoSt whenever the
+/// expected late-proof penalty — replicas held × punish_bp of its
+/// remaining deposit — is below the per-epoch proving cost it saves, and
+/// resumes before a withheld streak could breach ProofDeadline.
+class ProofWithholder final : public AdversaryStrategy {
+ public:
+  explicit ProofWithholder(AdversarySpec spec) : spec_(std::move(spec)) {}
+
+  void on_epoch(AdversaryView& view) override {
+    if (view.epoch() < spec_.start_epoch) return;
+    const core::Params& p = view.net().params();
+    if (!recruited_) {
+      recruited_ = true;
+      std::vector<SectorId> pool = normal_sector_ids(view.net());
+      const std::size_t quota = fraction_of(pool.size(), spec_.fraction);
+      members_ = sample_sectors(std::move(pool), quota, view.rng());
+      streaks_.assign(members_.size(), 0);
+      view.set_extra("members", static_cast<double>(members_.size()));
+      // Longest withheld streak that cannot breach ProofDeadline: the
+      // stamp age at the k-th skipped check is k * proof_cycle, and the
+      // breach test is `age > proof_deadline`.
+      max_streak_ = spec_.max_withhold_streak != 0
+                        ? spec_.max_withhold_streak
+                        : p.proof_deadline / p.proof_cycle;
+      if (max_streak_ == 0) max_streak_ = 1;
+    }
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      const SectorId s = members_[m];
+      if (view.net().sectors().at(s).state != SectorState::normal) continue;
+      const TokenAmount per_replica =
+          view.net().deposits().remaining(s) * p.punish_bp / 10'000;
+      const TokenAmount expected_penalty =
+          static_cast<TokenAmount>(
+              view.net().allocations().count_with_prev(s)) *
+          per_replica;
+      if (streaks_[m] < max_streak_ && expected_penalty < spec_.saved_per_cycle) {
+        view.withhold_proofs(s);
+        ++streaks_[m];
+      } else {
+        view.resume_proofs(s);
+        streaks_[m] = 0;
+      }
+    }
+  }
+
+ private:
+  AdversarySpec spec_;
+  bool recruited_ = false;
+  std::vector<SectorId> members_;
+  std::vector<std::uint64_t> streaks_;
+  std::uint64_t max_streak_ = 1;
+};
+
+// ---- churn_griefer ---------------------------------------------------------
+
+/// Registers a private fleet, then every `period` epochs disables all of
+/// it and registers replacements — each exit forces its replicas to drain
+/// out via refresh, each join re-triggers §VI-B admission rebalancing, and
+/// the pending list absorbs the churn.
+class ChurnGriefer final : public AdversaryStrategy {
+ public:
+  explicit ChurnGriefer(AdversarySpec spec) : spec_(std::move(spec)) {}
+
+  void on_epoch(AdversaryView& view) override {
+    if (view.epoch() < spec_.start_epoch) return;
+    if (view.epoch() == spec_.start_epoch) {
+      view.join_sectors(spec_.sectors);
+      return;
+    }
+    if ((view.epoch() - spec_.start_epoch) % spec_.period != 0) return;
+    std::uint64_t exited = 0;
+    for (const SectorId s : view.owned_sectors()) {
+      if (view.net().sectors().at(s).state == SectorState::normal) {
+        view.exit_sector(s);
+        ++exited;
+      }
+    }
+    if (exited > 0) view.join_sectors(exited);
+  }
+
+ private:
+  AdversarySpec spec_;
+};
+
+// ---- adaptive_threshold ----------------------------------------------------
+
+/// Escalation under a penalty budget: corrupts `rate` random sectors per
+/// epoch, doubling the rate every `escalate_every` active epochs, and goes
+/// permanently dormant once the penalties attributed to it (confiscated
+/// deposits plus punishments) reach `penalty_budget` — the attacker the
+/// deposit scheme is designed to price out.
+class AdaptiveThreshold final : public AdversaryStrategy {
+ public:
+  explicit AdaptiveThreshold(AdversarySpec spec)
+      : spec_(std::move(spec)), rate_(spec_.rate) {}
+
+  void on_epoch(AdversaryView& view) override {
+    if (view.epoch() < spec_.start_epoch || dormant_) return;
+    const TokenAmount penalties = view.counters().deposits_confiscated +
+                                  view.counters().penalties_paid;
+    if (penalties >= spec_.penalty_budget) {
+      dormant_ = true;
+      view.set_extra("dormant_epoch", static_cast<double>(view.epoch()));
+      return;
+    }
+    ++active_epochs_;
+    if (active_epochs_ > 1 && (active_epochs_ - 1) % spec_.escalate_every == 0 &&
+        rate_ < (1ull << 32)) {
+      rate_ *= 2;
+    }
+    view.set_extra("final_rate", static_cast<double>(rate_));
+    for (const SectorId s : sample_sectors(normal_sector_ids(view.net()),
+                                           static_cast<std::size_t>(rate_),
+                                           view.rng())) {
+      view.corrupt_sector(s);
+    }
+  }
+
+  void on_run_end(AdversaryView& view) override {
+    view.set_extra("went_dormant", dormant_ ? 1.0 : 0.0);
+  }
+
+ private:
+  AdversarySpec spec_;
+  std::uint64_t rate_;
+  std::uint64_t active_epochs_ = 0;
+  bool dormant_ = false;
+};
+
+// ---- refresh_saboteur ------------------------------------------------------
+
+/// A fraction of the fleet refuses inbound replica transfers for
+/// `duration` epochs: refresh handoffs (and uploads) targeting members
+/// miss their deadlines, exercising the Fig. 9 failure path — punish,
+/// re-draw, retry — and delaying placement refresh network-wide.
+class RefreshSaboteur final : public AdversaryStrategy {
+ public:
+  explicit RefreshSaboteur(AdversarySpec spec) : spec_(std::move(spec)) {}
+
+  void on_epoch(AdversaryView& view) override {
+    if (view.epoch() < spec_.start_epoch) return;
+    if (!recruited_) {
+      recruited_ = true;
+      std::vector<SectorId> pool = normal_sector_ids(view.net());
+      const std::size_t quota = fraction_of(pool.size(), spec_.fraction);
+      members_ = sample_sectors(std::move(pool), quota, view.rng());
+      view.set_extra("members", static_cast<double>(members_.size()));
+      for (const SectorId s : members_) view.refuse_transfers(s, true);
+      return;
+    }
+    if (!stopped_ && spec_.duration != 0 &&
+        view.epoch() >= spec_.start_epoch + spec_.duration) {
+      stopped_ = true;
+      for (const SectorId s : members_) view.refuse_transfers(s, false);
+    }
+  }
+
+ private:
+  AdversarySpec spec_;
+  bool recruited_ = false;
+  bool stopped_ = false;
+  std::vector<SectorId> members_;
+};
+
+}  // namespace
+
+std::unique_ptr<AdversaryStrategy> make_strategy(const AdversarySpec& spec) {
+  switch (spec.kind) {
+    case StrategyKind::targeted_file:
+      return std::make_unique<TargetedFile>(spec);
+    case StrategyKind::colluding_pool:
+      return std::make_unique<ColludingPool>(spec);
+    case StrategyKind::proof_withholder:
+      return std::make_unique<ProofWithholder>(spec);
+    case StrategyKind::churn_griefer:
+      return std::make_unique<ChurnGriefer>(spec);
+    case StrategyKind::adaptive_threshold:
+      return std::make_unique<AdaptiveThreshold>(spec);
+    case StrategyKind::refresh_saboteur:
+      return std::make_unique<RefreshSaboteur>(spec);
+  }
+  FI_CHECK_MSG(false, "unhandled adversary strategy kind");
+  return nullptr;
+}
+
+}  // namespace fi::adversary

@@ -199,16 +199,20 @@ class Network {
   /// Physically corrupts a sector: with auto-prove off, its provider agent
   /// is expected to stop proving; with auto-prove on, the engine stops
   /// auto-proving for it and Auto_CheckProof confiscates it at the
-  /// ProofDeadline — the full detection pipeline.
+  /// ProofDeadline — the full detection pipeline. Also doubles as "proof
+  /// withholding" for adversary studies (`adversary::WithholdProofs`): the
+  /// data may be intact, the chain only sees missing proofs.
   void corrupt_sector_physical(SectorId sector);
 
   /// Immediately runs the chain-side corruption path (confiscation +
-  /// marking) without waiting for the proof deadline. Used by adversary
-  /// benchmarks where detection latency is not under study.
+  /// marking) without waiting for the proof deadline. Used by the scenario
+  /// layer's `corrupt_burst` phase and the `src/adversary` corruption
+  /// strategies, where detection latency is not under study.
   void corrupt_sector_now(SectorId sector);
 
   /// Reverses `corrupt_sector_physical` *before* the chain confiscates:
-  /// models a transient outage (disk back online, data intact). A no-op if
+  /// models a transient outage (disk back online, data intact) or a
+  /// withholder resuming proofs (`adversary::ResumeProofs`). A no-op if
   /// the sector was already chain-corrupted.
   void restore_sector_physical(SectorId sector);
 
@@ -347,10 +351,21 @@ class Network {
 
   /// Executes one popped task batch, carving maximal same-kind runs of
   /// check_proof / check_refresh tasks into sharded sweeps when a pool is
-  /// configured; everything else runs serially in place.
+  /// configured; everything else runs serially in place. Runs shorter than
+  /// the dispatch-cost threshold stay serial even with a pool.
   void run_batch(const std::vector<std::pair<Time, Task>>& due);
+  /// Sweep entry point for a run of check_proof tasks `[begin, end)` in
+  /// `due`: parallel scan into `proof_scans_`, then either the serial
+  /// in-order merge (`apply_check_proof` per file) or — when any scan saw
+  /// a ProofDeadline breach — a whole-run serial replay through
+  /// `check_proof_hazard`, since confiscation invalidates scans of other
+  /// files in the same run.
   void run_check_proof_sweep(const std::vector<std::pair<Time, Task>>& due,
                              std::size_t begin, std::size_t end);
+  /// Sweep entry point for a run of check_refresh tasks `[begin, end)`:
+  /// parallel scan into `refresh_scans_`, then the serial in-order merge.
+  /// No hazard fallback is needed — neither Fig. 9 branch mutates state
+  /// another refresh task's classification reads.
   void run_check_refresh_sweep(const std::vector<std::pair<Time, Task>>& due,
                                std::size_t begin, std::size_t end);
   /// Concurrent-safe classification of one file's replicas against the

@@ -190,6 +190,36 @@ std::string MetricsReport::to_json(bool include_timings) const {
   }
   json.end_array();
 
+  if (!adversaries.empty()) {
+    json.begin_array("adversaries");
+    for (const AdversaryMetrics& adv : adversaries) {
+      json.begin_object();
+      json.field("label", adv.label);
+      json.field("strategy", adv.strategy);
+      json.object("counters");
+      json.field("replicas_attacked", adv.counters.replicas_attacked);
+      json.field("sectors_corrupted", adv.counters.sectors_corrupted);
+      json.field("proofs_withheld", adv.counters.proofs_withheld);
+      json.field("transfers_refused", adv.counters.transfers_refused);
+      json.field("sectors_exited", adv.counters.sectors_exited);
+      json.field("sectors_joined", adv.counters.sectors_joined);
+      json.field("files_lost", adv.counters.files_lost);
+      json.field("deposits_confiscated", adv.counters.deposits_confiscated);
+      json.field("penalties_paid", adv.counters.penalties_paid);
+      json.field("compensation_paid", adv.counters.compensation_paid);
+      json.end_object();
+      if (!adv.counters.extras.empty()) {
+        json.object("extras");
+        for (const auto& [name, value] : adv.counters.extras) {
+          json.field(name, value);
+        }
+        json.end_object();
+      }
+      json.end_object();
+    }
+    json.end_array();
+  }
+
   json.object("totals");
   write_counters(json, totals, rent_charged, rent_paid);
   json.field("rent_pool", rent_pool);

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "adversary/strategy.h"
 #include "core/network.h"
 #include "util/types.h"
 
@@ -42,6 +43,15 @@ struct PhaseMetrics {
 [[nodiscard]] double extra_or(const PhaseMetrics& phase,
                               std::string_view name, double fallback = 0.0);
 
+/// Outcome of one configured adversary strategy over the whole run: the
+/// runner's action-side counts plus the economic fallout attributed to the
+/// sectors the strategy touched (see `adversary::AdversaryCounters`).
+struct AdversaryMetrics {
+  std::string label;
+  std::string strategy;
+  adversary::AdversaryCounters counters;
+};
+
 /// The complete machine-readable outcome of `ScenarioRunner::run()`.
 struct MetricsReport {
   std::string scenario;
@@ -50,6 +60,11 @@ struct MetricsReport {
   std::uint64_t initial_files = 0;
 
   std::vector<PhaseMetrics> phases;
+
+  /// One entry per configured adversary, in spec order (absent from the
+  /// JSON when the scenario has none, so attack-free reports are
+  /// unchanged).
+  std::vector<AdversaryMetrics> adversaries;
 
   /// Cumulative engine counters at the end of the run.
   core::NetworkStats totals;

@@ -79,15 +79,24 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
   const ByteCount capacity =
       util::checked_mul(spec_.sector_units, p.min_capacity);
 
-  // Fund the provider for every deposit it will ever pledge (setup fleet
-  // plus admit phases) and the client for every add plus the whole run's
-  // rent and gas; over-funding is harmless (scenarios study the protocol,
-  // not bankruptcy — a lapsed client would silently turn churn into
+  // Fund the provider for every deposit it will ever pledge (setup fleet,
+  // admit phases, and every fleet a churn-griefing adversary could
+  // register) and the client for every add plus the whole run's rent and
+  // gas; over-funding is harmless (scenarios study the protocol, not
+  // bankruptcy — a lapsed client would silently turn churn into
   // discard-for-unpaid-rent noise).
   std::uint64_t total_sectors = spec_.sectors;
   for (const PhaseSpec& phase : spec_.phases) {
     if (phase.kind == PhaseKind::admit) {
       total_sectors = util::checked_add(total_sectors, phase.add_sectors);
+    }
+  }
+  for (const adversary::AdversarySpec& adv : spec_.adversaries) {
+    if (adv.kind == adversary::StrategyKind::churn_griefer) {
+      // The initial join plus at most one replacement fleet per period.
+      const std::uint64_t rounds = planned_cycles(spec_) / adv.period + 2;
+      total_sectors = util::checked_add(
+          total_sectors, util::checked_mul(adv.sectors, rounds));
     }
   }
   const TokenAmount per_sector =
@@ -109,6 +118,16 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
       util::checked_mul(util::checked_add(adds, 1), per_file),
       1'000'000'000ull));
 
+  for (std::size_t i = 0; i < spec_.adversaries.size(); ++i) {
+    ActiveAdversary adv{spec_.adversaries[i],
+                        adversary::make_strategy(spec_.adversaries[i]),
+                        util::Xoshiro256(spec_.seed ^ kAdversarySeedSalt ^
+                                         (0x9e3779b97f4a7c15ULL * (i + 1))),
+                        {},
+                        {}};
+    adversaries_.push_back(std::move(adv));
+  }
+
   net_ = std::make_unique<core::Network>(p, ledger_, spec_.seed);
   net_->set_auto_prove(true);
   // Purely a throughput knob: the sweep merge is deterministic, so the
@@ -119,11 +138,47 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
             std::get_if<core::ReplicaTransferRequested>(&event)) {
       transfer_queue_.push_back(*transfer);
     } else if (const auto* lost = std::get_if<core::FileLost>(&event)) {
+      // Attribute the loss (and its compensation) to the lowest-index
+      // strategy that claimed one of the file's resident sectors. Entries
+      // still exist at FileLost emission (removal follows it), and event
+      // listeners may read — never mutate — mid-transaction state.
+      std::size_t best = adversaries_.size();
+      const std::uint32_t cp = net_->allocations().replica_count(lost->file);
+      for (core::ReplicaIndex r = 0; r < cp; ++r) {
+        const core::SectorId holder =
+            net_->allocations().entry(lost->file, r).prev;
+        const auto claim = sector_claims_.find(holder);
+        if (claim != sector_claims_.end()) {
+          best = std::min(best, claim->second);
+        }
+      }
+      if (best < adversaries_.size()) {
+        adversary::AdversaryCounters& c = adversaries_[best].counters;
+        ++c.files_lost;
+        c.compensation_paid =
+            util::checked_add(c.compensation_paid, lost->compensated_now);
+      }
       forget_file(lost->file);
     } else if (const auto* gone = std::get_if<core::FileDiscarded>(&event)) {
       forget_file(gone->file);
     } else if (const auto* failed = std::get_if<core::UploadFailed>(&event)) {
       forget_file(failed->file);
+    } else if (const auto* corrupted =
+                   std::get_if<core::SectorCorrupted>(&event)) {
+      const auto claim = sector_claims_.find(corrupted->sector);
+      if (claim != sector_claims_.end()) {
+        adversary::AdversaryCounters& c = adversaries_[claim->second].counters;
+        c.deposits_confiscated =
+            util::checked_add(c.deposits_confiscated, corrupted->confiscated);
+      }
+    } else if (const auto* punished =
+                   std::get_if<core::ProviderPunished>(&event)) {
+      const auto claim = sector_claims_.find(punished->sector);
+      if (claim != sector_claims_.end()) {
+        adversary::AdversaryCounters& c = adversaries_[claim->second].counters;
+        c.penalties_paid =
+            util::checked_add(c.penalties_paid, punished->amount);
+      }
     }
   });
 
@@ -153,6 +208,16 @@ void ScenarioRunner::drain_transfers() {
   batch.swap(transfer_queue_);
   for (const core::ReplicaTransferRequested& req : batch) {
     if (!net_->sectors().exists(req.to)) continue;
+    if (!refused_sectors_.empty() && refused_sectors_.contains(req.to)) {
+      // A refresh-sabotaging adversary holds the receiving sector: the
+      // transfer is never confirmed, so Auto_CheckRefresh (or
+      // Auto_CheckAlloc, for uploads) sees it miss the deadline.
+      const auto claim = sector_claims_.find(req.to);
+      if (claim != sector_claims_.end()) {
+        ++adversaries_[claim->second].counters.transfers_refused;
+      }
+      continue;
+    }
     // Rejections are expected (the file may have been lost or discarded
     // between request and confirmation) and are visible in the punishment
     // and refresh-failure counters, so they are not tracked separately.
@@ -177,8 +242,96 @@ void ScenarioRunner::advance_confirming(Time horizon) {
 }
 
 void ScenarioRunner::advance_cycles(std::uint64_t cycles) {
-  advance_confirming(net_->now() +
-                     util::checked_mul(cycles, spec_.params.proof_cycle));
+  // Cycle-by-cycle so adversaries get their per-epoch turn at the top of
+  // every proof cycle. Without adversaries the stepping is externally
+  // identical to one long advance (the same task batches execute at the
+  // same timestamps; intermediate horizons only move the idle clock).
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    if (!adversaries_.empty()) run_adversaries();
+    advance_confirming(net_->now() + spec_.params.proof_cycle);
+    ++epoch_;
+  }
+}
+
+void ScenarioRunner::run_adversaries() {
+  for (std::size_t i = 0; i < adversaries_.size(); ++i) {
+    ActiveAdversary& adv = adversaries_[i];
+    adversary::AdversaryView view(*net_, epoch_, adv.rng, live_files_,
+                                  adv.claimed, adv.counters);
+    adv.strategy->on_epoch(view);
+    apply_adversary_actions(i, view.actions());
+  }
+}
+
+void ScenarioRunner::claim_sector(std::size_t index, core::SectorId sector) {
+  const auto [it, inserted] = sector_claims_.emplace(sector, index);
+  if (inserted) adversaries_[index].claimed.push_back(sector);
+}
+
+void ScenarioRunner::apply_adversary_actions(
+    std::size_t index, std::span<const adversary::AdversaryAction> actions) {
+  ActiveAdversary& adv = adversaries_[index];
+  const ByteCount capacity =
+      util::checked_mul(spec_.sector_units, spec_.params.min_capacity);
+  for (const adversary::AdversaryAction& action : actions) {
+    if (const auto* corrupt = std::get_if<adversary::CorruptSector>(&action)) {
+      const core::SectorId s = corrupt->sector;
+      if (!net_->sectors().exists(s)) continue;
+      const core::SectorState state = net_->sectors().at(s).state;
+      if (state != core::SectorState::normal &&
+          state != core::SectorState::disabled) {
+        continue;  // already dead — nothing to attack
+      }
+      // Claim before corrupting so the synchronous SectorCorrupted (and
+      // any cascading) events attribute to this strategy.
+      claim_sector(index, s);
+      adv.counters.replicas_attacked +=
+          net_->allocations().count_with_prev(s);
+      ++adv.counters.sectors_corrupted;
+      net_->corrupt_sector_now(s);
+    } else if (const auto* withhold =
+                   std::get_if<adversary::WithholdProofs>(&action)) {
+      const core::SectorId s = withhold->sector;
+      if (!net_->sectors().exists(s)) continue;
+      const core::SectorState state = net_->sectors().at(s).state;
+      if (state != core::SectorState::normal &&
+          state != core::SectorState::disabled) {
+        continue;
+      }
+      claim_sector(index, s);
+      ++adv.counters.proofs_withheld;  // one per sector-epoch emitted
+      net_->corrupt_sector_physical(s);
+    } else if (const auto* resume =
+                   std::get_if<adversary::ResumeProofs>(&action)) {
+      if (net_->sectors().exists(resume->sector)) {
+        net_->restore_sector_physical(resume->sector);
+      }
+    } else if (const auto* refusal =
+                   std::get_if<adversary::RefuseTransfers>(&action)) {
+      const core::SectorId s = refusal->sector;
+      if (!net_->sectors().exists(s)) continue;
+      claim_sector(index, s);
+      if (refusal->refuse) {
+        refused_sectors_.insert(s);
+      } else {
+        refused_sectors_.erase(s);
+      }
+    } else if (const auto* exit = std::get_if<adversary::ExitSector>(&action)) {
+      const core::SectorId s = exit->sector;
+      if (!net_->sectors().exists(s)) continue;
+      if (net_->sector_disable(provider_, s).is_ok()) {
+        claim_sector(index, s);
+        ++adv.counters.sectors_exited;
+      }
+    } else if (const auto* join = std::get_if<adversary::JoinSectors>(&action)) {
+      for (std::uint64_t n = 0; n < join->count; ++n) {
+        const auto id = net_->sector_register(provider_, capacity);
+        if (!id.is_ok()) break;  // funding is sized for this never to trip
+        claim_sector(index, id.value());
+        ++adv.counters.sectors_joined;
+      }
+    }
+  }
 }
 
 bool ScenarioRunner::add_file() {
@@ -248,6 +401,20 @@ MetricsReport ScenarioRunner::run() {
     metrics.rent_charged = net_->total_rent_charged() - charged0;
     metrics.rent_paid = net_->total_rent_paid() - paid0;
     report.phases.push_back(std::move(metrics));
+  }
+
+  for (std::size_t i = 0; i < adversaries_.size(); ++i) {
+    ActiveAdversary& adv = adversaries_[i];
+    // Final-extras hook; any actions emitted here are discarded (the run
+    // is over).
+    adversary::AdversaryView view(*net_, epoch_, adv.rng, live_files_,
+                                  adv.claimed, adv.counters);
+    adv.strategy->on_run_end(view);
+    AdversaryMetrics outcome;
+    outcome.label = adv.spec.display_label();
+    outcome.strategy = adversary::strategy_kind_name(adv.spec.kind);
+    outcome.counters = adv.counters;
+    report.adversaries.push_back(std::move(outcome));
   }
 
   report.totals = net_->stats();
@@ -320,22 +487,13 @@ void ScenarioRunner::phase_churn(const PhaseSpec& phase,
 
 void ScenarioRunner::phase_corrupt_burst(const PhaseSpec& phase,
                                          PhaseMetrics& metrics) {
-  std::vector<core::SectorId> normal;
-  for (core::SectorId id = 0; id < net_->sectors().count(); ++id) {
-    if (net_->sectors().at(id).state == core::SectorState::normal) {
-      normal.push_back(id);
-    }
-  }
-  const auto hits = static_cast<std::size_t>(std::llround(
-      phase.corrupt_fraction * static_cast<double>(normal.size())));
-  // Partial Fisher–Yates: the first `hits` entries become a uniform draw
-  // without replacement.
-  for (std::size_t i = 0; i < hits && i + 1 < normal.size(); ++i) {
-    std::swap(normal[i],
-              normal[i + static_cast<std::size_t>(workload_rng_.uniform_below(
-                             normal.size() - i))]);
-  }
-  for (std::size_t i = 0; i < hits && i < normal.size(); ++i) {
+  std::vector<core::SectorId> normal = adversary::normal_sector_ids(*net_);
+  const auto hits = util::shuffle_prefix(
+      normal,
+      static_cast<std::size_t>(std::llround(
+          phase.corrupt_fraction * static_cast<double>(normal.size()))),
+      workload_rng_);
+  for (std::size_t i = 0; i < hits; ++i) {
     net_->corrupt_sector_now(normal[i]);
   }
   advance_cycles(phase.cycles);
@@ -390,12 +548,10 @@ void ScenarioRunner::phase_selfish_refresh(const PhaseSpec& phase,
 
 void ScenarioRunner::phase_rent_audit(const PhaseSpec& phase,
                                       PhaseMetrics& metrics) {
-  advance_confirming(
-      net_->now() +
-      util::checked_mul(
-          phase.periods,
-          util::checked_mul(spec_.params.rent_period_cycles,
-                            spec_.params.proof_cycle)));
+  // Cycle-granular (same horizon as one long advance) so adversaries keep
+  // acting through the audited periods.
+  advance_cycles(
+      util::checked_mul(phase.periods, spec_.params.rent_period_cycles));
   const TokenAmount settled = net_->settle_all_rent();
   const TokenAmount pool = ledger_.balance(net_->rent_pool_account());
   const bool conserved =

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "adversary/strategy.h"
 #include "core/network.h"
 #include "ledger/account.h"
 #include "scenario/metrics.h"
@@ -23,15 +25,31 @@
 /// into a punish/retry storm, which is a workload you would express as an
 /// adversary knob, not an accident of the harness.
 ///
+/// Adversaries (`spec.adversaries`) are the declarative departure from
+/// that honesty: before each proof cycle the runner hands every configured
+/// `AdversaryStrategy` a read-only view of the network and applies the
+/// actions it emits — corruption, proof withholding, transfer refusal,
+/// exit/re-join — then attributes the resulting confiscations,
+/// punishments, losses and compensation back to the first strategy that
+/// touched each sector (`MetricsReport::adversaries`).
+///
 /// Determinism: a run is a pure function of the spec. The engine streams
 /// from `spec.seed`; the workload generator (file sizes, arrival counts,
 /// discard picks, corruption targets) streams from `spec.seed ^
-/// kWorkloadSeedSalt` so workload draws never perturb protocol draws.
+/// kWorkloadSeedSalt` so workload draws never perturb protocol draws; and
+/// each adversary strategy streams from its own
+/// `spec.seed ^ kAdversarySeedSalt`-derived stream, so attack schedules
+/// perturb neither of the above — reports stay byte-identical across
+/// `engine.workers` too.
 namespace fi::scenario {
 
 /// Salt folded into `spec.seed` for the workload generator stream (kept
 /// public so tests can mirror the runner's draws call for call).
 inline constexpr std::uint64_t kWorkloadSeedSalt = 0x5363656e6172696fULL;
+
+/// Salt folded into `spec.seed` (together with the adversary's index) for
+/// each strategy's private RNG stream.
+inline constexpr std::uint64_t kAdversarySeedSalt = 0x4164766572736172ULL;
 
 class ScenarioRunner {
  public:
@@ -56,15 +74,41 @@ class ScenarioRunner {
   [[nodiscard]] std::uint64_t initial_files_stored() const {
     return initial_files_stored_;
   }
+  /// Proof cycles advanced since setup (the epoch counter adversaries
+  /// observe).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
  private:
+  /// One configured adversary: its spec-built strategy, private RNG
+  /// stream, outcome counters, and the sectors attributed to it.
+  struct ActiveAdversary {
+    adversary::AdversarySpec spec;
+    std::unique_ptr<adversary::AdversaryStrategy> strategy;
+    util::Xoshiro256 rng;
+    adversary::AdversaryCounters counters;
+    std::vector<core::SectorId> claimed;
+  };
+
   // ---- Epoch loop ---------------------------------------------------------
-  /// Confirms every queued replica-transfer request (upload or refresh).
+  /// Confirms every queued replica-transfer request (upload or refresh),
+  /// except those targeting sectors in an adversary's refusal set.
   void drain_transfers();
   /// Advances to `horizon` one task batch at a time, draining transfer
   /// requests between batches.
   void advance_confirming(Time horizon);
+  /// Advances whole proof cycles, consulting every adversary before each
+  /// one and bumping the epoch counter after it.
   void advance_cycles(std::uint64_t cycles);
+
+  // ---- Adversary plumbing -------------------------------------------------
+  /// Gives every strategy its per-epoch turn (spec order) and applies the
+  /// emitted actions.
+  void run_adversaries();
+  void apply_adversary_actions(std::size_t index,
+                               std::span<const adversary::AdversaryAction> actions);
+  /// First-claimant sector attribution (corruptions, punishments and
+  /// losses on a claimed sector are credited to the claiming strategy).
+  void claim_sector(std::size_t index, core::SectorId sector);
 
   // ---- Workload primitives ------------------------------------------------
   /// Adds one file (size uniform in the spec's range) and queues its
@@ -98,6 +142,15 @@ class ScenarioRunner {
   /// engine events; O(1) uniform sampling for churn discards.
   std::vector<core::FileId> live_files_;
   std::unordered_map<core::FileId, std::size_t> live_positions_;
+
+  /// Configured adversaries, in spec order.
+  std::vector<ActiveAdversary> adversaries_;
+  /// sector -> index of the strategy that touched it first (attribution;
+  /// lookups only, never iterated — determinism).
+  std::unordered_map<core::SectorId, std::size_t> sector_claims_;
+  /// Sectors currently refusing inbound transfers (lookups only).
+  std::unordered_set<core::SectorId> refused_sectors_;
+  std::uint64_t epoch_ = 0;
 
   std::uint64_t initial_files_stored_ = 0;
   std::uint64_t add_rejections_ = 0;

@@ -223,6 +223,13 @@ util::Result<ScenarioSpec> ScenarioSpec::from_config(
     spec.phases.push_back(std::move(phase).value());
   }
 
+  for (std::size_t i = 0;
+       config.contains("adversary." + std::to_string(i) + ".strategy"); ++i) {
+    auto adv = adversary::AdversarySpec::from_config(config, i);
+    if (!adv.is_ok()) return adv.status();
+    spec.adversaries.push_back(std::move(adv).value());
+  }
+
   const std::vector<std::string> unknown = config.unconsumed_keys();
   if (!unknown.empty()) {
     std::string joined;
@@ -353,6 +360,13 @@ util::Status ScenarioSpec::validate() const {
                        where + ".add_sectors must be positive");
     }
   }
+  for (std::size_t i = 0; i < adversaries.size(); ++i) {
+    if (util::Status s =
+            adversaries[i].validate("adversary." + std::to_string(i));
+        !s.is_ok()) {
+      return s;
+    }
+  }
   return util::Status::ok();
 }
 
@@ -434,6 +448,11 @@ std::string ScenarioSpec::to_config_string() const {
         break;
     }
   }
+  std::string adversary_blocks;
+  for (std::size_t i = 0; i < adversaries.size(); ++i) {
+    adversaries[i].serialize(adversary_blocks, i);
+  }
+  out << adversary_blocks;
   return out.str();
 }
 

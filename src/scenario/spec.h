@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "adversary/spec.h"
 #include "core/params.h"
 #include "util/config.h"
 #include "util/status.h"
@@ -178,9 +179,16 @@ struct ScenarioSpec {
 
   std::vector<PhaseSpec> phases;
 
+  /// Adversaries active across the whole run (`adversary.<i>.*` config
+  /// blocks): each is consulted once per proof cycle on its own
+  /// deterministic RNG stream and its outcome counters land in the report
+  /// (see `adversary/strategy.h`).
+  std::vector<adversary::AdversarySpec> adversaries;
+
   /// Parses a spec from a config, consuming every key it understands and
   /// rejecting configs with unknown keys (typo defense). Phases are the
-  /// dotted groups `phase.<i>.*` for i = 0, 1, ... with no gaps.
+  /// dotted groups `phase.<i>.*` for i = 0, 1, ... with no gaps, and
+  /// adversaries likewise the groups `adversary.<i>.*`.
   static util::Result<ScenarioSpec> from_config(const util::Config& config);
   /// `Config::load` + `from_config`.
   static util::Result<ScenarioSpec> from_file(const std::string& path);

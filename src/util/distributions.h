@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/prng.h"
 
@@ -35,6 +37,22 @@ std::uint64_t sample_poisson(Xoshiro256& rng, double mean);
 
 /// Zipf over {1..n} with exponent `s` (rank-frequency workload skew).
 std::uint64_t sample_zipf(Xoshiro256& rng, std::uint64_t n, double s);
+
+/// Partial Fisher–Yates: shuffles a uniform sample without replacement of
+/// `min(count, pool.size())` elements into `pool`'s prefix and returns the
+/// sample size. One RNG draw per sampled slot (including the last even
+/// when it is forced), so the stream advances a predictable amount.
+template <typename T>
+std::size_t shuffle_prefix(std::vector<T>& pool, std::size_t count,
+                           Xoshiro256& rng) {
+  count = count < pool.size() ? count : pool.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  return count;
+}
 
 /// The five file-backup-size distributions of Table III.
 enum class SizeDistribution {

@@ -1,0 +1,285 @@
+// Adversary engine: adversary.<i>.* spec parsing/rejection/round-trips,
+// per-strategy same-seed determinism and worker-count invariance of the
+// serialized reports, and per-strategy outcome counters / attribution.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "adversary/spec.h"
+#include "adversary/strategy.h"
+#include "scenario/metrics.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "util/config.h"
+
+namespace {
+
+using fi::adversary::AdversarySpec;
+using fi::adversary::StrategyKind;
+using fi::scenario::AdversaryMetrics;
+using fi::scenario::MetricsReport;
+using fi::scenario::PhaseSpec;
+using fi::scenario::ScenarioRunner;
+using fi::scenario::ScenarioSpec;
+using fi::util::Config;
+
+// ---- Spec parsing ----------------------------------------------------------
+
+TEST(AdversarySpecTest, StrategyNamesRoundTrip) {
+  for (const StrategyKind kind :
+       {StrategyKind::targeted_file, StrategyKind::colluding_pool,
+        StrategyKind::proof_withholder, StrategyKind::churn_griefer,
+        StrategyKind::adaptive_threshold, StrategyKind::refresh_saboteur}) {
+    const auto parsed =
+        fi::adversary::strategy_kind_from_name(strategy_kind_name(kind));
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(fi::adversary::strategy_kind_from_name("meteor").is_ok());
+}
+
+ScenarioSpec adversary_base_spec() {
+  ScenarioSpec spec;
+  spec.name = "adv";
+  spec.seed = 71;
+  spec.sectors = 60;
+  spec.sector_units = 4;
+  spec.initial_files = 300;
+  spec.file_size_min = 1024;
+  spec.file_size_max = 1024;
+  spec.file_value = 10;
+  spec.params.min_value = 10;
+  spec.params.k = 3;
+  spec.params.cap_para = 200.0;
+  spec.params.gamma_deposit = 0.05;
+  spec.params.avg_refresh = 5.0;
+  spec.phases.push_back(PhaseSpec::make_idle(6));
+  spec.phases.push_back(PhaseSpec::make_rent_audit(1));
+  return spec;
+}
+
+TEST(AdversarySpecTest, ConfigRoundTripIsLosslessForEveryStrategy) {
+  ScenarioSpec spec = adversary_base_spec();
+  spec.adversaries.push_back(AdversarySpec::make_targeted_file(2, 40, 1));
+  spec.adversaries.push_back(AdversarySpec::make_colluding_pool(0.25, 3, 2));
+  spec.adversaries.push_back(
+      AdversarySpec::make_proof_withholder(0.125, 100, 1));
+  spec.adversaries.push_back(AdversarySpec::make_churn_griefer(5, 2, 1));
+  spec.adversaries.push_back(
+      AdversarySpec::make_adaptive_threshold(1000, 1, 2, 0));
+  spec.adversaries.push_back(AdversarySpec::make_refresh_saboteur(0.5, 4, 1));
+  spec.adversaries.back().label = "saboteur-A";
+
+  const std::string text = spec.to_config_string();
+  const auto config = Config::parse(text);
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  const auto reparsed = ScenarioSpec::from_config(config.value());
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed.value().to_config_string(), text);
+  ASSERT_EQ(reparsed.value().adversaries.size(), 6u);
+  EXPECT_EQ(reparsed.value().adversaries[0].kind, StrategyKind::targeted_file);
+  EXPECT_EQ(reparsed.value().adversaries[0].budget, 40u);
+  EXPECT_DOUBLE_EQ(reparsed.value().adversaries[1].fraction, 0.25);
+  EXPECT_EQ(reparsed.value().adversaries[2].saved_per_cycle, 100u);
+  EXPECT_EQ(reparsed.value().adversaries[3].period, 2u);
+  EXPECT_EQ(reparsed.value().adversaries[4].penalty_budget, 1000u);
+  EXPECT_EQ(reparsed.value().adversaries[5].label, "saboteur-A");
+}
+
+void expect_rejected(const std::string& text) {
+  const auto config = Config::parse(text);
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  EXPECT_FALSE(ScenarioSpec::from_config(config.value()).is_ok())
+      << "config unexpectedly accepted:\n"
+      << text;
+}
+
+TEST(AdversarySpecTest, RejectsMalformedBlocks) {
+  const std::string base = "sectors = 10\n";
+  // Unknown strategy.
+  expect_rejected(base + "adversary.0.strategy = meteor_strike\n");
+  // Knob the strategy does not take.
+  expect_rejected(base +
+                  "adversary.0.strategy = targeted_file\n"
+                  "adversary.0.fraction = 0.5\n");
+  expect_rejected(base +
+                  "adversary.0.strategy = colluding_pool\n"
+                  "adversary.0.fraction = 0.5\n"
+                  "adversary.0.budget = 3\n");
+  // Missing required knobs.
+  expect_rejected(base + "adversary.0.strategy = proof_withholder\n"
+                         "adversary.0.fraction = 0.5\n");  // no saved_per_cycle
+  expect_rejected(base + "adversary.0.strategy = churn_griefer\n");  // sectors
+  expect_rejected(base +
+                  "adversary.0.strategy = adaptive_threshold\n");  // budget
+  // Fractions out of range (including NaN, which passes naive checks).
+  expect_rejected(base +
+                  "adversary.0.strategy = refresh_saboteur\n"
+                  "adversary.0.fraction = 1.5\n");
+  expect_rejected(base +
+                  "adversary.0.strategy = refresh_saboteur\n"
+                  "adversary.0.fraction = nan\n");
+  expect_rejected(base +
+                  "adversary.0.strategy = colluding_pool\n"
+                  "adversary.0.fraction = 0\n");  // zero members: no-op spec
+  // Block indices must start at 0 with no gaps (the orphan block is
+  // caught by the unknown-key sweep).
+  expect_rejected(base + "adversary.1.strategy = targeted_file\n");
+  // Type errors inside a known key.
+  expect_rejected(base +
+                  "adversary.0.strategy = targeted_file\n"
+                  "adversary.0.sectors_per_epoch = many\n");
+}
+
+TEST(AdversarySpecTest, ValidateRejectsWrongKindKnobsOnInCodeSpecs) {
+  ScenarioSpec spec = adversary_base_spec();
+  spec.adversaries.push_back(AdversarySpec::make_targeted_file(2));
+  spec.adversaries.back().fraction = 0.5;  // not a targeted_file knob
+  EXPECT_FALSE(spec.validate().is_ok());
+
+  spec.adversaries.back() = AdversarySpec::make_churn_griefer(0);  // sectors=0
+  EXPECT_FALSE(spec.validate().is_ok());
+
+  spec.adversaries.back() = AdversarySpec::make_churn_griefer(5);
+  EXPECT_TRUE(spec.validate().is_ok());
+}
+
+// ---- Determinism -----------------------------------------------------------
+
+ScenarioSpec strategy_spec(StrategyKind kind, std::uint64_t workers) {
+  ScenarioSpec spec = adversary_base_spec();
+  spec.engine_workers = workers;
+  switch (kind) {
+    case StrategyKind::targeted_file:
+      spec.adversaries.push_back(AdversarySpec::make_targeted_file(2, 0, 1));
+      break;
+    case StrategyKind::colluding_pool:
+      spec.adversaries.push_back(
+          AdversarySpec::make_colluding_pool(0.2, 2, 1));
+      break;
+    case StrategyKind::proof_withholder:
+      spec.adversaries.push_back(
+          AdversarySpec::make_proof_withholder(0.25, 100, 1));
+      break;
+    case StrategyKind::churn_griefer:
+      spec.adversaries.push_back(AdversarySpec::make_churn_griefer(6, 2, 1));
+      break;
+    case StrategyKind::adaptive_threshold:
+      spec.adversaries.push_back(
+          AdversarySpec::make_adaptive_threshold(2000, 1, 2, 1));
+      break;
+    case StrategyKind::refresh_saboteur:
+      spec.adversaries.push_back(
+          AdversarySpec::make_refresh_saboteur(0.3, 3, 1));
+      break;
+  }
+  return spec;
+}
+
+TEST(AdversaryDeterminismTest, SameSeedAndWorkerCountsAreByteIdentical) {
+  for (const StrategyKind kind :
+       {StrategyKind::targeted_file, StrategyKind::colluding_pool,
+        StrategyKind::proof_withholder, StrategyKind::churn_griefer,
+        StrategyKind::adaptive_threshold, StrategyKind::refresh_saboteur}) {
+    ScenarioRunner serial(strategy_spec(kind, 1));
+    const std::string reference = serial.run().to_json(false);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_NE(reference.find("\"adversaries\""), std::string::npos);
+    EXPECT_NE(reference.find("\"rent_conserved\": true"), std::string::npos)
+        << strategy_kind_name(kind);
+
+    ScenarioRunner repeat(strategy_spec(kind, 1));
+    EXPECT_EQ(reference, repeat.run().to_json(false))
+        << "same-seed drift for " << strategy_kind_name(kind);
+
+    ScenarioRunner parallel(strategy_spec(kind, 8));
+    EXPECT_EQ(reference, parallel.run().to_json(false))
+        << "worker drift for " << strategy_kind_name(kind);
+  }
+}
+
+// ---- Outcome counters and attribution --------------------------------------
+
+const AdversaryMetrics& single_adversary(const MetricsReport& report) {
+  EXPECT_EQ(report.adversaries.size(), 1u);
+  return report.adversaries.front();
+}
+
+TEST(AdversaryCountersTest, TargetedFileAttacksAndAttributes) {
+  ScenarioRunner runner(strategy_spec(StrategyKind::targeted_file, 1));
+  const MetricsReport report = runner.run();
+  const AdversaryMetrics& adv = single_adversary(report);
+  EXPECT_EQ(adv.strategy, "targeted_file");
+  EXPECT_GT(adv.counters.sectors_corrupted, 0u);
+  EXPECT_GT(adv.counters.replicas_attacked, 0u);
+  EXPECT_GT(adv.counters.deposits_confiscated, 0u);
+  // Every strategy corruption is visible in the engine totals.
+  EXPECT_LE(adv.counters.sectors_corrupted, report.totals.sectors_corrupted);
+  EXPECT_LE(adv.counters.files_lost, report.totals.files_lost);
+  EXPECT_LE(adv.counters.compensation_paid, report.totals.value_compensated);
+  // The strategy reports its target.
+  bool has_target = false;
+  for (const auto& [name, value] : adv.counters.extras) {
+    if (name == "target_file") has_target = value >= 0.0;
+  }
+  EXPECT_TRUE(has_target);
+}
+
+TEST(AdversaryCountersTest, ProofWithholderPaysPenaltiesButKeepsDeposits) {
+  ScenarioRunner runner(strategy_spec(StrategyKind::proof_withholder, 1));
+  const MetricsReport report = runner.run();
+  const AdversaryMetrics& adv = single_adversary(report);
+  EXPECT_GT(adv.counters.proofs_withheld, 0u);
+  EXPECT_GT(adv.counters.penalties_paid, 0u);
+  // The whole point: it skates below ProofDeadline, so nothing is ever
+  // confiscated and no file is lost.
+  EXPECT_EQ(adv.counters.deposits_confiscated, 0u);
+  EXPECT_EQ(report.totals.sectors_corrupted, 0u);
+  EXPECT_EQ(report.totals.files_lost, 0u);
+  EXPECT_TRUE(report.rent_conserved);
+}
+
+TEST(AdversaryCountersTest, ChurnGrieferCyclesItsFleet) {
+  ScenarioRunner runner(strategy_spec(StrategyKind::churn_griefer, 1));
+  const MetricsReport report = runner.run();
+  const AdversaryMetrics& adv = single_adversary(report);
+  EXPECT_GE(adv.counters.sectors_joined, 6u);   // at least the initial fleet
+  EXPECT_GT(adv.counters.sectors_exited, 0u);
+  EXPECT_EQ(report.totals.files_lost, 0u);  // griefing must not lose data
+  EXPECT_TRUE(report.rent_conserved);
+}
+
+TEST(AdversaryCountersTest, RefreshSaboteurRefusesAndStops) {
+  ScenarioRunner runner(strategy_spec(StrategyKind::refresh_saboteur, 1));
+  const MetricsReport report = runner.run();
+  const AdversaryMetrics& adv = single_adversary(report);
+  EXPECT_GT(adv.counters.transfers_refused, 0u);
+  EXPECT_GT(adv.counters.penalties_paid, 0u);
+  EXPECT_GT(report.totals.refreshes_failed, 0u);
+  EXPECT_EQ(report.totals.files_lost, 0u);  // sabotage delays, never destroys
+}
+
+TEST(AdversaryCountersTest, AdaptiveThresholdGoesDormantUnderBudget) {
+  ScenarioRunner runner(strategy_spec(StrategyKind::adaptive_threshold, 1));
+  const MetricsReport report = runner.run();
+  const AdversaryMetrics& adv = single_adversary(report);
+  EXPECT_GT(adv.counters.sectors_corrupted, 0u);
+  double went_dormant = -1.0;
+  for (const auto& [name, value] : adv.counters.extras) {
+    if (name == "went_dormant") went_dormant = value;
+  }
+  // Budget 2000 vs 1600-token deposits: it must stop after the first few
+  // confiscations.
+  EXPECT_EQ(went_dormant, 1.0);
+  EXPECT_GE(adv.counters.deposits_confiscated, 2000u);
+}
+
+TEST(AdversaryCountersTest, ReportOmitsAdversariesWhenNoneConfigured) {
+  ScenarioSpec spec = adversary_base_spec();
+  ScenarioRunner runner(std::move(spec));
+  const std::string json = runner.run().to_json(false);
+  EXPECT_EQ(json.find("\"adversaries\""), std::string::npos);
+}
+
+}  // namespace
