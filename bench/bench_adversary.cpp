@@ -21,6 +21,7 @@
 #include "adversary/spec.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "util/config.h"
 
 namespace {
 
@@ -106,15 +107,8 @@ int usage(const char* argv0, const char* complaint) {
 }
 
 bool parse_u64(const char* text, std::uint64_t& out) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0' || parsed == 0 ||
-      text[0] == '-') {
-    return false;
-  }
-  out = parsed;
-  return true;
+  // Positive-only wrapper over the shared strict parse (util/config.h).
+  return fi::util::parse_u64(text, out) && out != 0;
 }
 
 std::vector<std::string> split_list(const std::string& list) {

@@ -27,6 +27,7 @@
 
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "util/config.h"
 #include "util/task_pool.h"
 
 namespace {
@@ -283,15 +284,8 @@ int usage(const char* argv0, const char* complaint) {
 }
 
 bool parse_u64(const char* text, std::uint64_t& out) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0' || parsed == 0 ||
-      text[0] == '-') {
-    return false;
-  }
-  out = parsed;
-  return true;
+  // Positive-only wrapper over the shared strict parse (util/config.h).
+  return fi::util::parse_u64(text, out) && out != 0;
 }
 
 }  // namespace

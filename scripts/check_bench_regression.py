@@ -2,7 +2,9 @@
 """Gate bench_scale_engine results against a checked-in baseline.
 
 Usage:
-    check_bench_regression.py <measured.json> <baseline.json> [--threshold 2.0]
+    check_bench_regression.py <measured.json> <baseline.json>
+        [--threshold 2.0] [--append-trajectory <file.jsonl>]
+        [--run-label <label>]
 
 Both files follow the bench_scale_engine --json schema (docs/BENCHMARKS.md).
 For every point in the *baseline* the measured run must exist and must not
@@ -13,12 +15,63 @@ serializing), not single-digit-percent noise.  Additionally, every sweep
 point's report must be byte-identical to the serial run — a cheap ride-along
 check of the determinism contract.
 
-Exit status: 0 when every check passes, 1 otherwise.
+A missing, unreadable, or structurally empty baseline is an ERROR, not a
+pass: a gate that silently compares against nothing is worse than no gate
+(it reads as green while checking zero points).
+
+With --append-trajectory the script appends one JSON line summarizing the
+measured run to the given file (creating it if needed), so CI can persist a
+perf history across builds (docs/BENCHMARKS.md "perf trajectory").
+
+Exit status: 0 when every check passes, 1 otherwise (including malformed
+inputs).
 """
 
 import argparse
 import json
 import sys
+
+REQUIRED_AXES = {
+    # axis name -> (point key, gated metric)
+    "worker_sweep": ("workers", "per_epoch_seconds"),
+    "rent_scaling": ("sectors", "us_per_rent_cycle"),
+}
+
+
+def load_json(path, role):
+    """Loads a JSON file, translating I/O and parse failures into clean
+    gate errors instead of tracebacks."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as exc:
+        print(f"error: cannot read {role} file {path}: {exc}",
+              file=sys.stderr)
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"error: {role} file {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def validate_structure(data, path, role):
+    """A usable run/baseline has every gated axis, non-empty, with the keyed
+    fields present in every row. Anything less means the gate would silently
+    skip points."""
+    problems = []
+    if not isinstance(data, dict):
+        return [f"{role} {path}: top level is not a JSON object"]
+    for axis, (key, metric) in REQUIRED_AXES.items():
+        rows = data.get(axis)
+        if not isinstance(rows, list) or not rows:
+            problems.append(f"{role} {path}: axis '{axis}' is missing or "
+                            f"empty — nothing to gate")
+            continue
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or key not in row or metric not in row:
+                problems.append(
+                    f"{role} {path}: {axis}[{i}] lacks '{key}'/'{metric}'")
+    return problems
 
 
 def index_by(rows, key):
@@ -46,6 +99,24 @@ def check_axis(name, measured_rows, baseline_rows, key, metric, threshold,
                   f"{got[metric]:.6f} <= {limit:.6f}")
 
 
+def append_trajectory(path, label, measured):
+    """Appends a one-line summary of the measured run, so successive CI
+    builds accumulate a perf history instead of discarding each run."""
+    entry = {"label": label}
+    for axis, (key, metric) in REQUIRED_AXES.items():
+        entry[axis] = [{key: row[key], metric: row[metric]}
+                       for row in measured.get(axis, [])]
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError as exc:
+        print(f"error: cannot append trajectory to {path}: {exc}",
+              file=sys.stderr)
+        return False
+    print(f"trajectory: appended run '{label}' to {path}")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Compare bench_scale_engine JSON against a baseline")
@@ -53,20 +124,32 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="allowed slowdown factor (default: 2.0)")
+    parser.add_argument("--append-trajectory", metavar="FILE",
+                        help="append a one-line JSON summary of the measured "
+                             "run to this .jsonl file")
+    parser.add_argument("--run-label", default="local",
+                        help="label stored with the trajectory entry "
+                             "(e.g. the CI run number)")
     args = parser.parse_args()
 
-    with open(args.measured, encoding="utf-8") as f:
-        measured = json.load(f)
-    with open(args.baseline, encoding="utf-8") as f:
-        baseline = json.load(f)
+    measured = load_json(args.measured, "measured")
+    baseline = load_json(args.baseline, "baseline")
+    if measured is None or baseline is None:
+        return 1
+
+    structural = (validate_structure(measured, args.measured, "measured") +
+                  validate_structure(baseline, args.baseline, "baseline"))
+    if structural:
+        print(f"\n{len(structural)} structural problem(s) — refusing to "
+              f"gate against a hollow input:", file=sys.stderr)
+        for problem in structural:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
 
     failures = []
-    check_axis("worker_sweep", measured.get("worker_sweep", []),
-               baseline.get("worker_sweep", []), "workers",
-               "per_epoch_seconds", args.threshold, failures)
-    check_axis("rent_scaling", measured.get("rent_scaling", []),
-               baseline.get("rent_scaling", []), "sectors",
-               "us_per_rent_cycle", args.threshold, failures)
+    for axis, (key, metric) in REQUIRED_AXES.items():
+        check_axis(axis, measured.get(axis, []), baseline.get(axis, []),
+                   key, metric, args.threshold, failures)
 
     for row in measured.get("worker_sweep", []):
         if not row.get("report_identical_to_serial", False):
@@ -74,6 +157,11 @@ def main():
                 f"worker_sweep [workers={row.get('workers')}]: report is "
                 f"NOT byte-identical to the serial run — determinism "
                 f"contract broken")
+
+    if args.append_trajectory:
+        if not append_trajectory(args.append_trajectory, args.run_label,
+                                 measured):
+            return 1
 
     if failures:
         print(f"\n{len(failures)} bench regression check(s) FAILED:",

@@ -19,6 +19,34 @@ std::vector<core::SectorId> normal_sector_ids(const core::Network& net) {
   return ids;
 }
 
+void AdversaryCounters::save(util::BinaryWriter& writer) const {
+  writer.u64(replicas_attacked);
+  writer.u64(sectors_corrupted);
+  writer.u64(proofs_withheld);
+  writer.u64(transfers_refused);
+  writer.u64(sectors_exited);
+  writer.u64(sectors_joined);
+  writer.u64(files_lost);
+  writer.u64(deposits_confiscated);
+  writer.u64(penalties_paid);
+  writer.u64(compensation_paid);
+  util::save_named_doubles(writer, extras);
+}
+
+void AdversaryCounters::load(util::BinaryReader& reader) {
+  replicas_attacked = reader.u64();
+  sectors_corrupted = reader.u64();
+  proofs_withheld = reader.u64();
+  transfers_refused = reader.u64();
+  sectors_exited = reader.u64();
+  sectors_joined = reader.u64();
+  files_lost = reader.u64();
+  deposits_confiscated = reader.u64();
+  penalties_paid = reader.u64();
+  compensation_paid = reader.u64();
+  extras = util::load_named_doubles(reader);
+}
+
 namespace {
 
 using core::SectorId;
@@ -101,6 +129,17 @@ class TargetedFile final : public AdversaryStrategy {
     view.set_extra("target_alive", alive ? 1.0 : 0.0);
   }
 
+  void save_state(util::BinaryWriter& writer) const override {
+    writer.u64(target_);
+    writer.boolean(lost_);
+    writer.u64(spent_);
+  }
+  void load_state(util::BinaryReader& reader) override {
+    target_ = reader.u64();
+    lost_ = reader.boolean();
+    spent_ = reader.u64();
+  }
+
  private:
   AdversarySpec spec_;
   core::FileId target_ = core::kNoFile;
@@ -135,6 +174,19 @@ class ColludingPool final : public AdversaryStrategy {
          ++n, ++next_) {
       view.corrupt_sector(members_[next_]);
     }
+  }
+
+  void save_state(util::BinaryWriter& writer) const override {
+    writer.boolean(recruited_);
+    util::save_u64_seq(writer, members_);
+    writer.u64(per_epoch_);
+    writer.u64(next_);
+  }
+  void load_state(util::BinaryReader& reader) override {
+    recruited_ = reader.boolean();
+    members_ = util::load_u64_seq<SectorId>(reader);
+    per_epoch_ = static_cast<std::size_t>(reader.u64());
+    next_ = static_cast<std::size_t>(reader.u64());
   }
 
  private:
@@ -191,6 +243,22 @@ class ProofWithholder final : public AdversaryStrategy {
         streaks_[m] = 0;
       }
     }
+  }
+
+  void save_state(util::BinaryWriter& writer) const override {
+    writer.boolean(recruited_);
+    util::save_u64_seq(writer, members_);
+    util::save_u64_seq(writer, streaks_);
+    writer.u64(max_streak_);
+  }
+  void load_state(util::BinaryReader& reader) override {
+    recruited_ = reader.boolean();
+    members_ = util::load_u64_seq<SectorId>(reader);
+    streaks_ = util::load_u64_seq<std::uint64_t>(reader);
+    // on_epoch indexes streaks_ by member position — a crafted body with
+    // mismatched lengths must be rejected, not discovered out of bounds.
+    if (streaks_.size() != members_.size()) reader.fail();
+    max_streak_ = reader.u64();
   }
 
  private:
@@ -270,6 +338,17 @@ class AdaptiveThreshold final : public AdversaryStrategy {
     view.set_extra("went_dormant", dormant_ ? 1.0 : 0.0);
   }
 
+  void save_state(util::BinaryWriter& writer) const override {
+    writer.u64(rate_);
+    writer.u64(active_epochs_);
+    writer.boolean(dormant_);
+  }
+  void load_state(util::BinaryReader& reader) override {
+    rate_ = reader.u64();
+    active_epochs_ = reader.u64();
+    dormant_ = reader.boolean();
+  }
+
  private:
   AdversarySpec spec_;
   std::uint64_t rate_;
@@ -303,6 +382,17 @@ class RefreshSaboteur final : public AdversaryStrategy {
       stopped_ = true;
       for (const SectorId s : members_) view.refuse_transfers(s, false);
     }
+  }
+
+  void save_state(util::BinaryWriter& writer) const override {
+    writer.boolean(recruited_);
+    writer.boolean(stopped_);
+    util::save_u64_seq(writer, members_);
+  }
+  void load_state(util::BinaryReader& reader) override {
+    recruited_ = reader.boolean();
+    stopped_ = reader.boolean();
+    members_ = util::load_u64_seq<SectorId>(reader);
   }
 
  private:

@@ -10,6 +10,7 @@
 
 #include "adversary/spec.h"
 #include "core/network.h"
+#include "util/binary_io.h"
 #include "util/prng.h"
 #include "util/types.h"
 
@@ -110,6 +111,10 @@ struct AdversaryCounters {
     }
     extras.emplace_back(name, value);
   }
+
+  /// Canonical snapshot encoding / restore (`src/snapshot`).
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
 };
 
 // ---- View ------------------------------------------------------------------
@@ -203,6 +208,15 @@ class AdversaryStrategy {
   /// Called once after the last phase, for final report extras (actions
   /// emitted here are discarded — the run is over).
   virtual void on_run_end(AdversaryView& view) { (void)view; }
+
+  /// Snapshot/restore of the strategy's private decision state — target
+  /// locks, recruited member lists, escalation counters — so a resumed run
+  /// continues the attack mid-flight exactly where the saved one stood
+  /// (`src/snapshot`). The spec and RNG stream are restored by the runner;
+  /// strategies (de)serialize only what they accumulated since
+  /// construction. Stateless strategies keep the no-op default.
+  virtual void save_state(util::BinaryWriter& writer) const { (void)writer; }
+  virtual void load_state(util::BinaryReader& reader) { (void)reader; }
 };
 
 /// Instantiates the strategy a validated spec declares.

@@ -1,5 +1,7 @@
 #include "core/alloc_table.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace fi::core {
@@ -141,6 +143,140 @@ void AllocTable::index_remove(SectorIndex& index, SectorId sector,
   set.positions.erase(pos_it);
   if (moved != key) set.positions[moved] = pos;
   if (set.items.empty()) index.erase(it);
+}
+
+void AllocTable::save(util::BinaryWriter& writer) const {
+  std::vector<FileId> files;
+  files.reserve(entries_.size());
+  for (const auto& [file, _] : entries_) files.push_back(file);
+  std::sort(files.begin(), files.end());
+  writer.u64(files.size());
+  for (const FileId file : files) {
+    const std::vector<AllocEntry>& rows = entries_.at(file);
+    writer.u64(file);
+    writer.u32(static_cast<std::uint32_t>(rows.size()));
+    for (const AllocEntry& e : rows) {
+      writer.u64(e.prev);
+      writer.u64(e.next);
+      writer.u64(e.last);
+      writer.u8(static_cast<std::uint8_t>(e.state));
+      writer.raw(e.comm_r.bytes);
+    }
+  }
+  const auto save_index = [&writer](const SectorIndex& index) {
+    std::vector<SectorId> sectors;
+    sectors.reserve(index.size());
+    for (const auto& [sector, _] : index) sectors.push_back(sector);
+    std::sort(sectors.begin(), sectors.end());
+    writer.u64(sectors.size());
+    for (const SectorId sector : sectors) {
+      const KeySet& set = index.at(sector);
+      writer.u64(sector);
+      writer.u64(set.items.size());
+      for (const EntryKey& key : set.items) {
+        writer.u64(key.first);
+        writer.u32(key.second);
+      }
+    }
+  };
+  save_index(by_prev_);
+  save_index(by_next_);
+  writer.u64(normal_entries_.size());
+  for (const EntryKey& key : normal_entries_) {
+    writer.u64(key.first);
+    writer.u32(key.second);
+  }
+}
+
+void AllocTable::load(util::BinaryReader& reader) {
+  entries_.clear();
+  by_prev_.clear();
+  by_next_.clear();
+  normal_entries_.clear();
+  normal_positions_.clear();
+
+  const std::uint64_t files = reader.count(12);
+  entries_.reserve(files);
+  for (std::uint64_t f = 0; f < files; ++f) {
+    const FileId file = reader.u64();
+    const std::uint32_t cp = reader.u32();
+    if (cp > reader.remaining() / 57) {
+      reader.fail();
+      return;
+    }
+    std::vector<AllocEntry> rows;
+    rows.reserve(cp);
+    for (std::uint32_t r = 0; r < cp; ++r) {
+      AllocEntry e;
+      e.prev = reader.u64();
+      e.next = reader.u64();
+      e.last = reader.u64();
+      const std::uint8_t state = reader.u8();
+      if (state > static_cast<std::uint8_t>(AllocState::corrupted)) {
+        reader.fail();
+        return;
+      }
+      e.state = static_cast<AllocState>(state);
+      reader.raw(e.comm_r.bytes);
+      rows.push_back(e);
+    }
+    if (!reader.ok()) return;
+    if (!entries_.emplace(file, std::move(rows)).second) {
+      reader.fail();  // duplicate file group: rows silently dropped otherwise
+      return;
+    }
+  }
+
+  // Index and sampler keys must reference loaded entries — an unknown file
+  // or out-of-range replica would otherwise surface later as an FI_CHECK
+  // abort in whatever protocol path iterates the span.
+  const auto valid_key = [this](FileId file, ReplicaIndex idx) {
+    const auto it = entries_.find(file);
+    return it != entries_.end() && idx < it->second.size();
+  };
+
+  const auto load_index = [&](SectorIndex& index) {
+    const std::uint64_t sectors = reader.count(16);
+    index.reserve(sectors);
+    for (std::uint64_t s = 0; s < sectors; ++s) {
+      const SectorId sector = reader.u64();
+      const std::uint64_t keys = reader.count(12);
+      if (!reader.ok()) return;
+      KeySet& set = index[sector];
+      set.items.reserve(keys);
+      set.positions.reserve(keys);
+      for (std::uint64_t k = 0; k < keys; ++k) {
+        const FileId file = reader.u64();
+        const ReplicaIndex idx = reader.u32();
+        // A duplicate key would leave items/positions out of sync and
+        // corrupt later swap-erase removals — reject the body instead.
+        if (!valid_key(file, idx) ||
+            !set.positions.emplace(EntryKey{file, idx}, set.items.size())
+                 .second) {
+          reader.fail();
+          return;
+        }
+        set.items.emplace_back(file, idx);
+      }
+    }
+  };
+  load_index(by_prev_);
+  load_index(by_next_);
+
+  const std::uint64_t normals = reader.count(12);
+  normal_entries_.reserve(normals);
+  normal_positions_.reserve(normals);
+  for (std::uint64_t k = 0; k < normals; ++k) {
+    const FileId file = reader.u64();
+    const ReplicaIndex idx = reader.u32();
+    if (!valid_key(file, idx) ||
+        !normal_positions_.emplace(EntryKey{file, idx}, normal_entries_.size())
+             .second) {
+      reader.fail();
+      return;
+    }
+    normal_entries_.emplace_back(file, idx);
+  }
 }
 
 void AllocTable::sampler_add(EntryKey key) {

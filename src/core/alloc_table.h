@@ -9,6 +9,7 @@
 
 #include "core/types.h"
 #include "crypto/hash.h"
+#include "util/binary_io.h"
 #include "util/prng.h"
 
 /// Allocation table (Fig. 1): maps (file, replica index) to its storage
@@ -109,6 +110,17 @@ class AllocTable {
     return normal_entries_.size();
   }
   [[nodiscard]] std::size_t file_count() const { return entries_.size(); }
+
+  /// Canonical snapshot encoding / full-state restore (`src/snapshot`).
+  ///
+  /// The entry map is encoded sorted by file id (its hash order is never
+  /// observable), but the reverse indexes and the normal-entry sampler are
+  /// encoded in their exact dense-array order: their positions feed
+  /// iteration (`with_prev` spans) and uniform sampling
+  /// (`random_normal_entry`), so a swap-erase history reshuffle would
+  /// change later draws and break save→load→continue byte-identity.
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
 
  private:
   /// Swap-erase key set: dense array for iteration/sampling + positional

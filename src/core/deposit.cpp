@@ -1,5 +1,8 @@
 #include "core/deposit.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/check.h"
 #include "util/checked.h"
 
@@ -84,6 +87,52 @@ void DepositBook::settle() {
     total_compensated_ = util::checked_add(total_compensated_, pay);
     if (front.amount == 0) liabilities_.pop_front();
   }
+}
+
+void DepositBook::save(util::BinaryWriter& writer) const {
+  std::vector<SectorId> sectors;
+  sectors.reserve(deposits_.size());
+  for (const auto& [sector, _] : deposits_) sectors.push_back(sector);
+  std::sort(sectors.begin(), sectors.end());
+  writer.u64(sectors.size());
+  for (const SectorId sector : sectors) {
+    const Deposit& d = deposits_.at(sector);
+    writer.u64(sector);
+    writer.u64(d.owner);
+    writer.u64(d.remaining);
+  }
+  writer.u64(liabilities_.size());
+  for (const Liability& l : liabilities_) {
+    writer.u64(l.client);
+    writer.u64(l.amount);
+  }
+  writer.u64(total_liabilities_);
+  writer.u64(total_confiscated_);
+  writer.u64(total_compensated_);
+}
+
+void DepositBook::load(util::BinaryReader& reader) {
+  deposits_.clear();
+  liabilities_.clear();
+  const std::uint64_t n = reader.count(24);
+  deposits_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const SectorId sector = reader.u64();
+    Deposit d;
+    d.owner = reader.u64();
+    d.remaining = reader.u64();
+    deposits_.emplace(sector, d);
+  }
+  const std::uint64_t liabilities = reader.count(16);
+  for (std::uint64_t i = 0; i < liabilities; ++i) {
+    Liability l;
+    l.client = reader.u64();
+    l.amount = reader.u64();
+    liabilities_.push_back(l);
+  }
+  total_liabilities_ = reader.u64();
+  total_confiscated_ = reader.u64();
+  total_compensated_ = reader.u64();
 }
 
 }  // namespace fi::core

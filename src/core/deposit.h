@@ -6,6 +6,7 @@
 
 #include "core/types.h"
 #include "ledger/account.h"
+#include "util/binary_io.h"
 #include "util/status.h"
 
 /// Deposit escrow and the insurance compensation pool (§IV-B).
@@ -59,6 +60,12 @@ class DepositBook {
   [[nodiscard]] TokenAmount total_compensated() const {
     return total_compensated_;
   }
+
+  /// Canonical snapshot encoding (deposits sorted by sector, liabilities
+  /// in FIFO order) / full-state restore — see `src/snapshot`. Balances
+  /// themselves live in the ledger, restored separately.
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
 
  private:
   /// Pays queued liabilities from the pool, FIFO.

@@ -1084,4 +1084,171 @@ void Network::admission_rebalance(SectorId sector) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------------
+
+void save_network_stats(const NetworkStats& stats, util::BinaryWriter& writer) {
+  writer.u64(stats.files_added);
+  writer.u64(stats.files_stored);
+  writer.u64(stats.upload_failures);
+  writer.u64(stats.files_discarded);
+  writer.u64(stats.files_lost);
+  writer.u64(stats.value_lost);
+  writer.u64(stats.value_compensated);
+  writer.u64(stats.sectors_corrupted);
+  writer.u64(stats.refreshes_started);
+  writer.u64(stats.refreshes_completed);
+  writer.u64(stats.refreshes_failed);
+  writer.u64(stats.refreshes_self);
+  writer.u64(stats.refresh_collisions);
+  writer.u64(stats.add_resamples);
+  writer.u64(stats.punishments);
+}
+
+NetworkStats load_network_stats(util::BinaryReader& reader) {
+  NetworkStats stats;
+  stats.files_added = reader.u64();
+  stats.files_stored = reader.u64();
+  stats.upload_failures = reader.u64();
+  stats.files_discarded = reader.u64();
+  stats.files_lost = reader.u64();
+  stats.value_lost = reader.u64();
+  stats.value_compensated = reader.u64();
+  stats.sectors_corrupted = reader.u64();
+  stats.refreshes_started = reader.u64();
+  stats.refreshes_completed = reader.u64();
+  stats.refreshes_failed = reader.u64();
+  stats.refreshes_self = reader.u64();
+  stats.refresh_collisions = reader.u64();
+  stats.add_resamples = reader.u64();
+  stats.punishments = reader.u64();
+  return stats;
+}
+
+void Network::save(util::BinaryWriter& writer) const {
+  // Construction-time account layout, written for cross-validation: a
+  // snapshot restored into an engine whose ledger grew differently would
+  // silently misroute every system flow.
+  writer.u64(escrow_);
+  writer.u64(pool_);
+  writer.u64(rent_pool_);
+  writer.u64(gas_sink_);
+  writer.u64(traffic_escrow_);
+
+  for (const std::uint64_t word : rng_.state()) writer.u64(word);
+  writer.u64(now_);
+  writer.u64(next_file_id_);
+  writer.u64(total_stored_value_);
+  writer.u128(rent_acc_);
+  writer.u128(rent_undistributed_scaled_);
+  writer.u64(total_rent_charged_);
+  writer.u64(total_rent_paid_);
+  writer.boolean(auto_prove_);
+
+  std::vector<SectorId> corrupted(physically_corrupted_.begin(),
+                                  physically_corrupted_.end());
+  std::sort(corrupted.begin(), corrupted.end());
+  writer.u64(corrupted.size());
+  for (const SectorId s : corrupted) writer.u64(s);
+
+  save_network_stats(stats_, writer);
+  sector_table_.save(writer);
+  alloc_table_.save(writer);
+  pending_.save(writer);
+  deposit_book_.save(writer);
+
+  std::vector<FileId> files;
+  files.reserve(files_.size());
+  for (const auto& [file, _] : files_) files.push_back(file);
+  std::sort(files.begin(), files.end());
+  writer.u64(files.size());
+  for (const FileId file : files) {
+    const FileRecord& rec = files_.at(file);
+    writer.u64(file);
+    writer.u64(rec.desc.size);
+    writer.u64(rec.desc.value);
+    writer.raw(rec.desc.merkle_root.bytes);
+    writer.u32(rec.desc.cp);
+    writer.i64(rec.desc.cntdown);
+    writer.u8(static_cast<std::uint8_t>(rec.desc.state));
+    writer.u64(rec.owner);
+    writer.u64(rec.added_at);
+    writer.u64(rec.traffic_escrowed.size());
+    for (const bool escrowed : rec.traffic_escrowed) {
+      writer.boolean(escrowed);
+    }
+  }
+}
+
+util::Status Network::load(util::BinaryReader& reader) {
+  const std::uint64_t ids[5] = {reader.u64(), reader.u64(), reader.u64(),
+                                reader.u64(), reader.u64()};
+  if (ids[0] != escrow_ || ids[1] != pool_ || ids[2] != rent_pool_ ||
+      ids[3] != gas_sink_ || ids[4] != traffic_escrow_) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "snapshot system-account layout does not match this "
+                     "engine (different construction sequence)");
+  }
+
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = reader.u64();
+  rng_.set_state(rng_state);
+  now_ = reader.u64();
+  next_file_id_ = reader.u64();
+  total_stored_value_ = reader.u64();
+  rent_acc_ = reader.u128();
+  rent_undistributed_scaled_ = reader.u128();
+  total_rent_charged_ = reader.u64();
+  total_rent_paid_ = reader.u64();
+  auto_prove_ = reader.boolean();
+
+  physically_corrupted_.clear();
+  const std::uint64_t corrupted = reader.count(8);
+  physically_corrupted_.reserve(corrupted);
+  for (std::uint64_t i = 0; i < corrupted; ++i) {
+    physically_corrupted_.insert(reader.u64());
+  }
+
+  stats_ = load_network_stats(reader);
+  sector_table_.load(reader);
+  alloc_table_.load(reader);
+  pending_.load(reader);
+  deposit_book_.load(reader);
+
+  files_.clear();
+  const std::uint64_t files = reader.count(74);
+  files_.reserve(files);
+  for (std::uint64_t i = 0; i < files; ++i) {
+    const FileId file = reader.u64();
+    FileRecord rec;
+    rec.desc.size = reader.u64();
+    rec.desc.value = reader.u64();
+    reader.raw(rec.desc.merkle_root.bytes);
+    rec.desc.cp = reader.u32();
+    rec.desc.cntdown = reader.i64();
+    const std::uint8_t state = reader.u8();
+    if (state > static_cast<std::uint8_t>(FileState::removed)) reader.fail();
+    rec.desc.state = static_cast<FileState>(state);
+    rec.owner = reader.u64();
+    rec.added_at = reader.u64();
+    const std::uint64_t escrow_flags = reader.count(1);
+    rec.traffic_escrowed.reserve(escrow_flags);
+    for (std::uint64_t f = 0; f < escrow_flags; ++f) {
+      rec.traffic_escrowed.push_back(reader.boolean());
+    }
+    if (!reader.ok()) break;
+    if (!files_.emplace(file, std::move(rec)).second) {
+      reader.fail();  // duplicate file id: the record would be dropped
+      break;
+    }
+  }
+
+  if (!reader.ok()) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "malformed engine snapshot body");
+  }
+  return util::Status::ok();
+}
+
 }  // namespace fi::core

@@ -19,6 +19,7 @@
 #include "crypto/porep.h"
 #include "crypto/post.h"
 #include "ledger/account.h"
+#include "util/binary_io.h"
 #include "util/prng.h"
 #include "util/status.h"
 
@@ -75,6 +76,11 @@ struct NetworkStats {
   std::uint64_t add_resamples = 0;  ///< RandomSector collisions at File_Add
   std::uint64_t punishments = 0;
 };
+
+/// Canonical snapshot encoding of the counter block (field order fixed —
+/// see `src/snapshot`).
+void save_network_stats(const NetworkStats& stats, util::BinaryWriter& writer);
+NetworkStats load_network_stats(util::BinaryReader& reader);
 
 class Network {
  public:
@@ -290,6 +296,29 @@ class Network {
   [[nodiscard]] AccountId traffic_escrow_account() const {
     return traffic_escrow_;
   }
+
+  // ---- Snapshot / restore (`src/snapshot`) -------------------------------
+
+  /// Canonical little-endian encoding of the engine's entire mutable state:
+  /// tables, pending list, deposits, rent accumulators, stats, the PRNG
+  /// stream and the physically-corrupted set. Deterministic: two engines
+  /// that would behave identically encode identically (unordered containers
+  /// are emitted in sorted order; order-bearing dense arrays verbatim), so
+  /// hashing this encoding is a state fingerprint.
+  ///
+  /// Not included: params, seed/beacon, workers and subscribers — those are
+  /// construction-time configuration the restoring caller must supply
+  /// identically (the scenario layer rebuilds them from the spec embedded
+  /// in the snapshot file).
+  void save(util::BinaryWriter& writer) const;
+
+  /// Restores a freshly-constructed engine (same params, ledger layout,
+  /// seed and beacon as the saved one) to the serialized state; the ledger
+  /// itself must have been restored first. Continuation is then
+  /// byte-identical to the uninterrupted run. Fails without engine
+  /// side-effect guarantees on malformed input — callers verify the
+  /// snapshot digest first and treat failure as fatal for this instance.
+  util::Status load(util::BinaryReader& reader);
 
   /// Registers an event observer (`core/events.h`). Listeners run
   /// synchronously inside the emitting request or task, in subscription

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "util/binary_io.h"
 #include "util/types.h"
 
 /// Pending list (Fig. 1): tasks the network executes automatically at a
@@ -78,6 +79,37 @@ class PendingList {
 
   [[nodiscard]] std::size_t size() const { return tasks_.size(); }
   [[nodiscard]] bool empty() const { return tasks_.empty(); }
+
+  /// Canonical snapshot encoding: tasks in execution order — the multimap
+  /// already iterates (time, insertion)-ordered, and `load` re-schedules
+  /// in that order, so the restored list pops identically.
+  void save(util::BinaryWriter& writer) const {
+    writer.u64(tasks_.size());
+    for (const auto& [at, task] : tasks_) {
+      writer.u64(at);
+      writer.u8(static_cast<std::uint8_t>(task.kind));
+      writer.u64(task.file);
+      writer.u32(task.index);
+    }
+  }
+  void load(util::BinaryReader& reader) {
+    tasks_.clear();
+    hint_valid_ = false;
+    const std::uint64_t n = reader.count(21);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Time at = reader.u64();
+      Task task;
+      const std::uint8_t kind = reader.u8();
+      if (kind > static_cast<std::uint8_t>(TaskKind::rent_distribution)) {
+        reader.fail();
+        return;
+      }
+      task.kind = static_cast<TaskKind>(kind);
+      task.file = reader.u64();
+      task.index = reader.u32();
+      schedule(at, task);
+    }
+  }
 
  private:
   std::multimap<Time, Task> tasks_;

@@ -134,6 +134,58 @@ std::vector<SectorId> SectorTable::all_ids() const {
   return ids;
 }
 
+void SectorTable::save(util::BinaryWriter& writer) const {
+  writer.u64(sectors_.size());
+  for (const Sector& s : sectors_) {
+    writer.u64(s.id);
+    writer.u64(s.owner);
+    writer.u64(s.capacity);
+    writer.u64(s.free_cap);
+    writer.u8(static_cast<std::uint8_t>(s.state));
+    writer.u64(s.registered_at);
+    writer.u32(s.ref_count);
+    writer.u128(s.rent_acc_snapshot);
+  }
+}
+
+void SectorTable::load(util::BinaryReader& reader) {
+  sectors_.clear();
+  weights_ = util::FenwickTree();
+  capacity_by_state_.fill(0);
+  rentable_units_ = 0;
+  const std::uint64_t n = reader.count(53);
+  sectors_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Sector s;
+    s.id = reader.u64();
+    // Ids are dense registration indices; set_weight and the Fenwick tree
+    // index by them, so a non-dense id in a crafted body must be rejected
+    // here, not discovered as an out-of-bounds write.
+    if (s.id != i) {
+      reader.fail();
+      return;
+    }
+    s.owner = reader.u64();
+    s.capacity = reader.u64();
+    s.free_cap = reader.u64();
+    s.state = static_cast<SectorState>(reader.u8());
+    s.registered_at = reader.u64();
+    s.ref_count = reader.u32();
+    s.rent_acc_snapshot = reader.u128();
+    if (static_cast<std::size_t>(s.state) >= kSectorStateCount) reader.fail();
+    if (!reader.ok()) return;  // caller checks ok(); table stays consistent
+    sectors_.push_back(s);
+    weights_.push_back(0);
+    set_weight(s.id);
+    capacity_by_state_[static_cast<std::size_t>(s.state)] = util::checked_add(
+        capacity_by_state_[static_cast<std::size_t>(s.state)], s.capacity);
+    if (s.state == SectorState::normal || s.state == SectorState::disabled) {
+      rentable_units_ = util::checked_add(rentable_units_,
+                                          s.capacity / params_.min_capacity);
+    }
+  }
+}
+
 void SectorTable::set_weight(SectorId id) {
   const Sector& s = sectors_[id];
   const std::uint64_t weight = (s.state == SectorState::normal)

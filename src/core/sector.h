@@ -6,6 +6,7 @@
 
 #include "core/params.h"
 #include "core/types.h"
+#include "util/binary_io.h"
 #include "util/fenwick.h"
 #include "util/prng.h"
 #include "util/status.h"
@@ -99,6 +100,13 @@ class SectorTable {
 
   /// All sector ids in registration order.
   [[nodiscard]] std::vector<SectorId> all_ids() const;
+
+  /// Canonical snapshot encoding / full-state restore (`src/snapshot`).
+  /// `load` rebuilds the Fenwick weights and the per-state capacity totals
+  /// from the serialized sectors, so the derived structures can never
+  /// disagree with the restored state.
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
 
  private:
   void set_weight(SectorId id);

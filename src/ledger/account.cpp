@@ -1,5 +1,9 @@
 #include "ledger/account.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "util/checked.h"
 
 namespace fi::ledger {
@@ -47,6 +51,32 @@ util::Status Ledger::mint(AccountId account, TokenAmount amount) {
   it->second = util::checked_add(it->second, amount);
   total_supply_ = util::checked_add(total_supply_, amount);
   return util::Status::ok();
+}
+
+void Ledger::save(util::BinaryWriter& writer) const {
+  writer.u64(next_id_);
+  writer.u64(total_supply_);
+  std::vector<std::pair<AccountId, TokenAmount>> rows(balances_.begin(),
+                                                      balances_.end());
+  std::sort(rows.begin(), rows.end());
+  writer.u64(rows.size());
+  for (const auto& [id, balance] : rows) {
+    writer.u64(id);
+    writer.u64(balance);
+  }
+}
+
+void Ledger::load(util::BinaryReader& reader) {
+  next_id_ = reader.u64();
+  total_supply_ = reader.u64();
+  balances_.clear();
+  const std::uint64_t n = reader.count(16);
+  balances_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const AccountId id = reader.u64();
+    const TokenAmount balance = reader.u64();
+    balances_[id] = balance;
+  }
 }
 
 }  // namespace fi::ledger

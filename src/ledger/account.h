@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "util/binary_io.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -36,6 +37,12 @@ class Ledger {
   util::Status mint(AccountId account, TokenAmount amount);
 
   [[nodiscard]] std::size_t account_count() const { return balances_.size(); }
+
+  /// Canonical snapshot encoding (accounts sorted by id) / full-state
+  /// restore — see `src/snapshot`. `load` replaces the ledger's entire
+  /// contents with the serialized state.
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
 
  private:
   std::unordered_map<AccountId, TokenAmount> balances_;

@@ -148,6 +148,29 @@ void write_counters(JsonWriter& json, const core::NetworkStats& stats,
 
 }  // namespace
 
+void PhaseMetrics::save(util::BinaryWriter& writer) const {
+  writer.str(label);
+  writer.str(kind);
+  writer.u64(start_time);
+  writer.u64(end_time);
+  core::save_network_stats(delta, writer);
+  writer.u64(rent_charged);
+  writer.u64(rent_paid);
+  util::save_named_doubles(writer, extras);
+}
+
+void PhaseMetrics::load(util::BinaryReader& reader) {
+  label = reader.str();
+  kind = reader.str();
+  start_time = reader.u64();
+  end_time = reader.u64();
+  delta = core::load_network_stats(reader);
+  rent_charged = reader.u64();
+  rent_paid = reader.u64();
+  extras = util::load_named_doubles(reader);
+  wall_seconds = 0.0;
+}
+
 double extra_or(const PhaseMetrics& phase, std::string_view name,
                 double fallback) {
   for (const auto& [key, value] : phase.extras) {

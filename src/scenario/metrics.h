@@ -8,6 +8,7 @@
 
 #include "adversary/strategy.h"
 #include "core/network.h"
+#include "util/binary_io.h"
 #include "util/types.h"
 
 /// Structured results of a scenario run.
@@ -37,6 +38,13 @@ struct PhaseMetrics {
   std::vector<std::pair<std::string, double>> extras;
   /// Host wall-clock cost; serialized only with `include_timings`.
   double wall_seconds = 0.0;
+
+  /// Canonical snapshot encoding / restore (`src/snapshot`). Wall-clock
+  /// timing is excluded — it is not simulation state, and keeping it out
+  /// makes the snapshot body (and hence `state_hash`) a pure function of
+  /// the spec.
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
 };
 
 /// Looks up a phase's extra metric by name; `fallback` when absent.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 #include <variant>
 
 #include "util/check.h"
@@ -65,6 +66,16 @@ std::uint64_t planned_cycles(const ScenarioSpec& spec) {
   return cycles;
 }
 
+/// Unordered id sets are encoded sorted: the run loop never iterates
+/// them, so their in-memory order is not state.
+template <typename Id>
+void save_id_set(const std::unordered_set<Id>& set,
+                 util::BinaryWriter& writer) {
+  std::vector<Id> ids(set.begin(), set.end());
+  std::sort(ids.begin(), ids.end());
+  util::save_u64_seq(writer, ids);
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
@@ -74,7 +85,37 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     const util::Status valid = spec_.validate();
     FI_CHECK_MSG(valid.is_ok(), "invalid ScenarioSpec: " << valid.to_string());
   }
-  const auto setup0 = Clock::now();
+  init_adversaries();
+  build_network();
+  setup_population();
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec, ResumeTag)
+    : spec_(std::move(spec)),
+      workload_rng_(spec_.seed ^ kWorkloadSeedSalt) {
+  {
+    const util::Status valid = spec_.validate();
+    FI_CHECK_MSG(valid.is_ok(), "invalid ScenarioSpec: " << valid.to_string());
+  }
+  init_adversaries();
+  build_network();
+  // No setup population: load_state replaces every piece of mutable state
+  // with the snapshot's.
+}
+
+void ScenarioRunner::init_adversaries() {
+  for (std::size_t i = 0; i < spec_.adversaries.size(); ++i) {
+    ActiveAdversary adv{spec_.adversaries[i],
+                        adversary::make_strategy(spec_.adversaries[i]),
+                        util::Xoshiro256(spec_.seed ^ kAdversarySeedSalt ^
+                                         (0x9e3779b97f4a7c15ULL * (i + 1))),
+                        {},
+                        {}};
+    adversaries_.push_back(std::move(adv));
+  }
+}
+
+void ScenarioRunner::build_network() {
   const core::Params& p = spec_.params;
   const ByteCount capacity =
       util::checked_mul(spec_.sector_units, p.min_capacity);
@@ -118,16 +159,6 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
       util::checked_mul(util::checked_add(adds, 1), per_file),
       1'000'000'000ull));
 
-  for (std::size_t i = 0; i < spec_.adversaries.size(); ++i) {
-    ActiveAdversary adv{spec_.adversaries[i],
-                        adversary::make_strategy(spec_.adversaries[i]),
-                        util::Xoshiro256(spec_.seed ^ kAdversarySeedSalt ^
-                                         (0x9e3779b97f4a7c15ULL * (i + 1))),
-                        {},
-                        {}};
-    adversaries_.push_back(std::move(adv));
-  }
-
   net_ = std::make_unique<core::Network>(p, ledger_, spec_.seed);
   net_->set_auto_prove(true);
   // Purely a throughput knob: the sweep merge is deterministic, so the
@@ -143,8 +174,9 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
       // still exist at FileLost emission (removal follows it), and event
       // listeners may read — never mutate — mid-transaction state.
       std::size_t best = adversaries_.size();
-      const std::uint32_t cp = net_->allocations().replica_count(lost->file);
-      for (core::ReplicaIndex r = 0; r < cp; ++r) {
+      const std::uint32_t replicas =
+          net_->allocations().replica_count(lost->file);
+      for (core::ReplicaIndex r = 0; r < replicas; ++r) {
         const core::SectorId holder =
             net_->allocations().entry(lost->file, r).prev;
         const auto claim = sector_claims_.find(holder);
@@ -181,6 +213,13 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
       }
     }
   });
+}
+
+void ScenarioRunner::setup_population() {
+  const auto setup0 = Clock::now();
+  const core::Params& p = spec_.params;
+  const ByteCount capacity =
+      util::checked_mul(spec_.sector_units, p.min_capacity);
 
   for (std::uint64_t s = 0; s < spec_.sectors; ++s) {
     const auto id = net_->sector_register(provider_, capacity);
@@ -371,37 +410,239 @@ void ScenarioRunner::forget_file(core::FileId file) {
   live_positions_.erase(file);
 }
 
+// ---------------------------------------------------------------------------
+// Phase state machine
+// ---------------------------------------------------------------------------
+
+std::uint64_t ScenarioRunner::phase_total_cycles(const PhaseSpec& phase) const {
+  return phase.kind == PhaseKind::rent_audit
+             ? util::checked_mul(phase.periods,
+                                 spec_.params.rent_period_cycles)
+             : phase.cycles;
+}
+
+void ScenarioRunner::begin_phase(const PhaseSpec& phase) {
+  const auto t0 = Clock::now();
+  phase_wall_seconds_ = 0.0;
+  RunProgress fresh;
+  fresh.phase_index = progress_.phase_index;
+  progress_ = std::move(fresh);
+
+  progress_.metrics.label = phase.display_label();
+  progress_.metrics.kind = phase_kind_name(phase.kind);
+  progress_.metrics.start_time = net_->now();
+  progress_.stats_before = net_->stats();
+  progress_.rent_charged_before = net_->total_rent_charged();
+  progress_.rent_paid_before = net_->total_rent_paid();
+  progress_.rejections_before = add_rejections_;
+
+  switch (phase.kind) {
+    case PhaseKind::corrupt_burst: {
+      std::vector<core::SectorId> normal =
+          adversary::normal_sector_ids(*net_);
+      const auto hits = util::shuffle_prefix(
+          normal,
+          static_cast<std::size_t>(std::llround(
+              phase.corrupt_fraction * static_cast<double>(normal.size()))),
+          workload_rng_);
+      for (std::size_t i = 0; i < hits; ++i) {
+        net_->corrupt_sector_now(normal[i]);
+      }
+      progress_.sectors_hit = hits;
+      break;
+    }
+    case PhaseKind::selfish_refresh:
+      // Sector ids are dense in registration order, so "the coalition" is
+      // the prefix [0, cutoff) of the fleet at phase start — a
+      // deterministic α-fraction.
+      progress_.selfish_cutoff = static_cast<core::SectorId>(
+          std::ceil(phase.coalition_fraction *
+                    static_cast<double>(net_->sectors().count())));
+      break;
+    case PhaseKind::admit: {
+      const ByteCount capacity =
+          util::checked_mul(spec_.sector_units, spec_.params.min_capacity);
+      progress_.admitted.reserve(phase.add_sectors);
+      for (std::uint64_t s = 0; s < phase.add_sectors; ++s) {
+        const auto id = net_->sector_register(provider_, capacity);
+        FI_CHECK_MSG(
+            id.is_ok(),
+            "admit sector_register failed: " << id.status().to_string());
+        progress_.admitted.push_back(id.value());
+      }
+      drain_transfers();  // confirm the §VI-B swap-ins
+      break;
+    }
+    default:
+      break;
+  }
+  progress_.phase_started = true;
+  phase_wall_seconds_ += seconds_since(t0);
+}
+
+void ScenarioRunner::step_phase_cycle(const PhaseSpec& phase) {
+  const auto t0 = Clock::now();
+  switch (phase.kind) {
+    case PhaseKind::churn: {
+      const std::uint64_t arrivals =
+          phase.poisson_arrivals
+              ? util::sample_poisson(
+                    workload_rng_,
+                    static_cast<double>(phase.adds_per_cycle))
+              : phase.adds_per_cycle;
+      for (std::uint64_t a = 0; a < arrivals; ++a) {
+        (void)add_file();
+      }
+      const double expected_discards =
+          phase.discard_fraction * static_cast<double>(live_files_.size());
+      const std::uint64_t discards =
+          expected_discards > 0.0
+              ? util::sample_poisson(workload_rng_, expected_discards)
+              : 0;
+      for (std::uint64_t d = 0; d < discards; ++d) {
+        const core::FileId file = sample_live_file();
+        if (file == core::kNoFile) break;
+        (void)net_->file_discard(client_, file);
+        forget_file(file);  // removal completes at the next Auto_CheckProof
+      }
+      advance_cycles(1);
+      break;
+    }
+    case PhaseKind::selfish_refresh: {
+      advance_cycles(1);
+      for (const core::FileId file : live_files_) {
+        if (!net_->file_exists(file)) continue;
+        progress_.observed.insert(file);
+        const std::uint32_t cp = net_->allocations().replica_count(file);
+        bool captive = cp > 0;
+        for (core::ReplicaIndex r = 0; r < cp; ++r) {
+          const core::SectorId holder =
+              net_->allocations().entry(file, r).prev;
+          if (holder == core::kNoSector ||
+              holder >= progress_.selfish_cutoff) {
+            captive = false;
+            break;
+          }
+        }
+        if (captive) {
+          progress_.ever_captive.insert(file);
+          progress_.max_streak =
+              std::max(progress_.max_streak, ++progress_.streak[file]);
+        } else {
+          progress_.streak.erase(file);
+        }
+      }
+      break;
+    }
+    case PhaseKind::idle:
+    case PhaseKind::corrupt_burst:
+    case PhaseKind::rent_audit:
+    case PhaseKind::admit:
+      advance_cycles(1);
+      break;
+  }
+  phase_wall_seconds_ += seconds_since(t0);
+}
+
+void ScenarioRunner::end_phase(const PhaseSpec& phase) {
+  const auto t0 = Clock::now();
+  PhaseMetrics& metrics = progress_.metrics;
+  switch (phase.kind) {
+    case PhaseKind::churn:
+      metrics.extras.emplace_back(
+          "add_rejections",
+          static_cast<double>(add_rejections_ - progress_.rejections_before));
+      break;
+    case PhaseKind::corrupt_burst:
+      metrics.extras.emplace_back(
+          "sectors_hit", static_cast<double>(progress_.sectors_hit));
+      break;
+    case PhaseKind::selfish_refresh:
+      metrics.extras.emplace_back(
+          "ever_captive_fraction",
+          progress_.observed.empty()
+              ? 0.0
+              : static_cast<double>(progress_.ever_captive.size()) /
+                    static_cast<double>(progress_.observed.size()));
+      metrics.extras.emplace_back("max_captive_streak",
+                                  static_cast<double>(progress_.max_streak));
+      metrics.extras.emplace_back(
+          "observed_files", static_cast<double>(progress_.observed.size()));
+      break;
+    case PhaseKind::rent_audit: {
+      const TokenAmount settled = net_->settle_all_rent();
+      const TokenAmount pool = ledger_.balance(net_->rent_pool_account());
+      const bool conserved =
+          net_->total_rent_charged() == net_->total_rent_paid() + pool;
+      metrics.extras.emplace_back("settled_now",
+                                  static_cast<double>(settled));
+      metrics.extras.emplace_back("rent_pool", static_cast<double>(pool));
+      metrics.extras.emplace_back("rent_conserved", conserved ? 1.0 : 0.0);
+      break;
+    }
+    case PhaseKind::admit: {
+      std::size_t on_admitted = 0;
+      std::size_t total = 0;
+      for (core::SectorId id = 0; id < net_->sectors().count(); ++id) {
+        total += net_->allocations().count_with_prev(id);
+      }
+      for (const core::SectorId id : progress_.admitted) {
+        on_admitted += net_->allocations().count_with_prev(id);
+      }
+      metrics.extras.emplace_back(
+          "admitted_sectors",
+          static_cast<double>(progress_.admitted.size()));
+      metrics.extras.emplace_back(
+          "newcomer_share",
+          total == 0 ? 0.0
+                     : static_cast<double>(on_admitted) /
+                           static_cast<double>(total));
+      break;
+    }
+    case PhaseKind::idle:
+      break;
+  }
+
+  metrics.end_time = net_->now();
+  metrics.delta = stats_delta(net_->stats(), progress_.stats_before);
+  metrics.rent_charged =
+      net_->total_rent_charged() - progress_.rent_charged_before;
+  metrics.rent_paid = net_->total_rent_paid() - progress_.rent_paid_before;
+  metrics.wall_seconds = phase_wall_seconds_ + seconds_since(t0);
+  finished_phases_.push_back(std::move(metrics));
+
+  const std::size_t next_phase = progress_.phase_index + 1;
+  progress_ = RunProgress{};
+  progress_.phase_index = next_phase;
+  phase_wall_seconds_ = 0.0;
+}
+
 MetricsReport ScenarioRunner::run() {
   FI_CHECK_MSG(!ran_, "ScenarioRunner::run() is single-shot");
   ran_ = true;
 
   const auto run0 = Clock::now();
+  while (progress_.phase_index < spec_.phases.size()) {
+    const PhaseSpec& phase = spec_.phases[progress_.phase_index];
+    if (!progress_.phase_started) begin_phase(phase);
+    while (progress_.cycles_done < phase_total_cycles(phase)) {
+      step_phase_cycle(phase);
+      ++progress_.cycles_done;
+      // The checkpoint-safe point: every accumulator lives in progress_,
+      // all transfers for the cycle are drained, no stack state in flight.
+      if (epoch_callback_) epoch_callback_(*this);
+    }
+    end_phase(phase);
+  }
+
   MetricsReport report;
   report.scenario = spec_.name;
   report.seed = spec_.seed;
   report.sectors = spec_.sectors;
   report.initial_files = initial_files_stored_;
   report.setup_seconds = setup_seconds_;
-
-  for (const PhaseSpec& phase : spec_.phases) {
-    PhaseMetrics metrics;
-    metrics.label = phase.display_label();
-    metrics.kind = phase_kind_name(phase.kind);
-    metrics.start_time = net_->now();
-    const core::NetworkStats before = net_->stats();
-    const TokenAmount charged0 = net_->total_rent_charged();
-    const TokenAmount paid0 = net_->total_rent_paid();
-    const auto phase0 = Clock::now();
-
-    run_phase(phase, metrics);
-
-    metrics.wall_seconds = seconds_since(phase0);
-    metrics.end_time = net_->now();
-    metrics.delta = stats_delta(net_->stats(), before);
-    metrics.rent_charged = net_->total_rent_charged() - charged0;
-    metrics.rent_paid = net_->total_rent_paid() - paid0;
-    report.phases.push_back(std::move(metrics));
-  }
+  report.phases = std::move(finished_phases_);
+  finished_phases_.clear();
 
   for (std::size_t i = 0; i < adversaries_.size(); ++i) {
     ActiveAdversary& adv = adversaries_[i];
@@ -431,166 +672,223 @@ MetricsReport ScenarioRunner::run() {
   return report;
 }
 
-void ScenarioRunner::run_phase(const PhaseSpec& phase, PhaseMetrics& metrics) {
-  switch (phase.kind) {
-    case PhaseKind::idle:
-      advance_cycles(phase.cycles);
-      break;
-    case PhaseKind::churn:
-      phase_churn(phase, metrics);
-      break;
-    case PhaseKind::corrupt_burst:
-      phase_corrupt_burst(phase, metrics);
-      break;
-    case PhaseKind::selfish_refresh:
-      phase_selfish_refresh(phase, metrics);
-      break;
-    case PhaseKind::rent_audit:
-      phase_rent_audit(phase, metrics);
-      break;
-    case PhaseKind::admit:
-      phase_admit(phase, metrics);
-      break;
+// ---------------------------------------------------------------------------
+// Snapshot / resume
+// ---------------------------------------------------------------------------
+
+void ScenarioRunner::save_state(util::BinaryWriter& writer) const {
+  // Construction-time ids, for cross-validation against the restoring
+  // runner (a different spec would lay accounts out differently).
+  writer.u64(provider_);
+  writer.u64(client_);
+
+  writer.u64(epoch_);
+  writer.u64(initial_files_stored_);
+  writer.u64(add_rejections_);
+  for (const std::uint64_t word : workload_rng_.state()) writer.u64(word);
+
+  ledger_.save(writer);
+  net_->save(writer);
+
+  writer.u64(transfer_queue_.size());
+  for (const core::ReplicaTransferRequested& req : transfer_queue_) {
+    writer.u64(req.file);
+    writer.u32(req.index);
+    writer.u64(req.from);
+    writer.u64(req.to);
+    writer.u64(req.client);
+    writer.u64(req.deadline);
   }
-}
 
-void ScenarioRunner::phase_churn(const PhaseSpec& phase,
-                                 PhaseMetrics& metrics) {
-  const std::uint64_t rejections0 = add_rejections_;
-  for (std::uint64_t cycle = 0; cycle < phase.cycles; ++cycle) {
-    const std::uint64_t arrivals =
-        phase.poisson_arrivals
-            ? util::sample_poisson(
-                  workload_rng_,
-                  static_cast<double>(phase.adds_per_cycle))
-            : phase.adds_per_cycle;
-    for (std::uint64_t a = 0; a < arrivals; ++a) {
-      (void)add_file();
-    }
-    const double expected_discards =
-        phase.discard_fraction * static_cast<double>(live_files_.size());
-    const std::uint64_t discards =
-        expected_discards > 0.0
-            ? util::sample_poisson(workload_rng_, expected_discards)
-            : 0;
-    for (std::uint64_t d = 0; d < discards; ++d) {
-      const core::FileId file = sample_live_file();
-      if (file == core::kNoFile) break;
-      (void)net_->file_discard(client_, file);
-      forget_file(file);  // removal completes at the next Auto_CheckProof
-    }
-    advance_cycles(1);
+  // Exact order: swap-erase position determines future uniform draws.
+  util::save_u64_seq(writer, live_files_);
+
+  writer.u64(adversaries_.size());
+  for (const ActiveAdversary& adv : adversaries_) {
+    for (const std::uint64_t word : adv.rng.state()) writer.u64(word);
+    adv.counters.save(writer);
+    util::save_u64_seq(writer, adv.claimed);
+    adv.strategy->save_state(writer);
   }
-  metrics.extras.emplace_back(
-      "add_rejections", static_cast<double>(add_rejections_ - rejections0));
-}
 
-void ScenarioRunner::phase_corrupt_burst(const PhaseSpec& phase,
-                                         PhaseMetrics& metrics) {
-  std::vector<core::SectorId> normal = adversary::normal_sector_ids(*net_);
-  const auto hits = util::shuffle_prefix(
-      normal,
-      static_cast<std::size_t>(std::llround(
-          phase.corrupt_fraction * static_cast<double>(normal.size()))),
-      workload_rng_);
-  for (std::size_t i = 0; i < hits; ++i) {
-    net_->corrupt_sector_now(normal[i]);
+  std::vector<std::pair<core::SectorId, std::uint64_t>> claims(
+      sector_claims_.begin(), sector_claims_.end());
+  std::sort(claims.begin(), claims.end());
+  writer.u64(claims.size());
+  for (const auto& [sector, index] : claims) {
+    writer.u64(sector);
+    writer.u64(index);
   }
-  advance_cycles(phase.cycles);
-  metrics.extras.emplace_back("sectors_hit", static_cast<double>(hits));
-}
+  save_id_set(refused_sectors_, writer);
 
-void ScenarioRunner::phase_selfish_refresh(const PhaseSpec& phase,
-                                           PhaseMetrics& metrics) {
-  // Sector ids are dense in registration order, so "the coalition" is the
-  // prefix [0, cutoff) of the fleet — a deterministic α-fraction.
-  const auto cutoff = static_cast<core::SectorId>(
-      std::ceil(phase.coalition_fraction *
-                static_cast<double>(net_->sectors().count())));
-  std::unordered_map<core::FileId, std::uint64_t> streak;
-  std::unordered_set<core::FileId> observed;
-  std::unordered_set<core::FileId> ever_captive;
-  std::uint64_t max_streak = 0;
-
-  for (std::uint64_t cycle = 0; cycle < phase.cycles; ++cycle) {
-    advance_cycles(1);
-    for (const core::FileId file : live_files_) {
-      if (!net_->file_exists(file)) continue;
-      observed.insert(file);
-      const std::uint32_t cp = net_->allocations().replica_count(file);
-      bool captive = cp > 0;
-      for (core::ReplicaIndex r = 0; r < cp; ++r) {
-        const core::SectorId holder =
-            net_->allocations().entry(file, r).prev;
-        if (holder == core::kNoSector || holder >= cutoff) {
-          captive = false;
-          break;
-        }
-      }
-      if (captive) {
-        ever_captive.insert(file);
-        max_streak = std::max(max_streak, ++streak[file]);
-      } else {
-        streak.erase(file);
-      }
+  // Run progress: the phase cursor plus every mid-phase accumulator.
+  writer.u64(progress_.phase_index);
+  writer.boolean(progress_.phase_started);
+  writer.u64(progress_.cycles_done);
+  progress_.metrics.save(writer);
+  core::save_network_stats(progress_.stats_before, writer);
+  writer.u64(progress_.rent_charged_before);
+  writer.u64(progress_.rent_paid_before);
+  writer.u64(progress_.rejections_before);
+  writer.u64(progress_.sectors_hit);
+  writer.u64(progress_.selfish_cutoff);
+  util::save_u64_seq(writer, progress_.admitted);
+  {
+    std::vector<std::pair<core::FileId, std::uint64_t>> streaks(
+        progress_.streak.begin(), progress_.streak.end());
+    std::sort(streaks.begin(), streaks.end());
+    writer.u64(streaks.size());
+    for (const auto& [file, streak] : streaks) {
+      writer.u64(file);
+      writer.u64(streak);
     }
   }
-  metrics.extras.emplace_back(
-      "ever_captive_fraction",
-      observed.empty() ? 0.0
-                       : static_cast<double>(ever_captive.size()) /
-                             static_cast<double>(observed.size()));
-  metrics.extras.emplace_back("max_captive_streak",
-                              static_cast<double>(max_streak));
-  metrics.extras.emplace_back("observed_files",
-                              static_cast<double>(observed.size()));
+  save_id_set(progress_.observed, writer);
+  save_id_set(progress_.ever_captive, writer);
+  writer.u64(progress_.max_streak);
+
+  writer.u64(finished_phases_.size());
+  for (const PhaseMetrics& metrics : finished_phases_) {
+    metrics.save(writer);
+  }
 }
 
-void ScenarioRunner::phase_rent_audit(const PhaseSpec& phase,
-                                      PhaseMetrics& metrics) {
-  // Cycle-granular (same horizon as one long advance) so adversaries keep
-  // acting through the audited periods.
-  advance_cycles(
-      util::checked_mul(phase.periods, spec_.params.rent_period_cycles));
-  const TokenAmount settled = net_->settle_all_rent();
-  const TokenAmount pool = ledger_.balance(net_->rent_pool_account());
-  const bool conserved =
-      net_->total_rent_charged() == net_->total_rent_paid() + pool;
-  metrics.extras.emplace_back("settled_now", static_cast<double>(settled));
-  metrics.extras.emplace_back("rent_pool", static_cast<double>(pool));
-  metrics.extras.emplace_back("rent_conserved", conserved ? 1.0 : 0.0);
+util::Status ScenarioRunner::load_state(util::BinaryReader& reader) {
+  const AccountId provider = reader.u64();
+  const AccountId client = reader.u64();
+  if (provider != provider_ || client != client_) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "snapshot account layout does not match the spec");
+  }
+
+  epoch_ = reader.u64();
+  initial_files_stored_ = reader.u64();
+  add_rejections_ = reader.u64();
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = reader.u64();
+  workload_rng_.set_state(rng_state);
+
+  ledger_.load(reader);
+  if (auto status = net_->load(reader); !status.is_ok()) return status;
+
+  transfer_queue_.clear();
+  const std::uint64_t transfers = reader.count(44);
+  transfer_queue_.reserve(transfers);
+  for (std::uint64_t i = 0; i < transfers; ++i) {
+    core::ReplicaTransferRequested req;
+    req.file = reader.u64();
+    req.index = reader.u32();
+    req.from = reader.u64();
+    req.to = reader.u64();
+    req.client = reader.u64();
+    req.deadline = reader.u64();
+    transfer_queue_.push_back(req);
+  }
+
+  live_files_ = util::load_u64_seq<core::FileId>(reader);
+  live_positions_.clear();
+  live_positions_.reserve(live_files_.size());
+  for (std::size_t i = 0; i < live_files_.size(); ++i) {
+    live_positions_[live_files_[i]] = i;
+  }
+
+  const std::uint64_t adversaries = reader.u64();
+  if (adversaries != adversaries_.size()) {
+    return util::err(util::ErrorCode::failed_precondition,
+                     "snapshot adversary count does not match the spec");
+  }
+  for (ActiveAdversary& adv : adversaries_) {
+    std::array<std::uint64_t, 4> adv_rng;
+    for (std::uint64_t& word : adv_rng) word = reader.u64();
+    adv.rng.set_state(adv_rng);
+    adv.counters.load(reader);
+    adv.claimed = util::load_u64_seq<core::SectorId>(reader);
+    adv.strategy->load_state(reader);
+  }
+
+  sector_claims_.clear();
+  const std::uint64_t claims = reader.count(16);
+  sector_claims_.reserve(claims);
+  for (std::uint64_t i = 0; i < claims; ++i) {
+    const core::SectorId sector = reader.u64();
+    const std::uint64_t index = reader.u64();
+    if (index >= adversaries_.size()) {
+      return util::err(util::ErrorCode::invalid_argument,
+                       "snapshot sector claim references unknown adversary");
+    }
+    sector_claims_[sector] = static_cast<std::size_t>(index);
+  }
+  refused_sectors_.clear();
+  for (const core::SectorId sector :
+       util::load_u64_seq<core::SectorId>(reader)) {
+    refused_sectors_.insert(sector);
+  }
+
+  progress_ = RunProgress{};
+  progress_.phase_index = static_cast<std::size_t>(reader.u64());
+  progress_.phase_started = reader.boolean();
+  progress_.cycles_done = reader.u64();
+  progress_.metrics.load(reader);
+  progress_.stats_before = core::load_network_stats(reader);
+  progress_.rent_charged_before = reader.u64();
+  progress_.rent_paid_before = reader.u64();
+  progress_.rejections_before = reader.u64();
+  progress_.sectors_hit = reader.u64();
+  progress_.selfish_cutoff = reader.u64();
+  progress_.admitted = util::load_u64_seq<core::SectorId>(reader);
+  {
+    const std::uint64_t streaks = reader.count(16);
+    progress_.streak.reserve(streaks);
+    for (std::uint64_t i = 0; i < streaks; ++i) {
+      const core::FileId file = reader.u64();
+      progress_.streak[file] = reader.u64();
+    }
+  }
+  for (const core::FileId file : util::load_u64_seq<core::FileId>(reader)) {
+    progress_.observed.insert(file);
+  }
+  for (const core::FileId file : util::load_u64_seq<core::FileId>(reader)) {
+    progress_.ever_captive.insert(file);
+  }
+  progress_.max_streak = reader.u64();
+  if (progress_.phase_index > spec_.phases.size() ||
+      (progress_.phase_index < spec_.phases.size() &&
+       progress_.cycles_done >
+           phase_total_cycles(spec_.phases[progress_.phase_index]))) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "snapshot phase cursor out of range for the spec");
+  }
+
+  finished_phases_.clear();
+  // Each PhaseMetrics encodes >= 176 bytes (two string prefixes, the
+  // 15-counter stats block, rent flows, extras count); a conservative 64
+  // still bounds a hostile prefix's reserve() to ~4x the input size.
+  const std::uint64_t phases = reader.count(64);
+  finished_phases_.reserve(phases);
+  for (std::uint64_t i = 0; i < phases; ++i) {
+    PhaseMetrics metrics;
+    metrics.load(reader);
+    finished_phases_.push_back(std::move(metrics));
+  }
+
+  if (!reader.ok() || !reader.exhausted()) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "malformed scenario snapshot body");
+  }
+  return util::Status::ok();
 }
 
-void ScenarioRunner::phase_admit(const PhaseSpec& phase,
-                                 PhaseMetrics& metrics) {
-  const ByteCount capacity =
-      util::checked_mul(spec_.sector_units, spec_.params.min_capacity);
-  std::vector<core::SectorId> admitted;
-  admitted.reserve(phase.add_sectors);
-  for (std::uint64_t s = 0; s < phase.add_sectors; ++s) {
-    const auto id = net_->sector_register(provider_, capacity);
-    FI_CHECK_MSG(id.is_ok(),
-                 "admit sector_register failed: " << id.status().to_string());
-    admitted.push_back(id.value());
+util::Result<std::unique_ptr<ScenarioRunner>> ScenarioRunner::resume(
+    ScenarioSpec spec, util::BinaryReader& reader) {
+  if (util::Status valid = spec.validate(); !valid.is_ok()) {
+    return valid;
   }
-  drain_transfers();  // confirm the §VI-B swap-ins
-  advance_cycles(phase.cycles);
-
-  std::size_t on_admitted = 0;
-  std::size_t total = 0;
-  for (core::SectorId id = 0; id < net_->sectors().count(); ++id) {
-    total += net_->allocations().count_with_prev(id);
+  std::unique_ptr<ScenarioRunner> runner(
+      new ScenarioRunner(std::move(spec), ResumeTag{}));
+  if (util::Status status = runner->load_state(reader); !status.is_ok()) {
+    return status;
   }
-  for (const core::SectorId id : admitted) {
-    on_admitted += net_->allocations().count_with_prev(id);
-  }
-  metrics.extras.emplace_back("admitted_sectors",
-                              static_cast<double>(admitted.size()));
-  metrics.extras.emplace_back(
-      "newcomer_share",
-      total == 0 ? 0.0
-                 : static_cast<double>(on_admitted) /
-                       static_cast<double>(total));
+  return runner;
 }
 
 }  // namespace fi::scenario

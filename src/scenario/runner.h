@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -11,6 +12,7 @@
 #include "ledger/account.h"
 #include "scenario/metrics.h"
 #include "scenario/spec.h"
+#include "util/binary_io.h"
 #include "util/prng.h"
 
 /// Drives `core::Network` through a declarative `ScenarioSpec`.
@@ -41,6 +43,15 @@
 /// `spec.seed ^ kAdversarySeedSalt`-derived stream, so attack schedules
 /// perturb neither of the above — reports stay byte-identical across
 /// `engine.workers` too.
+///
+/// Snapshot/resume: the run loop is an explicit epoch-granular state
+/// machine (`RunProgress`), so between any two proof cycles the whole
+/// experiment — engine, ledger, workload RNG, adversary progress, and the
+/// partially-built report — has a canonical serialized form. `save_state`
+/// emits it, `resume` rebuilds a runner that continues byte-identically to
+/// the uninterrupted run, and the epoch callback is the hook the snapshot
+/// layer uses to checkpoint every N epochs (`src/snapshot`,
+/// `fi_sim --save/--load`).
 namespace fi::scenario {
 
 /// Salt folded into `spec.seed` for the workload generator stream (kept
@@ -59,9 +70,37 @@ class ScenarioRunner {
   ScenarioRunner(const ScenarioRunner&) = delete;
   ScenarioRunner& operator=(const ScenarioRunner&) = delete;
 
-  /// Executes every phase and assembles the report. Single-shot: a second
-  /// call is an invariant violation (build a fresh runner per run).
+  /// Executes every phase (remaining phases, for a resumed runner) and
+  /// assembles the report. Single-shot: a second call is an invariant
+  /// violation (build a fresh runner per run).
   MetricsReport run();
+
+  // ---- Snapshot / resume --------------------------------------------------
+
+  /// Invoked after every completed proof cycle at the run loop's
+  /// checkpoint-safe point (all state consistent, no mid-phase locals in
+  /// flight). The snapshot layer installs the actual save policy — every N
+  /// epochs, at one target epoch, or never.
+  using EpochCallback = std::function<void(const ScenarioRunner&)>;
+  void set_epoch_callback(EpochCallback callback) {
+    epoch_callback_ = std::move(callback);
+  }
+
+  /// Canonical encoding of the full experiment state (ledger, engine,
+  /// workload RNG, adversaries, run progress). Deterministic and free of
+  /// wall-clock values, so its SHA-256 is a replayable state fingerprint.
+  void save_state(util::BinaryWriter& writer) const;
+
+  /// Rebuilds a runner mid-run from `save_state` output. `spec` must be
+  /// the spec of the saved run (the snapshot file embeds it);
+  /// `engine_workers` may differ — it is a pure throughput knob.
+  static util::Result<std::unique_ptr<ScenarioRunner>> resume(
+      ScenarioSpec spec, util::BinaryReader& reader);
+
+  /// The validated spec this runner executes.
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+
+  // ---- Introspection ------------------------------------------------------
 
   /// Post-run (or post-setup) inspection for wrappers that derive custom
   /// statistics beyond the standard report.
@@ -79,6 +118,12 @@ class ScenarioRunner {
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
  private:
+  struct ResumeTag {};
+  /// Resume path: builds the deterministic construction-time scaffolding
+  /// (accounts, engine, adversary objects, subscriptions) but skips the
+  /// setup population — `load_state` overwrites every piece of state.
+  ScenarioRunner(ScenarioSpec spec, ResumeTag);
+
   /// One configured adversary: its spec-built strategy, private RNG
   /// stream, outcome counters, and the sectors attributed to it.
   struct ActiveAdversary {
@@ -88,6 +133,44 @@ class ScenarioRunner {
     adversary::AdversaryCounters counters;
     std::vector<core::SectorId> claimed;
   };
+
+  /// Where the run loop stands, plus every mid-phase accumulator that used
+  /// to live on the stack of a phase body. Explicit so the whole run is
+  /// serializable between any two proof cycles.
+  struct RunProgress {
+    std::size_t phase_index = 0;
+    /// `begin_phase` ran for the current phase (baselines captured,
+    /// start-of-phase actions applied).
+    bool phase_started = false;
+    /// Proof cycles completed within the current phase.
+    std::uint64_t cycles_done = 0;
+
+    /// The phase's report entry under construction (label/kind/start set
+    /// at begin, delta/extras at end).
+    PhaseMetrics metrics;
+    core::NetworkStats stats_before;
+    TokenAmount rent_charged_before = 0;
+    TokenAmount rent_paid_before = 0;
+
+    /// churn: `add_rejections_` at phase start.
+    std::uint64_t rejections_before = 0;
+    /// corrupt_burst: sectors hit by the start-of-phase burst.
+    std::uint64_t sectors_hit = 0;
+    /// selfish_refresh: coalition prefix [0, cutoff) fixed at phase start.
+    core::SectorId selfish_cutoff = 0;
+    /// admit: sectors registered at phase start, in registration order.
+    std::vector<core::SectorId> admitted;
+    /// selfish_refresh captivity tracking (lookups only, never iterated).
+    std::unordered_map<core::FileId, std::uint64_t> streak;
+    std::unordered_set<core::FileId> observed;
+    std::unordered_set<core::FileId> ever_captive;
+    std::uint64_t max_streak = 0;
+  };
+
+  void init_adversaries();
+  void build_network();
+  void setup_population();
+  util::Status load_state(util::BinaryReader& reader);
 
   // ---- Epoch loop ---------------------------------------------------------
   /// Confirms every queued replica-transfer request (upload or refresh),
@@ -119,13 +202,16 @@ class ScenarioRunner {
   core::FileId sample_live_file();
   void forget_file(core::FileId file);
 
-  // ---- Phase bodies -------------------------------------------------------
-  void run_phase(const PhaseSpec& phase, PhaseMetrics& metrics);
-  void phase_churn(const PhaseSpec& phase, PhaseMetrics& metrics);
-  void phase_corrupt_burst(const PhaseSpec& phase, PhaseMetrics& metrics);
-  void phase_selfish_refresh(const PhaseSpec& phase, PhaseMetrics& metrics);
-  void phase_rent_audit(const PhaseSpec& phase, PhaseMetrics& metrics);
-  void phase_admit(const PhaseSpec& phase, PhaseMetrics& metrics);
+  // ---- Phase state machine ------------------------------------------------
+  /// Total proof cycles a phase spans (rent_audit converts periods).
+  [[nodiscard]] std::uint64_t phase_total_cycles(const PhaseSpec& phase) const;
+  /// Captures metric baselines and applies start-of-phase actions
+  /// (corruption burst, sector admission).
+  void begin_phase(const PhaseSpec& phase);
+  /// One proof cycle of the phase's workload.
+  void step_phase_cycle(const PhaseSpec& phase);
+  /// Finalizes the phase's report entry and advances to the next phase.
+  void end_phase(const PhaseSpec& phase);
 
   ScenarioSpec spec_;
   ledger::Ledger ledger_;
@@ -156,6 +242,14 @@ class ScenarioRunner {
   std::uint64_t add_rejections_ = 0;
   double setup_seconds_ = 0.0;
   bool ran_ = false;
+
+  RunProgress progress_;
+  /// Completed-phase entries accumulated so far (the report's `phases`).
+  std::vector<PhaseMetrics> finished_phases_;
+  EpochCallback epoch_callback_;
+  /// Wall-clock anchor for the current phase's `wall_seconds` (host time;
+  /// restarts at zero on resume — timings are not simulation state).
+  double phase_wall_seconds_ = 0.0;
 };
 
 }  // namespace fi::scenario

@@ -1,0 +1,145 @@
+#include "snapshot/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "crypto/sha256.h"
+#include "util/binary_io.h"
+#include "util/config.h"
+#include "util/hex.h"
+
+namespace fi::snapshot {
+
+namespace {
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+crypto::Digest payload_digest(std::span<const std::uint8_t> spec,
+                              std::span<const std::uint8_t> body) {
+  crypto::Sha256 hasher;
+  hasher.update(spec);
+  hasher.update(body);
+  return hasher.finalize();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_state(const scenario::ScenarioRunner& runner) {
+  util::BinaryWriter writer;
+  runner.save_state(writer);
+  return writer.data();
+}
+
+std::string state_hash(const scenario::ScenarioRunner& runner) {
+  util::BinaryWriter writer(/*keep_bytes=*/false);
+  runner.save_state(writer);
+  const crypto::Digest digest = writer.digest();
+  return util::to_hex(digest);
+}
+
+util::Status save_to_file(const scenario::ScenarioRunner& runner,
+                          const std::string& path) {
+  const std::string spec_text = runner.spec().to_config_string();
+  const std::vector<std::uint8_t> body = encode_state(runner);
+  const crypto::Digest digest = payload_digest(as_bytes(spec_text), body);
+
+  util::BinaryWriter header;
+  header.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
+  header.u32(kFormatVersion);
+  header.str(spec_text);
+  header.u64(body.size());
+  header.raw(digest);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::err(util::ErrorCode::unavailable,
+                     "cannot open snapshot file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(header.data().data()),
+            static_cast<std::streamsize>(header.data().size()));
+  out.write(reinterpret_cast<const char*>(body.data()),
+            static_cast<std::streamsize>(body.size()));
+  out.close();
+  if (!out.good()) {
+    return util::err(util::ErrorCode::unavailable,
+                     "failed to write snapshot file: " + path);
+  }
+  return util::Status::ok();
+}
+
+util::Result<Snapshot> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::err(util::ErrorCode::not_found,
+                     "cannot open snapshot file: " + path);
+  }
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  in.close();
+
+  util::BinaryReader reader(raw);
+  std::uint8_t magic[sizeof(kMagic)];
+  reader.raw(magic);
+  if (!reader.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     path + " is not a FileInsurer snapshot (bad magic)");
+  }
+  const std::uint32_t version = reader.u32();
+  if (reader.ok() && version != kFormatVersion) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     path + ": unsupported snapshot format version " +
+                         std::to_string(version) + " (this build reads " +
+                         std::to_string(kFormatVersion) + ")");
+  }
+  const std::string spec_text = reader.str();
+  const std::uint64_t body_len = reader.u64();
+  crypto::Digest stored_digest;
+  reader.raw(stored_digest);
+  if (!reader.ok() || reader.remaining() != body_len) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     path + ": truncated or malformed snapshot (body length "
+                            "does not match the header)");
+  }
+  std::vector<std::uint8_t> body(raw.end() - static_cast<std::ptrdiff_t>(body_len),
+                                 raw.end());
+  if (payload_digest(as_bytes(spec_text), body) != stored_digest) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     path + ": snapshot digest mismatch (corrupted file)");
+  }
+
+  auto config = util::Config::parse(spec_text);
+  if (!config.is_ok()) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     path + ": embedded spec does not parse: " +
+                         config.status().to_string());
+  }
+  auto spec = scenario::ScenarioSpec::from_config(config.value());
+  if (!spec.is_ok()) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     path + ": embedded spec invalid: " +
+                         spec.status().to_string());
+  }
+  return Snapshot{std::move(spec).value(), std::move(body)};
+}
+
+util::Result<std::unique_ptr<scenario::ScenarioRunner>> resume_from_file(
+    const std::string& path, std::optional<std::uint64_t> workers_override) {
+  auto snapshot = read_file(path);
+  if (!snapshot.is_ok()) return snapshot.status();
+  Snapshot snap = std::move(snapshot).value();
+  if (workers_override.has_value()) {
+    snap.spec.engine_workers = *workers_override;
+  }
+  util::BinaryReader reader(snap.body);
+  auto runner = scenario::ScenarioRunner::resume(std::move(snap.spec), reader);
+  if (!runner.is_ok()) {
+    return util::err(runner.status().code(),
+                     path + ": " + runner.status().message());
+  }
+  return std::move(runner).value();
+}
+
+}  // namespace fi::snapshot

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "util/status.h"
+
+/// Versioned checkpoint/restore of a whole scenario run (`fi_sim
+/// --save/--load`, the CI golden-hash gate, and every future long-horizon
+/// or segmented experiment).
+///
+/// File layout (all integers little-endian, via `util::BinaryWriter`):
+///
+///     magic    8 bytes   "FISNAP01"
+///     version  u32       kFormatVersion
+///     spec     u64 len + bytes   the run's spec, as config text
+///     body_len u64
+///     digest   32 bytes  SHA-256(spec bytes || body bytes)
+///     body     body_len bytes    ScenarioRunner::save_state encoding
+///
+/// The digest makes truncation and bit corruption detectable before any
+/// state is deserialized; the embedded spec makes a snapshot
+/// self-describing (`--load` needs no `--scenario`).
+///
+/// The *body* is the canonical state encoding: deterministic, free of
+/// wall-clock values, and independent of `engine.workers` (a pure
+/// throughput knob, carried in the spec text only). Its SHA-256 —
+/// `state_hash()` — is therefore a replayable fingerprint of the entire
+/// simulation: equal specs and equal epochs give equal hashes on every
+/// machine, worker count, and save/load history, which is the invariant
+/// the CI golden-hashes job pins (`tests/golden/state_hashes.txt`).
+namespace fi::snapshot {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr char kMagic[8] = {'F', 'I', 'S', 'N', 'A', 'P', '0', '1'};
+
+/// The canonical state body (buffered; prefer `state_hash` when only the
+/// fingerprint is needed).
+[[nodiscard]] std::vector<std::uint8_t> encode_state(
+    const scenario::ScenarioRunner& runner);
+
+/// Lower-case hex SHA-256 of the canonical state body, computed
+/// streamingly (no full buffering).
+[[nodiscard]] std::string state_hash(const scenario::ScenarioRunner& runner);
+
+/// Writes a snapshot file for the runner's current state. The runner must
+/// be at a checkpoint-safe point — between proof cycles (the epoch
+/// callback) or after `run()` returned.
+util::Status save_to_file(const scenario::ScenarioRunner& runner,
+                          const std::string& path);
+
+/// A validated snapshot: spec text already parsed, body digest-verified.
+struct Snapshot {
+  scenario::ScenarioSpec spec;
+  std::vector<std::uint8_t> body;
+};
+
+/// Reads and validates a snapshot file: magic, version, framing lengths,
+/// digest, and spec parse. Rejects truncated, corrupted and wrong-version
+/// files with a descriptive status.
+[[nodiscard]] util::Result<Snapshot> read_file(const std::string& path);
+
+/// `read_file` + `ScenarioRunner::resume`. `workers_override`, when set,
+/// replaces the saved `engine.workers` — the sweep merge is deterministic,
+/// so the continued run is byte-identical for every value.
+[[nodiscard]] util::Result<std::unique_ptr<scenario::ScenarioRunner>>
+resume_from_file(const std::string& path,
+                 std::optional<std::uint64_t> workers_override = {});
+
+}  // namespace fi::snapshot

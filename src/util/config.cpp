@@ -10,6 +10,16 @@
 
 namespace fi::util {
 
+bool parse_u64(const char* text, std::uint64_t& out) {
+  if (*text == '\0') return false;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  out = std::strtoull(text, nullptr, 10);
+  return errno == 0;
+}
+
 namespace {
 
 std::string_view trim(std::string_view s) {

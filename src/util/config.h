@@ -25,6 +25,13 @@
 /// unknown keys — the main defense against silently ignored typos.
 namespace fi::util {
 
+/// Strict unsigned decimal parse for CLI arguments: digits only (no sign,
+/// no trailing junk — `strtoull` alone would wrap negatives and let a
+/// typo'd token become 0), overflow rejected. Zero is accepted; callers
+/// with positive-only semantics check the value. One definition shared by
+/// every tool/bench so the edge cases cannot drift.
+[[nodiscard]] bool parse_u64(const char* text, std::uint64_t& out);
+
 class Config {
  public:
   /// Parses config text (auto-detecting key=value vs flat JSON).

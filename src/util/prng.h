@@ -42,6 +42,14 @@ class Xoshiro256 {
   /// substreams for parallel experiment arms.
   void jump();
 
+  /// Snapshot/restore of the raw generator state (`src/snapshot`): a
+  /// restored stream continues with exactly the draws the saved one would
+  /// have produced.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

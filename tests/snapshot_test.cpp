@@ -1,0 +1,400 @@
+// Snapshot/resume coverage: binary framing primitives, snapshot-file
+// validation (truncation, corruption, wrong version), and the headline
+// invariant — for every shipped config shape, save at an epoch E, load,
+// and continue: the final report JSON and the canonical state hash must be
+// byte-identical to the uninterrupted run, at engine.workers 1 and 8.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "snapshot/snapshot.h"
+#include "util/binary_io.h"
+#include "util/config.h"
+
+namespace fi {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Binary framing
+// ---------------------------------------------------------------------------
+
+TEST(BinaryIo, PrimitivesRoundTrip) {
+  util::BinaryWriter writer;
+  writer.u8(0xab);
+  writer.u16(0x1234);
+  writer.u32(0xdeadbeef);
+  writer.u64(0x0123456789abcdefULL);
+  writer.u128((static_cast<unsigned __int128>(7) << 64) | 11u);
+  writer.i64(-42);
+  writer.f64(0.6180339887498949);
+  writer.boolean(true);
+  writer.boolean(false);
+  writer.str("fileinsurer");
+  writer.bytes(std::vector<std::uint8_t>{1, 2, 3});
+
+  util::BinaryReader reader(writer.data());
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u16(), 0x1234);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefULL);
+  const unsigned __int128 wide = reader.u128();
+  EXPECT_EQ(static_cast<std::uint64_t>(wide), 11u);
+  EXPECT_EQ(static_cast<std::uint64_t>(wide >> 64), 7u);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_EQ(reader.f64(), 0.6180339887498949);
+  EXPECT_TRUE(reader.boolean());
+  EXPECT_FALSE(reader.boolean());
+  EXPECT_EQ(reader.str(), "fileinsurer");
+  EXPECT_EQ(reader.bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BinaryIo, EncodingIsExplicitLittleEndian) {
+  util::BinaryWriter writer;
+  writer.u32(0x04030201u);
+  ASSERT_EQ(writer.data().size(), 4u);
+  EXPECT_EQ(writer.data()[0], 0x01);
+  EXPECT_EQ(writer.data()[1], 0x02);
+  EXPECT_EQ(writer.data()[2], 0x03);
+  EXPECT_EQ(writer.data()[3], 0x04);
+}
+
+TEST(BinaryIo, ReadPastEndLatchesFailure) {
+  util::BinaryWriter writer;
+  writer.u32(5);
+  util::BinaryReader reader(writer.data());
+  (void)reader.u32();
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.u64(), 0u);  // past the end: zero value, sticky failure
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.u8(), 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BinaryIo, HostileLengthPrefixIsRejectedBeforeAllocation) {
+  util::BinaryWriter writer;
+  writer.u64(~0ull);  // claims ~2^64 elements
+  util::BinaryReader reader(writer.data());
+  EXPECT_EQ(reader.count(8), 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BinaryIo, MalformedBooleanFails) {
+  const std::uint8_t raw[1] = {2};
+  util::BinaryReader reader(raw);
+  (void)reader.boolean();
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BinaryIo, HashOnlyWriterMatchesBufferedDigest) {
+  util::BinaryWriter buffered;
+  util::BinaryWriter hashing(/*keep_bytes=*/false);
+  for (util::BinaryWriter* w : {&buffered, &hashing}) {
+    w->u64(123456789);
+    w->str("streaming state hash");
+    w->f64(2.718281828459045);
+  }
+  EXPECT_TRUE(hashing.data().empty());
+  EXPECT_EQ(hashing.size(), buffered.size());
+  EXPECT_EQ(hashing.digest(), buffered.digest());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario fixtures
+// ---------------------------------------------------------------------------
+
+/// Directory holding the shipped configs (set by CMake).
+#ifndef FI_CONFIG_DIR
+#error "FI_CONFIG_DIR must be defined by the build"
+#endif
+
+std::vector<fs::path> shipped_configs() {
+  std::vector<fs::path> configs;
+  for (const auto& entry : fs::directory_iterator(FI_CONFIG_DIR)) {
+    if (entry.path().extension() == ".cfg") configs.push_back(entry.path());
+  }
+  std::sort(configs.begin(), configs.end());
+  return configs;
+}
+
+/// Scales a shipped config down to unit-test size while keeping its shape:
+/// every phase kind, adversary strategy and knob combination survives, so
+/// the round-trip suite exercises exactly the structures each config
+/// stresses (mid-attack member lists, captivity streaks, audit periods)
+/// without CI-scale populations.
+scenario::ScenarioSpec shrunk_spec(const fs::path& config) {
+  auto loaded = util::Config::load(config.string());
+  EXPECT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  auto parsed = scenario::ScenarioSpec::from_config(loaded.value());
+  EXPECT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  scenario::ScenarioSpec spec = std::move(parsed).value();
+  spec.sectors = std::min<std::uint64_t>(spec.sectors, 80);
+  spec.initial_files = std::min<std::uint64_t>(spec.initial_files, 120);
+  for (scenario::PhaseSpec& phase : spec.phases) {
+    phase.cycles = std::min<std::uint64_t>(phase.cycles, 6);
+    phase.periods = std::min<std::uint64_t>(phase.periods, 1);
+    phase.adds_per_cycle = std::min<std::uint64_t>(phase.adds_per_cycle, 8);
+    phase.add_sectors = std::min<std::uint64_t>(phase.add_sectors, 10);
+  }
+  for (adversary::AdversarySpec& adv : spec.adversaries) {
+    adv.start_epoch = std::min<std::uint64_t>(adv.start_epoch, 1);
+    adv.sectors = std::min<std::uint64_t>(adv.sectors, 6);
+  }
+  return spec;
+}
+
+std::uint64_t total_epochs(const scenario::ScenarioSpec& spec) {
+  std::uint64_t cycles = 0;
+  for (const scenario::PhaseSpec& phase : spec.phases) {
+    cycles += phase.kind == scenario::PhaseKind::rent_audit
+                  ? phase.periods * spec.params.rent_period_cycles
+                  : phase.cycles;
+  }
+  return cycles;
+}
+
+struct RunOutcome {
+  std::string report_json;
+  std::string state_hash;
+};
+
+RunOutcome run_to_completion(scenario::ScenarioSpec spec) {
+  scenario::ScenarioRunner runner(std::move(spec));
+  const std::string json = runner.run().to_json();
+  return {json, snapshot::state_hash(runner)};
+}
+
+fs::path temp_snapshot_path(const std::string& tag) {
+  return fs::path(::testing::TempDir()) / ("fi_" + tag + ".fisnap");
+}
+
+/// The headline invariant: run uninterrupted; run again saving at
+/// `save_epoch`; resume from the file (optionally at a different worker
+/// count) and finish. All three reports and both state hashes must match
+/// byte for byte.
+void expect_save_load_identity(const scenario::ScenarioSpec& spec,
+                               std::uint64_t save_epoch,
+                               std::uint64_t resume_workers,
+                               const std::string& tag) {
+  const RunOutcome uninterrupted = run_to_completion(spec);
+
+  const fs::path path = temp_snapshot_path(tag);
+  {
+    scenario::ScenarioRunner saver(spec);
+    saver.set_epoch_callback(
+        [&](const scenario::ScenarioRunner& at_epoch) {
+          if (at_epoch.epoch() == save_epoch) {
+            const auto status = snapshot::save_to_file(at_epoch, path.string());
+            ASSERT_TRUE(status.is_ok()) << status.to_string();
+          }
+        });
+    // Saving must not perturb the saving run itself.
+    EXPECT_EQ(saver.run().to_json(), uninterrupted.report_json) << tag;
+  }
+  ASSERT_TRUE(fs::exists(path)) << tag << ": save_epoch " << save_epoch
+                                << " never reached";
+
+  auto resumed = snapshot::resume_from_file(path.string(), resume_workers);
+  ASSERT_TRUE(resumed.is_ok()) << tag << ": " << resumed.status().to_string();
+  scenario::ScenarioRunner& runner = *resumed.value();
+  EXPECT_EQ(runner.epoch(), save_epoch) << tag;
+  EXPECT_EQ(runner.run().to_json(), uninterrupted.report_json) << tag;
+  EXPECT_EQ(snapshot::state_hash(runner), uninterrupted.state_hash) << tag;
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips across every shipped config shape
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRoundTrip, EveryShippedConfigAtSeveralEpochs) {
+  const std::vector<fs::path> configs = shipped_configs();
+  ASSERT_GE(configs.size(), 10u) << "configs/ directory not found or empty";
+  for (const fs::path& config : configs) {
+    const scenario::ScenarioSpec spec = shrunk_spec(config);
+    const std::uint64_t epochs = total_epochs(spec);
+    ASSERT_GE(epochs, 2u) << config;
+    const std::string name = config.stem().string();
+    // Early (mid-attack for adversary configs: start_epoch is shrunk to
+    // ≤1) and late save points.
+    expect_save_load_identity(spec, 2, 1, name + "_e2");
+    expect_save_load_identity(spec, epochs - 1, 1, name + "_late");
+  }
+}
+
+TEST(SnapshotRoundTrip, WorkerCountMayChangeAcrossResume) {
+  // Resuming a serial run with 8 sweep workers (and vice versa) must not
+  // perturb a single byte — the acceptance bar for `engine.workers` being
+  // a pure throughput knob.
+  for (const char* name : {"smoke.cfg", "colluding_pool.cfg"}) {
+    scenario::ScenarioSpec spec =
+        shrunk_spec(fs::path(FI_CONFIG_DIR) / name);
+    expect_save_load_identity(spec, 3, 8, std::string("w8_") + name);
+    spec.engine_workers = 8;
+    expect_save_load_identity(spec, 3, 1, std::string("w1_") + name);
+  }
+}
+
+TEST(SnapshotRoundTrip, PeriodicCheckpointsAllResume) {
+  // checkpoint-every-N flavor: each overwrite is itself a valid resume
+  // point; the last one written must resume to the identical report.
+  scenario::ScenarioSpec spec =
+      shrunk_spec(fs::path(FI_CONFIG_DIR) / "smoke.cfg");
+  const RunOutcome uninterrupted = run_to_completion(spec);
+  const fs::path path = temp_snapshot_path("periodic");
+  std::uint64_t saves = 0;
+  {
+    scenario::ScenarioRunner saver(spec);
+    saver.set_epoch_callback(
+        [&](const scenario::ScenarioRunner& at_epoch) {
+          if (at_epoch.epoch() % 2 == 0) {
+            ASSERT_TRUE(
+                snapshot::save_to_file(at_epoch, path.string()).is_ok());
+            ++saves;
+          }
+        });
+    (void)saver.run();
+  }
+  EXPECT_GE(saves, 2u);
+  auto resumed = snapshot::resume_from_file(path.string());
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_EQ(resumed.value()->run().to_json(), uninterrupted.report_json);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection of bad snapshot files
+// ---------------------------------------------------------------------------
+
+class SnapshotFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = shrunk_spec(fs::path(FI_CONFIG_DIR) / "smoke.cfg");
+    // Per-test path: ctest runs each case as its own process, possibly in
+    // parallel, and a shared file would race SetUp against TearDown.
+    path_ = temp_snapshot_path(
+        std::string("tamper_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    scenario::ScenarioRunner saver(spec_);
+    saver.set_epoch_callback(
+        [this](const scenario::ScenarioRunner& at_epoch) {
+          if (at_epoch.epoch() == 2) {
+            ASSERT_TRUE(
+                snapshot::save_to_file(at_epoch, path_.string()).is_ok());
+          }
+        });
+    (void)saver.run();
+    ASSERT_TRUE(fs::exists(path_));
+    std::ifstream in(path_, std::ios::binary);
+    raw_.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+
+  void TearDown() override { fs::remove(path_); }
+
+  void write_raw(const std::vector<char>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  scenario::ScenarioSpec spec_;
+  fs::path path_;
+  std::vector<char> raw_;
+};
+
+TEST_F(SnapshotFileTest, IntactFileResumes) {
+  EXPECT_TRUE(snapshot::resume_from_file(path_.string()).is_ok());
+}
+
+TEST_F(SnapshotFileTest, MissingFileIsRejected) {
+  const auto result = snapshot::resume_from_file(path_.string() + ".nope");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::not_found);
+}
+
+TEST_F(SnapshotFileTest, BadMagicIsRejected) {
+  raw_[0] ^= 0x5a;
+  write_raw(raw_);
+  const auto result = snapshot::resume_from_file(path_.string());
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(SnapshotFileTest, WrongVersionIsRejected) {
+  raw_[8] = 99;  // version u32 follows the 8-byte magic
+  write_raw(raw_);
+  const auto result = snapshot::resume_from_file(path_.string());
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotFileTest, TruncationIsRejected) {
+  for (const std::size_t keep :
+       {raw_.size() - 1, raw_.size() / 2, std::size_t{40}, std::size_t{3}}) {
+    std::vector<char> cut(raw_.begin(),
+                          raw_.begin() + static_cast<std::ptrdiff_t>(keep));
+    write_raw(cut);
+    EXPECT_FALSE(snapshot::resume_from_file(path_.string()).is_ok())
+        << "accepted a file truncated to " << keep << " bytes";
+  }
+}
+
+TEST_F(SnapshotFileTest, BodyCorruptionIsRejectedByDigest) {
+  // Flip one bit in several body positions: the stored SHA-256 must catch
+  // every one before deserialization begins.
+  const std::size_t body_start = raw_.size() / 3;
+  for (const std::size_t at :
+       {body_start, raw_.size() / 2, raw_.size() - 9}) {
+    std::vector<char> mutated = raw_;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x01);
+    write_raw(mutated);
+    const auto result = snapshot::resume_from_file(path_.string());
+    EXPECT_FALSE(result.is_ok()) << "bit flip at " << at << " accepted";
+  }
+}
+
+TEST_F(SnapshotFileTest, SpecTamperingIsRejectedByDigest) {
+  // The embedded spec text is covered by the digest too: editing it (to
+  // resume under different parameters) must fail loudly.
+  const std::string needle = "seed";
+  auto it = std::search(raw_.begin(), raw_.end(), needle.begin(), needle.end());
+  ASSERT_NE(it, raw_.end());
+  *it = 'q';
+  write_raw(raw_);
+  EXPECT_FALSE(snapshot::resume_from_file(path_.string()).is_ok());
+}
+
+TEST_F(SnapshotFileTest, StateHashIsWorkerAndHistoryInvariant) {
+  // The same spec run to the same epoch has one canonical hash, no matter
+  // the worker count: the property the golden-hash CI gate relies on.
+  auto hash_at_epoch_2 = [this](std::uint64_t workers) {
+    scenario::ScenarioSpec spec = spec_;
+    spec.engine_workers = workers;
+    std::string hash;
+    scenario::ScenarioRunner runner(spec);
+    runner.set_epoch_callback(
+        [&hash](const scenario::ScenarioRunner& at_epoch) {
+          if (at_epoch.epoch() == 2) hash = snapshot::state_hash(at_epoch);
+        });
+    (void)runner.run();
+    return hash;
+  };
+  const std::string serial = hash_at_epoch_2(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial.size(), 64u);
+  EXPECT_EQ(hash_at_epoch_2(8), serial);
+}
+
+}  // namespace
+}  // namespace fi

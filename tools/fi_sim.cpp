@@ -2,29 +2,50 @@
 //
 //   fi_sim --scenario configs/churn_1m.cfg --out report.json
 //   fi_sim --scenario configs/smoke.cfg --set seed=7 --set sectors=500
+//   fi_sim --scenario configs/smoke.cfg --save ckpt.fisnap --save-at 5
+//   fi_sim --load ckpt.fisnap --out report.json --hash-state
 //
 // The report (schema: docs/BENCHMARKS.md) goes to --out, or stdout when no
 // --out is given; a one-line human summary always goes to stderr. Without
 // --timings the JSON is a pure function of the spec, so two runs with the
 // same config are byte-identical — diff reports to track trends.
+//
+// Snapshots (docs/ARCHITECTURE.md, src/snapshot): --save checkpoints the
+// whole simulation — engine tables, ledger, every PRNG stream, adversary
+// and phase progress — and --load continues it; the continued run's report
+// and --hash-state output are byte-identical to the uninterrupted run's,
+// at any --workers value. --hash-state prints the SHA-256 fingerprint of
+// the canonical end-of-run state as the last stdout line (use --out for
+// the report when capturing it); the CI golden-hashes job pins these
+// per-config in tests/golden/state_hashes.txt.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "snapshot/snapshot.h"
 #include "util/config.h"
 
 namespace {
+
+using fi::util::parse_u64;
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --scenario <config> [--out <report.json>] [--timings]\n"
       "          [--workers <n>] [--set key=value ...] [--dump-spec]\n"
+      "          [--save <file> [--save-at <epoch> | --save-every <n>]]\n"
+      "          [--hash-state]\n"
+      "       %s --load <file> [--out ...] [--workers <n>] [--timings]\n"
+      "          [--save ...] [--hash-state]\n"
       "\n"
       "  --scenario <config>  scenario spec (key=value or flat JSON file)\n"
       "  --out <path>         write the JSON report here (default: stdout)\n"
@@ -34,8 +55,16 @@ int usage(const char* argv0) {
       "                       engine.workers=<n>; 0 = hardware threads);\n"
       "                       reports are byte-identical for every value\n"
       "  --set key=value      override a config key (repeatable)\n"
-      "  --dump-spec          print the normalized spec and exit\n",
-      argv0);
+      "  --dump-spec          print the normalized spec and exit\n"
+      "  --save <file>        write a snapshot: at --save-at <epoch>, every\n"
+      "                       --save-every <n> epochs (overwriting), or at\n"
+      "                       the end of the run when neither is given\n"
+      "  --load <file>        resume a saved run instead of --scenario; the\n"
+      "                       continuation is byte-identical to the\n"
+      "                       uninterrupted run (--workers may differ)\n"
+      "  --hash-state         print the end-of-run state hash (SHA-256 of\n"
+      "                       the canonical state encoding) to stdout\n",
+      argv0, argv0);
   return 2;
 }
 
@@ -43,24 +72,63 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string scenario_path;
+  std::string load_path;
+  std::string save_path;
   std::string out_path;
+  std::uint64_t save_at = 0;
+  std::uint64_t save_every = 0;
   bool timings = false;
   bool dump_spec = false;
+  bool hash_state = false;
+  bool explicit_set = false;
+  std::optional<std::uint64_t> workers_override;
   std::vector<std::pair<std::string, std::string>> overrides;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scenario" && i + 1 < argc) {
       scenario_path = argv[++i];
+    } else if (arg == "--load" && i + 1 < argc) {
+      load_path = argv[++i];
+    } else if (arg == "--save" && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (arg == "--save-at" && i + 1 < argc) {
+      // Zero is reserved for "save at end of run" (no --save-at given);
+      // an explicit 0 would silently switch modes, so reject it.
+      if (!parse_u64(argv[++i], save_at) || save_at == 0) {
+        std::fprintf(stderr,
+                     "fi_sim: --save-at expects an epoch >= 1, got '%s'\n",
+                     argv[i]);
+        return usage(argv[0]);
+      }
+    } else if (arg == "--save-every" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], save_every) || save_every == 0) {
+        std::fprintf(
+            stderr,
+            "fi_sim: --save-every expects a cycle count >= 1, got '%s'\n",
+            argv[i]);
+        return usage(argv[0]);
+      }
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--timings") {
       timings = true;
+    } else if (arg == "--hash-state") {
+      hash_state = true;
     } else if (arg == "--workers" && i + 1 < argc) {
-      // Routed through the config override path so the value gets
-      // util::Config's strict unsigned-parse + range validation and
-      // round-trips via --dump-spec like any other key.
-      overrides.emplace_back("engine.workers", argv[++i]);
+      // Routed through the config override path (fresh runs) so the value
+      // gets util::Config's strict unsigned-parse + range validation and
+      // round-trips via --dump-spec like any other key; resumed runs apply
+      // it to the embedded spec.
+      const char* value = argv[++i];
+      std::uint64_t workers = 0;
+      if (!parse_u64(value, workers)) {
+        std::fprintf(stderr, "fi_sim: --workers expects a number, got '%s'\n",
+                     value);
+        return usage(argv[0]);
+      }
+      workers_override = workers;
+      overrides.emplace_back("engine.workers", value);
     } else if (arg == "--dump-spec") {
       dump_spec = true;
     } else if (arg == "--set" && i + 1 < argc) {
@@ -71,41 +139,125 @@ int main(int argc, char** argv) {
                      kv.c_str());
         return usage(argv[0]);
       }
+      explicit_set = true;
       overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
     } else {
       std::fprintf(stderr, "fi_sim: unknown argument '%s'\n", arg.c_str());
       return usage(argv[0]);
     }
   }
-  if (scenario_path.empty()) {
-    std::fprintf(stderr, "fi_sim: --scenario is required\n");
+  if (scenario_path.empty() == load_path.empty()) {
+    std::fprintf(stderr,
+                 "fi_sim: exactly one of --scenario or --load is required\n");
+    return usage(argv[0]);
+  }
+  if (save_path.empty() && (save_at != 0 || save_every != 0)) {
+    std::fprintf(stderr, "fi_sim: --save-at/--save-every need --save\n");
+    return usage(argv[0]);
+  }
+  if (save_at != 0 && save_every != 0) {
+    std::fprintf(stderr, "fi_sim: --save-at and --save-every are exclusive\n");
     return usage(argv[0]);
   }
 
-  auto config = fi::util::Config::load(scenario_path);
-  if (!config.is_ok()) {
-    std::fprintf(stderr, "fi_sim: %s\n", config.status().to_string().c_str());
-    return 1;
-  }
-  for (auto& [key, value] : overrides) {
-    config.value().set(key, value);
+  std::unique_ptr<fi::scenario::ScenarioRunner> runner;
+  if (!load_path.empty()) {
+    // A snapshot embeds its spec; only the worker count — a pure
+    // throughput knob — may be overridden for the continuation, and only
+    // through --workers (which reaches the resumed spec via
+    // workers_override; --set values would be silently dropped).
+    if (explicit_set) {
+      std::fprintf(stderr,
+                   "fi_sim: --set cannot modify a resumed run (the snapshot "
+                   "pins the spec); use --workers to change the worker "
+                   "count\n");
+      return usage(argv[0]);
+    }
+    if (dump_spec) {
+      auto snapshot = fi::snapshot::read_file(load_path);
+      if (!snapshot.is_ok()) {
+        std::fprintf(stderr, "fi_sim: %s\n",
+                     snapshot.status().to_string().c_str());
+        return 1;
+      }
+      std::fputs(snapshot.value().spec.to_config_string().c_str(), stdout);
+      return 0;
+    }
+    auto resumed =
+        fi::snapshot::resume_from_file(load_path, workers_override);
+    if (!resumed.is_ok()) {
+      std::fprintf(stderr, "fi_sim: %s\n",
+                   resumed.status().to_string().c_str());
+      return 1;
+    }
+    runner = std::move(resumed).value();
+  } else {
+    auto config = fi::util::Config::load(scenario_path);
+    if (!config.is_ok()) {
+      std::fprintf(stderr, "fi_sim: %s\n",
+                   config.status().to_string().c_str());
+      return 1;
+    }
+    for (auto& [key, value] : overrides) {
+      config.value().set(key, value);
+    }
+
+    auto spec = fi::scenario::ScenarioSpec::from_config(config.value());
+    if (!spec.is_ok()) {
+      std::fprintf(stderr, "fi_sim: %s: %s\n", scenario_path.c_str(),
+                   spec.status().to_string().c_str());
+      return 1;
+    }
+
+    if (dump_spec) {
+      std::fputs(spec.value().to_config_string().c_str(), stdout);
+      return 0;
+    }
+
+    runner = std::make_unique<fi::scenario::ScenarioRunner>(
+        std::move(spec).value());
   }
 
-  auto spec = fi::scenario::ScenarioSpec::from_config(config.value());
-  if (!spec.is_ok()) {
-    std::fprintf(stderr, "fi_sim: %s: %s\n", scenario_path.c_str(),
-                 spec.status().to_string().c_str());
-    return 1;
+  bool save_failed = false;
+  bool save_fired = false;
+  if (!save_path.empty() && (save_at != 0 || save_every != 0)) {
+    runner->set_epoch_callback(
+        [&](const fi::scenario::ScenarioRunner& at_epoch) {
+          const std::uint64_t epoch = at_epoch.epoch();
+          const bool due = save_every != 0 ? epoch % save_every == 0
+                                           : epoch == save_at;
+          if (!due) return;
+          save_fired = true;
+          const auto status =
+              fi::snapshot::save_to_file(at_epoch, save_path);
+          if (!status.is_ok()) {
+            std::fprintf(stderr, "fi_sim: snapshot save failed: %s\n",
+                         status.to_string().c_str());
+            save_failed = true;
+          }
+        });
   }
 
-  if (dump_spec) {
-    std::fputs(spec.value().to_config_string().c_str(), stdout);
-    return 0;
-  }
-
-  fi::scenario::ScenarioRunner runner(std::move(spec).value());
-  const fi::scenario::MetricsReport report = runner.run();
+  const fi::scenario::MetricsReport report = runner->run();
   const std::string json = report.to_json(timings);
+
+  if (!save_path.empty() && save_at == 0 && save_every == 0) {
+    const auto status = fi::snapshot::save_to_file(*runner, save_path);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "fi_sim: snapshot save failed: %s\n",
+                   status.to_string().c_str());
+      save_failed = true;
+    }
+  } else if (!save_path.empty() && !save_fired) {
+    // A requested checkpoint that never happened must not look like
+    // success — the epoch was past the run's end (or the interval longer
+    // than the run), and a later --load would fail on a missing file.
+    std::fprintf(stderr,
+                 "fi_sim: --save never fired: the run ended at epoch %llu "
+                 "before the requested save point\n",
+                 static_cast<unsigned long long>(runner->epoch()));
+    save_failed = true;
+  }
 
   if (out_path.empty()) {
     std::fputs(json.c_str(), stdout);
@@ -119,6 +271,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (hash_state) {
+    std::fprintf(stdout, "%s\n", fi::snapshot::state_hash(*runner).c_str());
+  }
+
   std::fprintf(
       stderr,
       "fi_sim: %s seed=%llu — %llu files stored, %llu lost, "
@@ -128,5 +284,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report.totals.files_lost),
       report.rent_conserved ? "conserved" : "LEAKED",
       report.wall_seconds + report.setup_seconds, report.setup_seconds);
+  if (save_failed) return 1;
   return report.rent_conserved ? 0 : 1;
 }
