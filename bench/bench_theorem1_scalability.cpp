@@ -79,13 +79,14 @@ int main() {
       }
     }
 
-    const double r1 = analysis::theorem1_r1(sum_size_value, sum_size,
-                                            params.min_value);
+    const double r1 = analysis::theorem1_r1(
+        sum_size_value, sum_size, static_cast<double>(params.min_value));
     const double r2 = analysis::theorem1_r2(
-        sum_value, sum_size, params.min_capacity, params.min_value,
-        params.cap_para);
+        sum_value, sum_size, static_cast<double>(params.min_capacity),
+        static_cast<double>(params.min_value), params.cap_para);
     const double bound = analysis::theorem1_capacity_bound(
-        static_cast<double>(ns), params.min_capacity, r1, r2, params.k);
+        static_cast<double>(ns), static_cast<double>(params.min_capacity),
+        r1, r2, params.k);
     const double ratio = static_cast<double>(stored_raw) / bound;
     if (first_ratio == 0.0) first_ratio = ratio;
     std::printf("%6zu %14.0f %14llu %14llu %12.2f %10llu\n", ns, bound,

@@ -83,7 +83,8 @@ int main() {
   std::vector<baselines::WorkloadFile> workload(
       static_cast<std::size_t>(stored),
       baselines::WorkloadFile{1024, spec.file_value});
-  filecoin.setup(spec.sectors, workload, /*seed=*/31337);
+  filecoin.setup(static_cast<std::uint32_t>(spec.sectors), workload,
+                 /*seed=*/31337);
   const auto outcome = filecoin.corrupt_random(0.5);
   std::printf("\nFilecoin baseline (same %llu files, %u replicas, same "
               "lambda=0.5):\n",

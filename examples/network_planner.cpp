@@ -96,8 +96,8 @@ int main() {
   for (std::size_t i = 0; i + 1 < order.size(); ++i) {
     std::swap(order[i], order[i + rng.uniform_below(order.size() - i)]);
   }
-  const auto dead =
-      static_cast<std::size_t>(targets.lambda * sectors.size());
+  const auto dead = static_cast<std::size_t>(
+      targets.lambda * static_cast<double>(sectors.size()));
   for (std::size_t i = 0; i < dead; ++i) {
     net.corrupt_sector_now(sectors[order[i]]);
   }

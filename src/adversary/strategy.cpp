@@ -141,6 +141,8 @@ class TargetedFile final : public AdversaryStrategy {
   }
 
  private:
+  // fi-lint: not-serialized(rebuilt from the scenario spec when the
+  // strategy is re-created on resume)
   AdversarySpec spec_;
   core::FileId target_ = core::kNoFile;
   bool lost_ = false;
@@ -190,6 +192,8 @@ class ColludingPool final : public AdversaryStrategy {
   }
 
  private:
+  // fi-lint: not-serialized(rebuilt from the scenario spec when the
+  // strategy is re-created on resume)
   AdversarySpec spec_;
   bool recruited_ = false;
   std::vector<SectorId> members_;
@@ -262,6 +266,8 @@ class ProofWithholder final : public AdversaryStrategy {
   }
 
  private:
+  // fi-lint: not-serialized(rebuilt from the scenario spec when the
+  // strategy is re-created on resume)
   AdversarySpec spec_;
   bool recruited_ = false;
   std::vector<SectorId> members_;
@@ -297,6 +303,8 @@ class ChurnGriefer final : public AdversaryStrategy {
   }
 
  private:
+  // fi-lint: not-serialized(rebuilt from the scenario spec when the
+  // strategy is re-created on resume)
   AdversarySpec spec_;
 };
 
@@ -350,6 +358,8 @@ class AdaptiveThreshold final : public AdversaryStrategy {
   }
 
  private:
+  // fi-lint: not-serialized(rebuilt from the scenario spec when the
+  // strategy is re-created on resume)
   AdversarySpec spec_;
   std::uint64_t rate_;
   std::uint64_t active_epochs_ = 0;
@@ -396,6 +406,8 @@ class RefreshSaboteur final : public AdversaryStrategy {
   }
 
  private:
+  // fi-lint: not-serialized(rebuilt from the scenario spec when the
+  // strategy is re-created on resume)
   AdversarySpec spec_;
   bool recruited_ = false;
   bool stopped_ = false;

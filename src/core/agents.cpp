@@ -74,8 +74,8 @@ void ClientAgent::retrieve_data(FileId file, DataCallback on_done) {
                   std::function<void(std::size_t)>>(attempt),
               file, expected_root, size,
               on_done = std::move(on_done)](std::size_t i) {
-    auto attempt = weak_attempt.lock();
-    FI_CHECK_MSG(attempt != nullptr, "retrieval chain outlived its owner");
+    auto self = weak_attempt.lock();
+    FI_CHECK_MSG(self != nullptr, "retrieval chain outlived its owner");
     if (i >= sectors->size()) {
       on_done(std::nullopt);
       return;
@@ -97,7 +97,7 @@ void ClientAgent::retrieve_data(FileId file, DataCallback on_done) {
     if (!found) {
       // Holder unavailable or selfish: move on after a probe delay.
       sim_.schedule_after(sim_.transfer_base_latency,
-                          [attempt, i] { (*attempt)(i + 1); });
+                          [self, i] { (*self)(i + 1); });
       return;
     }
     sim_.schedule_after(

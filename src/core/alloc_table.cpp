@@ -148,6 +148,7 @@ void AllocTable::index_remove(SectorIndex& index, SectorId sector,
 void AllocTable::save(util::BinaryWriter& writer) const {
   std::vector<FileId> files;
   files.reserve(entries_.size());
+  // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
   for (const auto& [file, _] : entries_) files.push_back(file);
   std::sort(files.begin(), files.end());
   writer.u64(files.size());

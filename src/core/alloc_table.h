@@ -142,6 +142,7 @@ class AllocTable {
   SectorIndex by_next_;
   /// Dense array + position map for O(1) uniform sampling of normal entries.
   std::vector<EntryKey> normal_entries_;
+  // fi-lint: not-serialized(derived: rebuilt from normal_entries_ on load)
   std::unordered_map<EntryKey, std::size_t, EntryKeyHash> normal_positions_;
 };
 

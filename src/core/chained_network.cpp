@@ -106,10 +106,17 @@ std::vector<ledger::PowerEntry> ChainedNetwork::power_table() const {
     }
   }
   table.reserve(power.size());
+  // fi-lint: allow(unordered-iter, entries are sorted by miner below)
   for (const auto& [owner, p] : power) {
     table.push_back(
         {owner, p, crypto::hash_u64s("fi/power-anchor", {owner})});
   }
+  // Canonical miner order: the table feeds elections, and run_election
+  // reports winners in table order, so hash-map layout must not leak.
+  std::sort(table.begin(), table.end(),
+            [](const ledger::PowerEntry& a, const ledger::PowerEntry& b) {
+              return a.miner < b.miner;
+            });
   return table;
 }
 

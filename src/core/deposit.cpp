@@ -92,6 +92,7 @@ void DepositBook::settle() {
 void DepositBook::save(util::BinaryWriter& writer) const {
   std::vector<SectorId> sectors;
   sectors.reserve(deposits_.size());
+  // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
   for (const auto& [sector, _] : deposits_) sectors.push_back(sector);
   std::sort(sectors.begin(), sectors.end());
   writer.u64(sectors.size());

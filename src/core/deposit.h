@@ -80,8 +80,12 @@ class DepositBook {
     TokenAmount amount = 0;
   };
 
+  // fi-lint: not-serialized(external ledger wired at construction)
   ledger::Ledger& ledger_;
+  // fi-lint: not-serialized(fixed at construction; a freshly built
+  // network recreates the identical escrow account)
   AccountId escrow_;
+  // fi-lint: not-serialized(fixed at construction, like escrow_)
   AccountId pool_;
   std::unordered_map<SectorId, Deposit> deposits_;
   std::deque<Liability> liabilities_;

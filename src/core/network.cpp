@@ -1146,6 +1146,7 @@ void Network::save(util::BinaryWriter& writer) const {
   writer.u64(total_rent_paid_);
   writer.boolean(auto_prove_);
 
+  // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
   std::vector<SectorId> corrupted(physically_corrupted_.begin(),
                                   physically_corrupted_.end());
   std::sort(corrupted.begin(), corrupted.end());
@@ -1160,6 +1161,7 @@ void Network::save(util::BinaryWriter& writer) const {
 
   std::vector<FileId> files;
   files.reserve(files_.size());
+  // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
   for (const auto& [file, _] : files_) files.push_back(file);
   std::sort(files.begin(), files.end());
   writer.u64(files.size());

@@ -457,9 +457,15 @@ class Network {
   /// Starts a refresh of (file, index) targeted at a specific sector.
   bool start_refresh_to(FileId file, ReplicaIndex index, SectorId target);
 
+  // fi-lint: not-serialized(construction-time config; the runner rebuilds
+  // the Network from the same spec before load_state)
   Params params_;
+  // fi-lint: not-serialized(reference to the externally-owned ledger, which
+  // snapshots itself through its own save_state/load_state pair)
   ledger::Ledger& ledger_;
   util::Xoshiro256 rng_;
+  // fi-lint: not-serialized(callback handle; re-bound by the host after
+  // resume, never part of canonical state)
   BeaconSource beacon_;
 
   AccountId escrow_;
@@ -472,6 +478,8 @@ class Network {
   AllocTable alloc_table_;
   PendingList pending_;
   DepositBook deposit_book_;
+  // fi-lint: not-serialized(subscriber registry; observers re-subscribe on
+  // resume and replayed history is not part of canonical state)
   EventBus bus_;
 
   std::unordered_map<FileId, FileRecord> files_;
@@ -496,10 +504,14 @@ class Network {
 
   /// Worker pool for epoch sweeps (null while `workers_ == 1`).
   unsigned workers_ = 1;
+  // fi-lint: not-serialized(host-side thread pool; rebuilt lazily from
+  // `workers_` on the next sweep, carries no simulation state)
   std::unique_ptr<util::TaskPool> sweep_pool_;
   /// Per-batch scan slots, reused across sweeps to avoid churn. Indexed by
   /// position within the current run; each worker writes only its shard.
+  // fi-lint: not-serialized(scratch buffers valid only within one sweep)
   std::vector<ProofScan> proof_scans_;
+  // fi-lint: not-serialized(scratch buffers valid only within one sweep)
   std::vector<RefreshScan> refresh_scans_;
 
   NetworkStats stats_;

@@ -115,8 +115,11 @@ class PendingList {
   std::multimap<Time, Task> tasks_;
   /// Last-insert hint (see `schedule`). Iterators into a multimap survive
   /// unrelated inserts; only `pop_due`'s erasures invalidate the cache.
+  // fi-lint: not-serialized(insert-hint cache; load() resets it)
   std::multimap<Time, Task>::iterator hint_it_;
+  // fi-lint: not-serialized(insert-hint cache; load() resets it)
   Time hint_time_ = 0;
+  // fi-lint: not-serialized(insert-hint cache; load() resets it)
   bool hint_valid_ = false;
 };
 

@@ -25,6 +25,7 @@ void ReputationTracker::bump(ProviderId provider, double delta) {
 }
 
 void ReputationTracker::decay_all() {
+  // fi-lint: allow(unordered-iter, commutative per-element update; no order-dependent reads)
   for (auto& [provider, score] : scores_) score *= params_.decay;
 }
 
@@ -64,18 +65,21 @@ std::vector<std::pair<ProviderId, double>> ReputationTracker::distribution()
     const {
   std::vector<std::pair<ProviderId, double>> out;
   if (scores_.empty()) return out;
-  // Stable softmax: subtract the max score before exponentiating.
-  double max_score = -1e300;
-  for (const auto& [p, s] : scores_) max_score = std::max(max_score, s);
-  double total = 0.0;
   out.reserve(scores_.size());
-  for (const auto& [p, s] : scores_) {
-    const double w = std::exp((s - max_score) / params_.temperature);
-    out.emplace_back(p, w);
+  // fi-lint: allow(unordered-iter, scores collected then sorted before the order-sensitive float sums)
+  for (const auto& [p, s] : scores_) out.emplace_back(p, s);
+  std::sort(out.begin(), out.end());
+  // Stable softmax: subtract the max score before exponentiating. The
+  // weights and the normalizing sum run in sorted provider order so the
+  // result is bit-identical regardless of hash-map layout.
+  double max_score = -1e300;
+  for (const auto& [p, s] : out) max_score = std::max(max_score, s);
+  double total = 0.0;
+  for (auto& [p, w] : out) {
+    w = std::exp((w - max_score) / params_.temperature);
     total += w;
   }
   for (auto& [p, w] : out) w /= total;
-  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -116,10 +116,14 @@ class SectorTable {
   /// registration.
   void transition_capacity(Sector& s, SectorState to);
 
+  // fi-lint: not-serialized(config reference wired at construction)
   const Params& params_;
   std::vector<Sector> sectors_;
+  // fi-lint: not-serialized(derived: load() rebuilds the Fenwick tree)
   util::FenwickTree weights_;
+  // fi-lint: not-serialized(derived: load() re-accumulates per-state totals)
   std::array<ByteCount, kSectorStateCount> capacity_by_state_{};
+  // fi-lint: not-serialized(derived: load() re-accumulates rentable units)
   std::uint64_t rentable_units_ = 0;
 };
 

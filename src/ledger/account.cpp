@@ -56,6 +56,7 @@ util::Status Ledger::mint(AccountId account, TokenAmount amount) {
 void Ledger::save(util::BinaryWriter& writer) const {
   writer.u64(next_id_);
   writer.u64(total_supply_);
+  // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
   std::vector<std::pair<AccountId, TokenAmount>> rows(balances_.begin(),
                                                       balances_.end());
   std::sort(rows.begin(), rows.end());

@@ -37,6 +37,7 @@ struct PhaseMetrics {
   /// `ever_captive_fraction`), in a fixed emission order.
   std::vector<std::pair<std::string, double>> extras;
   /// Host wall-clock cost; serialized only with `include_timings`.
+  // fi-lint: not-serialized(host wall timing; reporting only, reset on resume)
   double wall_seconds = 0.0;
 
   /// Canonical snapshot encoding / restore (`src/snapshot`). Wall-clock

@@ -15,6 +15,8 @@ namespace fi::scenario {
 
 namespace {
 
+// fi-lint: allow(wall-clock, host-side phase timing only; the measured
+// seconds land in reporting fields that never feed simulation state)
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
@@ -71,6 +73,7 @@ std::uint64_t planned_cycles(const ScenarioSpec& spec) {
 template <typename Id>
 void save_id_set(const std::unordered_set<Id>& set,
                  util::BinaryWriter& writer) {
+  // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
   std::vector<Id> ids(set.begin(), set.end());
   std::sort(ids.begin(), ids.end());
   util::save_u64_seq(writer, ids);
@@ -712,6 +715,7 @@ void ScenarioRunner::save_state(util::BinaryWriter& writer) const {
   }
 
   std::vector<std::pair<core::SectorId, std::uint64_t>> claims(
+      // fi-lint: allow(unordered-iter, sorted before encoding)
       sector_claims_.begin(), sector_claims_.end());
   std::sort(claims.begin(), claims.end());
   writer.u64(claims.size());
@@ -735,6 +739,7 @@ void ScenarioRunner::save_state(util::BinaryWriter& writer) const {
   util::save_u64_seq(writer, progress_.admitted);
   {
     std::vector<std::pair<core::FileId, std::uint64_t>> streaks(
+        // fi-lint: allow(unordered-iter, sorted before encoding)
         progress_.streak.begin(), progress_.streak.end());
     std::sort(streaks.begin(), streaks.end());
     writer.u64(streaks.size());

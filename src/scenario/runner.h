@@ -127,6 +127,7 @@ class ScenarioRunner {
   /// One configured adversary: its spec-built strategy, private RNG
   /// stream, outcome counters, and the sectors attributed to it.
   struct ActiveAdversary {
+    // fi-lint: not-serialized(rebuilt from the scenario spec on resume)
     adversary::AdversarySpec spec;
     std::unique_ptr<adversary::AdversaryStrategy> strategy;
     util::Xoshiro256 rng;
@@ -213,6 +214,8 @@ class ScenarioRunner {
   /// Finalizes the phase's report entry and advances to the next phase.
   void end_phase(const PhaseSpec& phase);
 
+  // fi-lint: not-serialized(construction input; resume re-supplies the
+  // identical spec, cross-checked against the snapshot's spec text)
   ScenarioSpec spec_;
   ledger::Ledger ledger_;
   std::unique_ptr<core::Network> net_;
@@ -227,6 +230,7 @@ class ScenarioRunner {
   /// Dense live-file set (swap-erase + position map) kept in sync through
   /// engine events; O(1) uniform sampling for churn discards.
   std::vector<core::FileId> live_files_;
+  // fi-lint: not-serialized(derived: position map of live_files_, rebuilt on load)
   std::unordered_map<core::FileId, std::size_t> live_positions_;
 
   /// Configured adversaries, in spec order.
@@ -240,15 +244,20 @@ class ScenarioRunner {
 
   std::uint64_t initial_files_stored_ = 0;
   std::uint64_t add_rejections_ = 0;
+  // fi-lint: not-serialized(host wall timing; reporting only)
   double setup_seconds_ = 0.0;
+  // fi-lint: not-serialized(single-shot run() latch; resume always
+  // reconstructs a not-yet-run runner)
   bool ran_ = false;
 
   RunProgress progress_;
   /// Completed-phase entries accumulated so far (the report's `phases`).
   std::vector<PhaseMetrics> finished_phases_;
+  // fi-lint: not-serialized(host-side hook; the resume caller re-registers it)
   EpochCallback epoch_callback_;
   /// Wall-clock anchor for the current phase's `wall_seconds` (host time;
   /// restarts at zero on resume — timings are not simulation state).
+  // fi-lint: not-serialized(host wall timing; restarts at zero on resume)
   double phase_wall_seconds_ = 0.0;
 };
 

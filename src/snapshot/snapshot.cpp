@@ -70,27 +70,19 @@ util::Status save_to_file(const scenario::ScenarioRunner& runner,
   return util::Status::ok();
 }
 
-util::Result<Snapshot> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return util::err(util::ErrorCode::not_found,
-                     "cannot open snapshot file: " + path);
-  }
-  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
-                                std::istreambuf_iterator<char>());
-  in.close();
-
+util::Result<Snapshot> parse(std::span<const std::uint8_t> raw,
+                             const std::string& origin) {
   util::BinaryReader reader(raw);
   std::uint8_t magic[sizeof(kMagic)];
   reader.raw(magic);
   if (!reader.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return util::err(util::ErrorCode::invalid_argument,
-                     path + " is not a FileInsurer snapshot (bad magic)");
+                     origin + " is not a FileInsurer snapshot (bad magic)");
   }
   const std::uint32_t version = reader.u32();
   if (reader.ok() && version != kFormatVersion) {
     return util::err(util::ErrorCode::invalid_argument,
-                     path + ": unsupported snapshot format version " +
+                     origin + ": unsupported snapshot format version " +
                          std::to_string(version) + " (this build reads " +
                          std::to_string(kFormatVersion) + ")");
   }
@@ -100,29 +92,41 @@ util::Result<Snapshot> read_file(const std::string& path) {
   reader.raw(stored_digest);
   if (!reader.ok() || reader.remaining() != body_len) {
     return util::err(util::ErrorCode::invalid_argument,
-                     path + ": truncated or malformed snapshot (body length "
-                            "does not match the header)");
+                     origin + ": truncated or malformed snapshot (body length "
+                              "does not match the header)");
   }
-  std::vector<std::uint8_t> body(raw.end() - static_cast<std::ptrdiff_t>(body_len),
-                                 raw.end());
+  std::vector<std::uint8_t> body(
+      raw.end() - static_cast<std::ptrdiff_t>(body_len), raw.end());
   if (payload_digest(as_bytes(spec_text), body) != stored_digest) {
     return util::err(util::ErrorCode::invalid_argument,
-                     path + ": snapshot digest mismatch (corrupted file)");
+                     origin + ": snapshot digest mismatch (corrupted file)");
   }
 
   auto config = util::Config::parse(spec_text);
   if (!config.is_ok()) {
     return util::err(util::ErrorCode::invalid_argument,
-                     path + ": embedded spec does not parse: " +
+                     origin + ": embedded spec does not parse: " +
                          config.status().to_string());
   }
   auto spec = scenario::ScenarioSpec::from_config(config.value());
   if (!spec.is_ok()) {
     return util::err(util::ErrorCode::invalid_argument,
-                     path + ": embedded spec invalid: " +
+                     origin + ": embedded spec invalid: " +
                          spec.status().to_string());
   }
   return Snapshot{std::move(spec).value(), std::move(body)};
+}
+
+util::Result<Snapshot> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::err(util::ErrorCode::not_found,
+                     "cannot open snapshot file: " + path);
+  }
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  in.close();
+  return parse(raw, path);
 }
 
 util::Result<std::unique_ptr<scenario::ScenarioRunner>> resume_from_file(

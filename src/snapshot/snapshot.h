@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,14 @@ struct Snapshot {
   scenario::ScenarioSpec spec;
   std::vector<std::uint8_t> body;
 };
+
+/// Validates an in-memory snapshot image: magic, version, framing lengths,
+/// digest, and spec parse. Rejects truncated, corrupted and wrong-version
+/// images with a descriptive status; `origin` labels the error messages.
+/// This is the whole untrusted-input surface — `read_file` is a thin file
+/// loader over it, and tests/fuzz_snapshot_reader.cpp drives it directly.
+[[nodiscard]] util::Result<Snapshot> parse(
+    std::span<const std::uint8_t> raw, const std::string& origin);
 
 /// Reads and validates a snapshot file: magic, version, framing lengths,
 /// digest, and spec parse. Rejects truncated, corrupted and wrong-version

@@ -136,6 +136,28 @@ TEST_F(ChainFixture, PowerTableTracksSectorLifecycle) {
   EXPECT_EQ(total, 2u * 8u * 1024u);  // corrupted drops out; disabled empty
 }
 
+TEST_F(ChainFixture, PowerTableIsCanonicallyOrdered) {
+  // Regression: the table feeds elections and run_election reports winners
+  // in table order, so it must come out sorted by miner id no matter how
+  // the provider hash map happens to be laid out.
+  build();
+  auto table = net->power_table();
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(
+      table.begin(), table.end(),
+      [](const ledger::PowerEntry& a, const ledger::PowerEntry& b) {
+        return a.miner < b.miner;
+      }));
+  // Stays sorted as the sector set churns.
+  net->network().corrupt_sector_now(sectors_[0]);
+  table = net->power_table();
+  EXPECT_TRUE(std::is_sorted(
+      table.begin(), table.end(),
+      [](const ledger::PowerEntry& a, const ledger::PowerEntry& b) {
+        return a.miner < b.miner;
+      }));
+}
+
 TEST_F(ChainFixture, ChainBeaconDrivesWindowPoSt) {
   // Full-crypto proof verified against the chain's epoch beacon.
   Params p = chain_params();

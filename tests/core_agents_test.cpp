@@ -368,23 +368,23 @@ TEST_F(AgentsFixture, MoneyConservedEndToEnd) {
 
 TEST_F(AgentsFixture, DeterministicUnderFixedSeed) {
   auto run = [](std::uint64_t seed) {
-    Simulation sim(agent_params(), seed);
-    ClientAgent& client = sim.add_client(1'000'000);
+    Simulation fresh_sim(agent_params(), seed);
+    ClientAgent& fresh_client = fresh_sim.add_client(1'000'000);
     std::vector<ProviderAgent*> providers;
     for (int i = 0; i < 4; ++i) {
-      ProviderAgent& p = sim.add_provider(10'000'000);
+      ProviderAgent& p = fresh_sim.add_provider(10'000'000);
       (void)p.register_sector(8 * 4096);
       providers.push_back(&p);
     }
     util::Xoshiro256 rng(seed);
     std::vector<std::uint8_t> data(1200);
     for (auto& b : data) b = static_cast<std::uint8_t>(rng());
-    (void)client.store_file(data, 20);
-    sim.run_until(800);
-    return std::make_tuple(sim.network().stats().files_stored,
-                           sim.network().stats().refreshes_started,
-                           sim.event_log().size(),
-                           sim.ledger().balance(client.account()));
+    (void)fresh_client.store_file(data, 20);
+    fresh_sim.run_until(800);
+    return std::make_tuple(fresh_sim.network().stats().files_stored,
+                           fresh_sim.network().stats().refreshes_started,
+                           fresh_sim.event_log().size(),
+                           fresh_sim.ledger().balance(fresh_client.account()));
   };
   EXPECT_EQ(run(1234), run(1234));
   EXPECT_NE(std::get<3>(run(1234)), 0u);

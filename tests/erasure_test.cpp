@@ -147,9 +147,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(4, 2), std::make_tuple(5, 3),
                       std::make_tuple(10, 4), std::make_tuple(29, 51),
                       std::make_tuple(16, 16), std::make_tuple(100, 50)),
-    [](const auto& info) {
-      return "d" + std::to_string(std::get<0>(info.param)) + "_p" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& shape) {
+      return "d" + std::to_string(std::get<0>(shape.param)) + "_p" +
+             std::to_string(std::get<1>(shape.param));
     });
 
 TEST(ReedSolomon, CorruptedShardDetectedByVerify) {

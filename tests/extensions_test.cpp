@@ -154,6 +154,35 @@ TEST_F(ReputationFixture, SoftmaxDistributionNormalizesAndOrders) {
             tracker.selection_probability(200));
 }
 
+TEST_F(ReputationFixture, DistributionIsInsertionOrderInvariant) {
+  // Regression: the softmax normalizer used to accumulate in hash-map
+  // iteration order, so two trackers with the same scores could disagree
+  // in the last ulp. The distribution must be bitwise identical and come
+  // out sorted by provider id regardless of track() order.
+  ReputationTracker forward;
+  ReputationTracker reverse;
+  for (ProviderId p : {100, 200, 300}) forward.track(p);
+  for (ProviderId p : {300, 200, 100}) reverse.track(p);
+  std::unordered_map<SectorId, ProviderId> map{{1, 100}, {2, 200}, {3, 300}};
+  for (ReputationTracker* t : {&forward, &reverse}) {
+    for (int i = 0; i < 7; ++i) t->observe(ReplicaActivated{5, 0, 1}, map);
+    t->observe(ProviderPunished{2, 10, "late"}, map);
+    t->observe(SectorCorrupted{3, 50}, map);
+  }
+  const auto a = forward.distribution();
+  const auto b = reverse.distribution();
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second, b[i].second);  // bitwise, not NEAR
+  }
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(),
+                             [](const auto& x, const auto& y) {
+                               return x.first < y.first;
+                             }));
+}
+
 TEST_F(ReputationFixture, TemperatureFlattensSelection) {
   ReputationParams hot;
   hot.temperature = 100.0;

@@ -1,0 +1,72 @@
+// fi_lint fixture: determinism violations — every nondeterminism source
+// the checker bans, one per site. Listed in expected_findings.txt.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace util {
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t) {}
+  std::uint64_t next() { return 0; }
+};
+}  // namespace util
+
+namespace fixture {
+
+struct Sector;
+
+class NondeterministicEngine {
+ public:
+  std::uint64_t bad_rand() {
+    return static_cast<std::uint64_t>(std::rand());  // raw-rand
+  }
+
+  std::uint64_t bad_mt() {
+    std::mt19937_64 gen(7);  // raw-rand: non-canonical engine
+    return gen();
+  }
+
+  double bad_wall_clock() {
+    const auto now = std::chrono::system_clock::now();  // wall-clock
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+  }
+
+  std::uint64_t bad_time() {
+    return static_cast<std::uint64_t>(time(nullptr));  // wall-clock call
+  }
+
+  std::uint64_t bad_literal_seed() {
+    util::Xoshiro256 rng(12345);  // local-rng: literal seed
+    return rng.next();
+  }
+
+  std::uint64_t bad_iteration() const {
+    std::uint64_t acc = 0;
+    std::uint64_t last = 0;
+    for (const auto& [id, weight] : weights_) {  // unordered-iter
+      acc += weight;
+      last = id;  // order-dependent fold
+    }
+    return acc ^ last;
+  }
+
+  std::uint64_t bad_begin() const {
+    std::vector<std::uint64_t> out(members_.begin(),  // unordered-iter
+                                   members_.end());
+    return out.empty() ? 0 : out.front();
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> weights_;
+  std::unordered_set<std::uint64_t> members_;
+  std::map<const Sector*, std::uint64_t> by_ptr_;  // pointer-key
+};
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// fi_lint fixture: determinism-clean code — the sanctioned idioms for
+// each banned construct. The self-test asserts fi_lint reports nothing.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace util {
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t) {}
+  std::uint64_t next() { return 0; }
+};
+}  // namespace util
+
+namespace fixture {
+
+inline constexpr std::uint64_t kSeedSalt = 0x5345454453414c54ULL;
+
+struct Spec {
+  std::uint64_t seed = 0;
+};
+
+class DeterministicEngine {
+ public:
+  explicit DeterministicEngine(const Spec& spec)
+      : rng_(spec.seed ^ kSeedSalt) {}  // stream derived from the run seed
+
+  std::uint64_t draw() { return rng_.next(); }
+
+  std::uint64_t canonical_fold() const {
+    // Sanctioned idiom: collect keys, sort, then iterate.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(weights_.size());
+    // fi-lint: allow(unordered-iter, keys collected then sorted before use)
+    for (const auto& [id, _] : weights_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    std::uint64_t acc = 0;
+    for (const std::uint64_t id : ids) acc += weights_.at(id);
+    return acc;
+  }
+
+ private:
+  util::Xoshiro256 rng_;
+  std::unordered_map<std::uint64_t, std::uint64_t> weights_;
+  std::map<std::uint64_t, std::uint64_t> by_id_;  // keyed by stable id
+};
+
+}  // namespace fixture

@@ -1,0 +1,72 @@
+// fi_lint fixture: snapshot-hygiene-clean code — validated counts and
+// mirror-symmetric framing, including a save-side helper that the load
+// side spells out directly (sequence-inlined by the checker).
+#include <cstdint>
+#include <vector>
+
+namespace util {
+class BinaryWriter {
+ public:
+  void u32(std::uint32_t) {}
+  void u64(std::uint64_t) {}
+};
+class BinaryReader {
+ public:
+  std::uint32_t u32() { return 0; }
+  std::uint64_t u64() { return 0; }
+  std::uint64_t count(std::uint64_t) { return 0; }
+  std::uint64_t remaining() const { return 0; }
+  void fail() {}
+};
+
+inline void save_u64_seq(BinaryWriter& writer,
+                         const std::vector<std::uint64_t>& values) {
+  writer.u64(values.size());
+  for (const std::uint64_t v : values) writer.u64(v);
+}
+}  // namespace util
+
+namespace fixture {
+
+// count() validates the element bound internally.
+inline std::vector<std::uint64_t> load_rows(util::BinaryReader& reader) {
+  std::vector<std::uint64_t> rows;
+  const std::uint64_t n = reader.count(8);
+  rows.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) rows.push_back(reader.u64());
+  return rows;
+}
+
+// A raw read is fine when a bounds check gates the allocation.
+inline std::vector<std::uint64_t> load_checked(util::BinaryReader& reader) {
+  std::vector<std::uint64_t> rows;
+  const std::uint64_t n = reader.u64();
+  if (n > reader.remaining() / 8) {
+    reader.fail();
+    return rows;
+  }
+  rows.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) rows.push_back(reader.u64());
+  return rows;
+}
+
+class MirrorSymmetric {
+ public:
+  void save(util::BinaryWriter& writer) const {
+    writer.u32(tag_);
+    util::save_u64_seq(writer, rows_);
+  }
+  void load(util::BinaryReader& reader) {
+    tag_ = reader.u32();
+    rows_.clear();
+    const std::uint64_t n = reader.count(8);
+    rows_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) rows_.push_back(reader.u64());
+  }
+
+ private:
+  std::uint32_t tag_ = 0;
+  std::vector<std::uint64_t> rows_;
+};
+
+}  // namespace fixture

@@ -183,7 +183,7 @@ TEST(SimNetwork, LossyLinkDropsApproximatelyAtRate) {
     net.send({na, nb, "maybe", {}, static_cast<std::uint64_t>(i)});
   }
   q.run_all();
-  EXPECT_NEAR(b.messages.size() / 2000.0, 0.7, 0.04);
+  EXPECT_NEAR(static_cast<double>(b.messages.size()) / 2000.0, 0.7, 0.04);
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""fi_lint self-test: the linter's own tier-1 gate (registered in ctest).
+
+Three layers of assertions:
+
+1. Fixtures — every file under tests/lint_fixtures/ is linted in
+   isolation through the CLI; *_bad.cpp files must report exactly the
+   (file, line, rule) set recorded in expected_findings.txt, *_good.cpp
+   files must be clean. Lines and rule ids are matched exactly, so a
+   checker that drifts by one line or renames a rule fails here.
+
+2. Real tree — the default fi_lint run over src/ must be clean: every
+   exemption in the codebase is annotated with a reason, and any new
+   finding is either a real bug or needs a reviewed annotation.
+
+3. Mutation — deleting any single `writer.<prim>(member_);` line from a
+   real save_state/save body must make the serialization-coverage checker
+   (or the rw-mismatch rule it feeds) fail. This is the acceptance bar:
+   the PR 5 `compensation_paid` drift class cannot re-enter silently.
+
+Exit status: 0 on success, 1 with a report on the first failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.normpath(os.path.join(HERE, "..", ".."))
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+FI_LINT = os.path.join(HERE, "fi_lint.py")
+
+sys.path.insert(0, HERE)
+
+from checks import (  # noqa: E402
+    check_serialization_coverage,
+    check_snapshot_hygiene,
+)
+from cpp_model import Model  # noqa: E402
+
+_FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): error: .*"
+                         r"\[(?P<rule>[\w/-]+)\]$")
+
+# Real serializer bodies the mutation layer attacks: (implementation file,
+# companion header or None). Every `writer.<prim>(<member>_);` line in a
+# save body of these files is deleted one at a time.
+_MUTATION_TARGETS = [
+    ("src/adversary/strategy.cpp", "src/adversary/strategy.h"),
+    ("src/core/deposit.cpp", "src/core/deposit.h"),
+    ("src/core/network.cpp", "src/core/network.h"),
+]
+_WRITE_LINE_RE = re.compile(r"^\s*writer\.(u8|u16|u32|u64|u128|i64|f64|boolean)"
+                            r"\((\w+_)\);\s*$")
+
+
+def fail(msg: str) -> None:
+    print(f"fi_lint selftest: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(paths: list[str]) -> list[tuple[str, int, str]]:
+    proc = subprocess.run(
+        [sys.executable, FI_LINT, *paths],
+        capture_output=True, text=True, check=False,
+    )
+    if proc.returncode not in (0, 1):
+        fail(f"fi_lint crashed on {paths}:\n{proc.stderr}")
+    found = []
+    for line in proc.stdout.splitlines():
+        m = _FINDING_RE.match(line.strip())
+        if m:
+            found.append((os.path.basename(m.group("path")),
+                          int(m.group("line")), m.group("rule")))
+    return found
+
+
+def load_manifest() -> dict[str, set[tuple[str, int, str]]]:
+    expected: dict[str, set[tuple[str, int, str]]] = {}
+    with open(os.path.join(FIXTURES, "expected_findings.txt"),
+              encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw or raw.startswith("#"):
+                continue
+            loc, rule = raw.split()
+            name, line = loc.rsplit(":", 1)
+            expected.setdefault(name, set()).add((name, int(line), rule))
+    return expected
+
+
+def test_fixtures() -> None:
+    manifest = load_manifest()
+    fixtures = sorted(
+        f for f in os.listdir(FIXTURES) if f.endswith((".cpp", ".h"))
+    )
+    if not fixtures:
+        fail("no fixtures found")
+    for name in fixtures:
+        got = set(run_cli([os.path.join(FIXTURES, name)]))
+        want = manifest.get(name, set())
+        if name.endswith("_good.cpp") and name in manifest:
+            fail(f"manifest lists findings for good fixture {name}")
+        if got != want:
+            fail(
+                f"fixture {name} mismatch\n"
+                f"  missing: {sorted(want - got)}\n"
+                f"  unexpected: {sorted(got - want)}"
+            )
+    covered = set(manifest) - set(fixtures)
+    if covered:
+        fail(f"manifest references unknown fixtures: {sorted(covered)}")
+    print(f"fi_lint selftest: {len(fixtures)} fixtures ok")
+
+
+def test_real_tree_clean() -> None:
+    proc = subprocess.run(
+        [sys.executable, FI_LINT, "--repo", REPO],
+        capture_output=True, text=True, check=False,
+    )
+    if proc.returncode != 0:
+        fail(f"real tree is not clean:\n{proc.stdout}")
+    print("fi_lint selftest: real tree clean")
+
+
+def _serialization_findings(files: dict[str, str]) -> list:
+    model = Model()
+    for path, text in files.items():
+        model.add_file(path, text)
+    return (check_serialization_coverage(model)
+            + check_snapshot_hygiene(model))
+
+
+def test_mutations() -> None:
+    total = 0
+    for rel_impl, rel_hdr in _MUTATION_TARGETS:
+        impl_path = os.path.join(REPO, rel_impl)
+        with open(impl_path, encoding="utf-8") as fh:
+            impl_lines = fh.read().splitlines(keepends=True)
+        files = {}
+        if rel_hdr is not None:
+            hdr_path = os.path.join(REPO, rel_hdr)
+            with open(hdr_path, encoding="utf-8") as fh:
+                files[hdr_path] = fh.read()
+        write_lines = [
+            i for i, line in enumerate(impl_lines) if _WRITE_LINE_RE.match(line)
+        ]
+        if not write_lines:
+            fail(f"{rel_impl}: no writer.<prim>(member_) lines to mutate — "
+                 "update _MUTATION_TARGETS")
+        baseline = _serialization_findings(
+            {**files, impl_path: "".join(impl_lines)}
+        )
+        if baseline:
+            fail(f"{rel_impl}: baseline not clean before mutation: "
+                 f"{baseline[0].render()}")
+        for idx in write_lines:
+            mutated = impl_lines[:idx] + impl_lines[idx + 1:]
+            found = _serialization_findings(
+                {**files, impl_path: "".join(mutated)}
+            )
+            if not found:
+                fail(
+                    f"{rel_impl}: deleting line {idx + 1} "
+                    f"({impl_lines[idx].strip()}) went undetected"
+                )
+            total += 1
+    print(f"fi_lint selftest: {total} single-line save mutations all caught")
+
+
+def main() -> int:
+    test_fixtures()
+    test_real_tree_clean()
+    test_mutations()
+    print("fi_lint selftest: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
