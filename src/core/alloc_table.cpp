@@ -2,95 +2,144 @@
 
 #include <algorithm>
 
-#include "util/check.h"
-
 namespace fi::core {
 
+std::size_t AllocTable::slot_of(FileId file, ReplicaIndex idx) const {
+  const auto it = ranges_.find(file);
+  FI_CHECK_MSG(it != ranges_.end(), "unknown file");
+  FI_CHECK_MSG(idx < it->second.count, "replica index out of range");
+  return it->second.offset + idx;
+}
+
 void AllocTable::create_file(FileId file, std::uint32_t cp) {
-  FI_CHECK_MSG(!entries_.contains(file), "file already allocated");
+  FI_CHECK_MSG(!ranges_.contains(file), "file already allocated");
   FI_CHECK_MSG(cp >= 1, "file needs at least one replica");
-  entries_.emplace(file, std::vector<AllocEntry>(cp));
+  ++version_;
+  std::size_t offset = pool_.acquire(cp);
+  if (offset == util::FixedBlockPool::kNoBlock) {
+    offset = prev_.size();
+    prev_.resize(offset + cp, kNoSector);
+    next_.resize(offset + cp, kNoSector);
+    last_.resize(offset + cp, kNoTime);
+    state_.resize(offset + cp, AllocState::alloc);
+    comm_r_.resize(offset + cp);
+    pos_in_prev_.resize(offset + cp, kNoPos);
+    pos_in_next_.resize(offset + cp, kNoPos);
+    pos_in_normal_.resize(offset + cp, kNoPos);
+  } else {
+    for (std::size_t s = offset; s < offset + cp; ++s) {
+      prev_[s] = kNoSector;
+      next_[s] = kNoSector;
+      last_[s] = kNoTime;
+      state_[s] = AllocState::alloc;
+      comm_r_[s] = crypto::Hash256{};
+      pos_in_prev_[s] = kNoPos;
+      pos_in_next_[s] = kNoPos;
+      pos_in_normal_[s] = kNoPos;
+    }
+  }
+  ranges_.emplace(file, Range{offset, cp});
 }
 
 void AllocTable::remove_file(FileId file) {
-  const auto it = entries_.find(file);
-  FI_CHECK_MSG(it != entries_.end(), "removing unknown file");
-  for (ReplicaIndex idx = 0; idx < it->second.size(); ++idx) {
-    const AllocEntry& e = it->second[idx];
+  const auto it = ranges_.find(file);
+  FI_CHECK_MSG(it != ranges_.end(), "removing unknown file");
+  ++version_;
+  const Range range = it->second;
+  for (ReplicaIndex idx = 0; idx < range.count; ++idx) {
+    const std::size_t slot = range.offset + idx;
     const EntryKey key{file, idx};
-    if (e.prev != kNoSector) index_remove(by_prev_, e.prev, key);
-    if (e.next != kNoSector) index_remove(by_next_, e.next, key);
-    if (e.state == AllocState::normal) sampler_remove(key);
+    if (prev_[slot] != kNoSector) {
+      index_remove(by_prev_, pos_in_prev_, prev_[slot], key, slot);
+    }
+    if (next_[slot] != kNoSector) {
+      index_remove(by_next_, pos_in_next_, next_[slot], key, slot);
+    }
+    if (state_[slot] == AllocState::normal) sampler_remove(key, slot);
   }
-  entries_.erase(it);
+  ranges_.erase(it);
+  pool_.release(range.count, range.offset);
 }
 
 std::uint32_t AllocTable::replica_count(FileId file) const {
-  const auto it = entries_.find(file);
-  FI_CHECK_MSG(it != entries_.end(), "unknown file");
-  return static_cast<std::uint32_t>(it->second.size());
+  const auto it = ranges_.find(file);
+  FI_CHECK_MSG(it != ranges_.end(), "unknown file");
+  return it->second.count;
 }
 
-const AllocEntry& AllocTable::entry(FileId file, ReplicaIndex idx) const {
-  const auto it = entries_.find(file);
-  FI_CHECK_MSG(it != entries_.end(), "unknown file");
-  FI_CHECK_MSG(idx < it->second.size(), "replica index out of range");
-  return it->second[idx];
+AllocEntry AllocTable::entry(FileId file, ReplicaIndex idx) const {
+  const std::size_t slot = slot_of(file, idx);
+  AllocEntry e;
+  e.prev = prev_[slot];
+  e.next = next_[slot];
+  e.last = last_[slot];
+  e.state = state_[slot];
+  e.comm_r = comm_r_[slot];
+  return e;
 }
 
-std::span<const AllocEntry> AllocTable::entries_of(FileId file) const {
-  const auto it = entries_.find(file);
-  FI_CHECK_MSG(it != entries_.end(), "unknown file");
-  return it->second;
-}
-
-std::span<AllocEntry> AllocTable::sweep_entries_of(FileId file) {
-  const auto it = entries_.find(file);
-  FI_CHECK_MSG(it != entries_.end(), "unknown file");
-  return it->second;
-}
-
-AllocEntry& AllocTable::mutable_entry(FileId file, ReplicaIndex idx) {
-  const auto it = entries_.find(file);
-  FI_CHECK_MSG(it != entries_.end(), "unknown file");
-  FI_CHECK_MSG(idx < it->second.size(), "replica index out of range");
-  return it->second[idx];
+AllocTable::SweepView AllocTable::sweep_view_of(FileId file) {
+  const auto it = ranges_.find(file);
+  FI_CHECK_MSG(it != ranges_.end(), "unknown file");
+  const Range range = it->second;
+  SweepView view;
+  view.state_ = state_.data() + range.offset;
+  view.prev_ = prev_.data() + range.offset;
+  view.next_ = next_.data() + range.offset;
+  view.last_ = last_.data() + range.offset;
+  view.comm_r_ = comm_r_.data() + range.offset;
+  view.count_ = range.count;
+  return view;
 }
 
 void AllocTable::set_prev(FileId file, ReplicaIndex idx, SectorId sector) {
-  AllocEntry& e = mutable_entry(file, idx);
+  const std::size_t slot = slot_of(file, idx);
   const EntryKey key{file, idx};
-  if (e.prev != kNoSector) index_remove(by_prev_, e.prev, key);
-  e.prev = sector;
-  if (sector != kNoSector) index_add(by_prev_, sector, key);
+  ++version_;
+  if (prev_[slot] != kNoSector) {
+    index_remove(by_prev_, pos_in_prev_, prev_[slot], key, slot);
+  }
+  prev_[slot] = sector;
+  if (sector != kNoSector) {
+    index_add(by_prev_, pos_in_prev_, sector, key, slot);
+  }
 }
 
 void AllocTable::set_next(FileId file, ReplicaIndex idx, SectorId sector) {
-  AllocEntry& e = mutable_entry(file, idx);
+  const std::size_t slot = slot_of(file, idx);
   const EntryKey key{file, idx};
-  if (e.next != kNoSector) index_remove(by_next_, e.next, key);
-  e.next = sector;
-  if (sector != kNoSector) index_add(by_next_, sector, key);
+  ++version_;
+  if (next_[slot] != kNoSector) {
+    index_remove(by_next_, pos_in_next_, next_[slot], key, slot);
+  }
+  next_[slot] = sector;
+  if (sector != kNoSector) {
+    index_add(by_next_, pos_in_next_, sector, key, slot);
+  }
 }
 
 void AllocTable::set_state(FileId file, ReplicaIndex idx, AllocState state) {
-  AllocEntry& e = mutable_entry(file, idx);
+  const std::size_t slot = slot_of(file, idx);
   const EntryKey key{file, idx};
-  if (e.state == AllocState::normal && state != AllocState::normal) {
-    sampler_remove(key);
-  } else if (e.state != AllocState::normal && state == AllocState::normal) {
-    sampler_add(key);
+  ++version_;
+  if (state_[slot] == AllocState::normal && state != AllocState::normal) {
+    sampler_remove(key, slot);
+  } else if (state_[slot] != AllocState::normal &&
+             state == AllocState::normal) {
+    sampler_add(key, slot);
   }
-  e.state = state;
+  state_[slot] = state;
 }
 
 void AllocTable::set_last(FileId file, ReplicaIndex idx, Time last) {
-  mutable_entry(file, idx).last = last;
+  ++version_;
+  last_[slot_of(file, idx)] = last;
 }
 
 void AllocTable::set_comm_r(FileId file, ReplicaIndex idx,
                             const crypto::Hash256& comm_r) {
-  mutable_entry(file, idx).comm_r = comm_r;
+  ++version_;
+  comm_r_[slot_of(file, idx)] = comm_r;
 }
 
 std::vector<EntryKey> AllocTable::entries_with_prev(SectorId sector) const {
@@ -104,15 +153,13 @@ std::vector<EntryKey> AllocTable::entries_with_next(SectorId sector) const {
 }
 
 std::span<const EntryKey> AllocTable::with_prev(SectorId sector) const {
-  const auto it = by_prev_.find(sector);
-  if (it == by_prev_.end()) return {};
-  return it->second.items;
+  if (sector >= by_prev_.size()) return {};
+  return by_prev_[sector];
 }
 
 std::span<const EntryKey> AllocTable::with_next(SectorId sector) const {
-  const auto it = by_next_.find(sector);
-  if (it == by_next_.end()) return {};
-  return it->second.items;
+  if (sector >= by_next_.size()) return {};
+  return by_next_[sector];
 }
 
 std::optional<EntryKey> AllocTable::random_normal_entry(
@@ -121,65 +168,90 @@ std::optional<EntryKey> AllocTable::random_normal_entry(
   return normal_entries_[rng.uniform_below(normal_entries_.size())];
 }
 
-void AllocTable::index_add(SectorIndex& index, SectorId sector, EntryKey key) {
-  KeySet& set = index[sector];
-  const bool inserted =
-      set.positions.emplace(key, set.items.size()).second;
-  FI_CHECK_MSG(inserted, "duplicate reverse-index entry");
-  set.items.push_back(key);
+void AllocTable::index_add(std::vector<std::vector<EntryKey>>& buckets,
+                           std::vector<std::size_t>& positions,
+                           SectorId sector, EntryKey key, std::size_t slot) {
+  FI_CHECK_MSG(positions[slot] == kNoPos, "duplicate reverse-index entry");
+  if (sector >= buckets.size()) buckets.resize(sector + 1);
+  std::vector<EntryKey>& items = buckets[sector];
+  positions[slot] = items.size();
+  items.push_back(key);
 }
 
-void AllocTable::index_remove(SectorIndex& index, SectorId sector,
-                              EntryKey key) {
-  const auto it = index.find(sector);
-  FI_CHECK_MSG(it != index.end(), "reverse index missing sector");
-  KeySet& set = it->second;
-  const auto pos_it = set.positions.find(key);
-  FI_CHECK_MSG(pos_it != set.positions.end(), "reverse index missing entry");
-  const std::size_t pos = pos_it->second;
-  const EntryKey moved = set.items.back();
-  set.items[pos] = moved;
-  set.items.pop_back();
-  set.positions.erase(pos_it);
-  if (moved != key) set.positions[moved] = pos;
-  if (set.items.empty()) index.erase(it);
+void AllocTable::index_remove(std::vector<std::vector<EntryKey>>& buckets,
+                              std::vector<std::size_t>& positions,
+                              SectorId sector, EntryKey key,
+                              std::size_t slot) {
+  FI_CHECK_MSG(sector < buckets.size(), "reverse index missing sector");
+  std::vector<EntryKey>& items = buckets[sector];
+  const std::size_t pos = positions[slot];
+  FI_CHECK_MSG(pos < items.size() && items[pos] == key,
+               "reverse index missing entry");
+  const EntryKey moved = items.back();
+  items[pos] = moved;
+  items.pop_back();
+  positions[slot] = kNoPos;
+  if (moved != key) positions[slot_of(moved.first, moved.second)] = pos;
+}
+
+void AllocTable::sampler_add(EntryKey key, std::size_t slot) {
+  FI_CHECK_MSG(pos_in_normal_[slot] == kNoPos,
+               "entry already in normal sampler");
+  pos_in_normal_[slot] = normal_entries_.size();
+  normal_entries_.push_back(key);
+}
+
+void AllocTable::sampler_remove(EntryKey key, std::size_t slot) {
+  const std::size_t pos = pos_in_normal_[slot];
+  FI_CHECK_MSG(pos < normal_entries_.size() && normal_entries_[pos] == key,
+               "entry not in normal sampler");
+  const EntryKey moved = normal_entries_.back();
+  normal_entries_[pos] = moved;
+  normal_entries_.pop_back();
+  pos_in_normal_[slot] = kNoPos;
+  if (moved != key) pos_in_normal_[slot_of(moved.first, moved.second)] = pos;
 }
 
 void AllocTable::save(util::BinaryWriter& writer) const {
   std::vector<FileId> files;
-  files.reserve(entries_.size());
+  files.reserve(ranges_.size());
   // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
-  for (const auto& [file, _] : entries_) files.push_back(file);
+  for (const auto& [file, _] : ranges_) files.push_back(file);
   std::sort(files.begin(), files.end());
   writer.u64(files.size());
   for (const FileId file : files) {
-    const std::vector<AllocEntry>& rows = entries_.at(file);
+    const Range range = ranges_.at(file);
     writer.u64(file);
-    writer.u32(static_cast<std::uint32_t>(rows.size()));
-    for (const AllocEntry& e : rows) {
-      writer.u64(e.prev);
-      writer.u64(e.next);
-      writer.u64(e.last);
-      writer.u8(static_cast<std::uint8_t>(e.state));
-      writer.raw(e.comm_r.bytes);
+    writer.u32(range.count);
+    for (ReplicaIndex idx = 0; idx < range.count; ++idx) {
+      const std::size_t slot = range.offset + idx;
+      writer.u64(prev_[slot]);
+      writer.u64(next_[slot]);
+      writer.u64(last_[slot]);
+      writer.u8(static_cast<std::uint8_t>(state_[slot]));
+      writer.raw(comm_r_[slot].bytes);
     }
   }
-  const auto save_index = [&writer](const SectorIndex& index) {
-    std::vector<SectorId> sectors;
-    sectors.reserve(index.size());
-    for (const auto& [sector, _] : index) sectors.push_back(sector);
-    std::sort(sectors.begin(), sectors.end());
-    writer.u64(sectors.size());
-    for (const SectorId sector : sectors) {
-      const KeySet& set = index.at(sector);
-      writer.u64(sector);
-      writer.u64(set.items.size());
-      for (const EntryKey& key : set.items) {
-        writer.u64(key.first);
-        writer.u32(key.second);
-      }
-    }
-  };
+  const auto save_index =
+      [&writer](const std::vector<std::vector<EntryKey>>& buckets) {
+        std::uint64_t non_empty = 0;
+        for (const auto& items : buckets) {
+          if (!items.empty()) ++non_empty;
+        }
+        writer.u64(non_empty);
+        // Bucket order is ascending sector id by construction — identical
+        // bytes to the historical sorted-hash-map encoding.
+        for (SectorId sector = 0; sector < buckets.size(); ++sector) {
+          const auto& items = buckets[sector];
+          if (items.empty()) continue;
+          writer.u64(sector);
+          writer.u64(items.size());
+          for (const EntryKey& key : items) {
+            writer.u64(key.first);
+            writer.u32(key.second);
+          }
+        }
+      };
   save_index(by_prev_);
   save_index(by_next_);
   writer.u64(normal_entries_.size());
@@ -189,15 +261,25 @@ void AllocTable::save(util::BinaryWriter& writer) const {
   }
 }
 
-void AllocTable::load(util::BinaryReader& reader) {
-  entries_.clear();
+void AllocTable::load(util::BinaryReader& reader,
+                      std::uint64_t sector_count) {
+  ranges_.clear();
+  prev_.clear();
+  next_.clear();
+  last_.clear();
+  state_.clear();
+  comm_r_.clear();
+  pos_in_prev_.clear();
+  pos_in_next_.clear();
+  pos_in_normal_.clear();
   by_prev_.clear();
   by_next_.clear();
   normal_entries_.clear();
-  normal_positions_.clear();
+  pool_.clear();
+  ++version_;
 
   const std::uint64_t files = reader.count(12);
-  entries_.reserve(files);
+  ranges_.reserve(files);
   for (std::uint64_t f = 0; f < files; ++f) {
     const FileId file = reader.u64();
     const std::uint32_t cp = reader.u32();
@@ -205,24 +287,29 @@ void AllocTable::load(util::BinaryReader& reader) {
       reader.fail();
       return;
     }
-    std::vector<AllocEntry> rows;
-    rows.reserve(cp);
+    const std::size_t offset = prev_.size();
     for (std::uint32_t r = 0; r < cp; ++r) {
-      AllocEntry e;
-      e.prev = reader.u64();
-      e.next = reader.u64();
-      e.last = reader.u64();
+      const SectorId prev = reader.u64();
+      const SectorId next = reader.u64();
+      const Time last = reader.u64();
       const std::uint8_t state = reader.u8();
       if (state > static_cast<std::uint8_t>(AllocState::corrupted)) {
         reader.fail();
         return;
       }
-      e.state = static_cast<AllocState>(state);
-      reader.raw(e.comm_r.bytes);
-      rows.push_back(e);
+      crypto::Hash256 comm_r;
+      reader.raw(comm_r.bytes);
+      prev_.push_back(prev);
+      next_.push_back(next);
+      last_.push_back(last);
+      state_.push_back(static_cast<AllocState>(state));
+      comm_r_.push_back(comm_r);
+      pos_in_prev_.push_back(kNoPos);
+      pos_in_next_.push_back(kNoPos);
+      pos_in_normal_.push_back(kNoPos);
     }
     if (!reader.ok()) return;
-    if (!entries_.emplace(file, std::move(rows)).second) {
+    if (!ranges_.emplace(file, Range{offset, cp}).second) {
       reader.fail();  // duplicate file group: rows silently dropped otherwise
       return;
     }
@@ -230,72 +317,68 @@ void AllocTable::load(util::BinaryReader& reader) {
 
   // Index and sampler keys must reference loaded entries — an unknown file
   // or out-of-range replica would otherwise surface later as an FI_CHECK
-  // abort in whatever protocol path iterates the span.
-  const auto valid_key = [this](FileId file, ReplicaIndex idx) {
-    const auto it = entries_.find(file);
-    return it != entries_.end() && idx < it->second.size();
+  // abort in whatever protocol path walks the bucket. The returned slot
+  // doubles as the intrusive-position anchor.
+  const auto key_slot = [this](FileId file,
+                               ReplicaIndex idx) -> std::size_t {
+    const auto it = ranges_.find(file);
+    if (it == ranges_.end() || idx >= it->second.count) return kNoPos;
+    return it->second.offset + idx;
   };
 
-  const auto load_index = [&](SectorIndex& index) {
+  const auto load_index = [&](std::vector<std::vector<EntryKey>>& buckets,
+                              std::vector<std::size_t>& positions) {
     const std::uint64_t sectors = reader.count(16);
-    index.reserve(sectors);
+    SectorId prev_sector = kNoSector;
     for (std::uint64_t s = 0; s < sectors; ++s) {
       const SectorId sector = reader.u64();
       const std::uint64_t keys = reader.count(12);
       if (!reader.ok()) return;
-      KeySet& set = index[sector];
-      set.items.reserve(keys);
-      set.positions.reserve(keys);
+      // Buckets are dense per-sector vectors: an id beyond the sector
+      // table would drive an attacker-sized resize, and out-of-order or
+      // empty groups could never have been produced by save(), so all
+      // three reject the body.
+      if (sector >= sector_count || keys == 0 ||
+          (prev_sector != kNoSector && sector <= prev_sector)) {
+        reader.fail();
+        return;
+      }
+      prev_sector = sector;
+      if (sector >= buckets.size()) buckets.resize(sector + 1);
+      std::vector<EntryKey>& items = buckets[sector];
+      items.reserve(keys);
       for (std::uint64_t k = 0; k < keys; ++k) {
         const FileId file = reader.u64();
         const ReplicaIndex idx = reader.u32();
-        // A duplicate key would leave items/positions out of sync and
-        // corrupt later swap-erase removals — reject the body instead.
-        if (!valid_key(file, idx) ||
-            !set.positions.emplace(EntryKey{file, idx}, set.items.size())
-                 .second) {
+        const std::size_t slot = key_slot(file, idx);
+        // A duplicate key (slot already positioned) would corrupt later
+        // swap-erase removals — reject the body instead.
+        if (slot == kNoPos || positions[slot] != kNoPos) {
           reader.fail();
           return;
         }
-        set.items.emplace_back(file, idx);
+        positions[slot] = items.size();
+        items.emplace_back(file, idx);
       }
     }
   };
-  load_index(by_prev_);
-  load_index(by_next_);
+  load_index(by_prev_, pos_in_prev_);
+  load_index(by_next_, pos_in_next_);
+  if (!reader.ok()) return;
 
   const std::uint64_t normals = reader.count(12);
   normal_entries_.reserve(normals);
-  normal_positions_.reserve(normals);
   for (std::uint64_t k = 0; k < normals; ++k) {
     const FileId file = reader.u64();
     const ReplicaIndex idx = reader.u32();
-    if (!valid_key(file, idx) ||
-        !normal_positions_.emplace(EntryKey{file, idx}, normal_entries_.size())
-             .second) {
+    const std::size_t slot = key_slot(file, idx);
+    if (slot == kNoPos || pos_in_normal_[slot] != kNoPos) {
       reader.fail();
       return;
     }
+    pos_in_normal_[slot] = normal_entries_.size();
     normal_entries_.emplace_back(file, idx);
   }
-}
-
-void AllocTable::sampler_add(EntryKey key) {
-  const bool inserted =
-      normal_positions_.emplace(key, normal_entries_.size()).second;
-  FI_CHECK_MSG(inserted, "entry already in normal sampler");
-  normal_entries_.push_back(key);
-}
-
-void AllocTable::sampler_remove(EntryKey key) {
-  const auto it = normal_positions_.find(key);
-  FI_CHECK_MSG(it != normal_positions_.end(), "entry not in normal sampler");
-  const std::size_t pos = it->second;
-  const EntryKey moved = normal_entries_.back();
-  normal_entries_[pos] = moved;
-  normal_entries_.pop_back();
-  normal_positions_.erase(it);
-  if (moved != key) normal_positions_[moved] = pos;
 }
 
 }  // namespace fi::core

@@ -9,7 +9,9 @@
 
 #include "core/types.h"
 #include "crypto/hash.h"
+#include "util/arena.h"
 #include "util/binary_io.h"
+#include "util/check.h"
 #include "util/prng.h"
 
 /// Allocation table (Fig. 1): maps (file, replica index) to its storage
@@ -20,9 +22,18 @@
 ///  * a dense sampler over entries in `normal` state, used by §VI-B's
 ///    Poisson admission rebalancing to pick uniform random backups.
 ///
-/// Every index uses the same swap-erase layout: a flat vector of keys plus
-/// a positional hash map, so add/remove are O(1) and iteration is a linear
-/// scan over contiguous memory with no per-query allocation.
+/// Storage is a struct-of-arrays slab: every entry field lives in its own
+/// dense array, and a file's `cp` replicas occupy one contiguous run of
+/// slots. The proof sweep streams the state/prev/last arrays instead of
+/// striding 120-byte records (the 32-byte CommR never enters the sweep's
+/// cache footprint), and freed runs are recycled through a fixed-block
+/// pool (`util::FixedBlockPool`) keyed by `cp`, so steady-state churn
+/// reuses warm slots instead of growing the slab.
+///
+/// Index positions are *intrusive*: each slot stores its own position in
+/// the by-prev / by-next buckets and in the normal-entry sampler, which
+/// removes the per-bucket positional hash maps entirely — swap-erase is
+/// two array writes plus one position fix-up.
 namespace fi::core {
 
 struct AllocEntry {
@@ -49,32 +60,59 @@ struct EntryKeyHash {
 
 class AllocTable {
  public:
-  /// Creates `cp` empty entries for a new file.
+  /// Mutable per-file window over the slab for the engine's epoch sweeps:
+  /// one hash lookup yields direct array access to all of a file's
+  /// replicas (contiguous slots).
+  ///
+  /// Concurrency contract: views are safe from concurrent sweep workers as
+  /// long as no thread mutates the table's structure (create/remove_file,
+  /// set_prev/next/state). A worker may write ONLY `last` — and only for
+  /// files its shard owns; prev/next/state/comm_r are coupled to the
+  /// reverse indexes and the normal-entry sampler and must go through the
+  /// setters below. Invalidated by any structural mutation.
+  class SweepView {
+   public:
+    [[nodiscard]] std::uint32_t size() const { return count_; }
+    [[nodiscard]] AllocState state(ReplicaIndex i) const { return state_[i]; }
+    [[nodiscard]] SectorId prev(ReplicaIndex i) const { return prev_[i]; }
+    [[nodiscard]] SectorId next(ReplicaIndex i) const { return next_[i]; }
+    [[nodiscard]] Time last(ReplicaIndex i) const { return last_[i]; }
+    [[nodiscard]] const crypto::Hash256& comm_r(ReplicaIndex i) const {
+      return comm_r_[i];
+    }
+    /// The one sanctioned concurrent write (own shard only; see above).
+    /// Does NOT bump the table's version — the sweep's serial merge point
+    /// calls `note_sweep_writes` once per batch instead.
+    void set_last(ReplicaIndex i, Time t) { last_[i] = t; }
+
+   private:
+    friend class AllocTable;
+    const AllocState* state_ = nullptr;
+    const SectorId* prev_ = nullptr;
+    const SectorId* next_ = nullptr;
+    Time* last_ = nullptr;
+    const crypto::Hash256* comm_r_ = nullptr;
+    std::uint32_t count_ = 0;
+  };
+
+  /// Creates `cp` empty entries for a new file (recycling a pooled slot
+  /// run when one of that size is free).
   void create_file(FileId file, std::uint32_t cp);
 
-  /// Drops all entries of a file (the file leaves the network). Sector
-  /// reference bookkeeping is the caller's job (Network owns the flows).
+  /// Drops all entries of a file (the file leaves the network) and returns
+  /// its slot run to the pool. Sector reference bookkeeping is the
+  /// caller's job (Network owns the flows).
   void remove_file(FileId file);
 
   [[nodiscard]] bool has_file(FileId file) const {
-    return entries_.contains(file);
+    return ranges_.contains(file);
   }
   [[nodiscard]] std::uint32_t replica_count(FileId file) const;
 
-  [[nodiscard]] const AllocEntry& entry(FileId file, ReplicaIndex idx) const;
+  /// Materialized copy of one entry (does not track later mutations).
+  [[nodiscard]] AllocEntry entry(FileId file, ReplicaIndex idx) const;
 
-  /// Per-file shard views for the engine's epoch sweeps: all of a file's
-  /// entries as one contiguous span (one hash lookup instead of one per
-  /// replica).
-  ///
-  /// Concurrency contract: lookups are safe from concurrent readers as
-  /// long as no thread mutates the table's structure (create/remove_file,
-  /// set_prev/next/state). Through the mutable span, a sweep worker may
-  /// write ONLY `last` — and only for files its shard owns; prev/next/
-  /// state/comm_r are coupled to the reverse indexes and the normal-entry
-  /// sampler and must go through the setters above.
-  [[nodiscard]] std::span<const AllocEntry> entries_of(FileId file) const;
-  [[nodiscard]] std::span<AllocEntry> sweep_entries_of(FileId file);
+  [[nodiscard]] SweepView sweep_view_of(FileId file);
 
   /// Entry mutation: `set_prev` / `set_next` keep the reverse indexes
   /// consistent; `set_state` keeps the normal-entry sampler consistent.
@@ -109,41 +147,78 @@ class AllocTable {
   [[nodiscard]] std::size_t normal_entry_count() const {
     return normal_entries_.size();
   }
-  [[nodiscard]] std::size_t file_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t file_count() const { return ranges_.size(); }
+
+  /// Mutation counter for incremental state hashing: bumped by every
+  /// serial mutating member. Concurrent sweep `last` stamps bypass it by
+  /// design (no shared-counter race); the sweep's serial merge point must
+  /// call `note_sweep_writes` once per batch.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  void note_sweep_writes() { ++version_; }
 
   /// Canonical snapshot encoding / full-state restore (`src/snapshot`).
   ///
-  /// The entry map is encoded sorted by file id (its hash order is never
-  /// observable), but the reverse indexes and the normal-entry sampler are
-  /// encoded in their exact dense-array order: their positions feed
-  /// iteration (`with_prev` spans) and uniform sampling
+  /// The file→range map is encoded sorted by file id (its hash order is
+  /// never observable), but the reverse indexes and the normal-entry
+  /// sampler are encoded in their exact dense-array order: their positions
+  /// feed iteration (`with_prev` spans) and uniform sampling
   /// (`random_normal_entry`), so a swap-erase history reshuffle would
   /// change later draws and break save→load→continue byte-identity.
+  /// Slot placement inside the slab is NOT observable and not encoded;
+  /// `load` repacks files dense in file-id order.
+  ///
+  /// `sector_count` bounds the sector ids accepted in the reverse-index
+  /// sections (the caller loads the sector table first): buckets are
+  /// dense per-sector vectors now, so an astronomically large id in a
+  /// crafted body must be rejected up front instead of driving a huge
+  /// resize.
   void save(util::BinaryWriter& writer) const;
-  void load(util::BinaryReader& reader);
+  void load(util::BinaryReader& reader, std::uint64_t sector_count);
 
  private:
-  /// Swap-erase key set: dense array for iteration/sampling + positional
-  /// map for O(1) membership updates.
-  struct KeySet {
-    std::vector<EntryKey> items;
-    std::unordered_map<EntryKey, std::size_t, EntryKeyHash> positions;
+  /// A file's contiguous slot run in the slab.
+  struct Range {
+    std::size_t offset = 0;
+    std::uint32_t count = 0;
   };
-  using SectorIndex = std::unordered_map<SectorId, KeySet>;
+  static constexpr std::size_t kNoPos = ~std::size_t{0};
 
-  [[nodiscard]] AllocEntry& mutable_entry(FileId file, ReplicaIndex idx);
-  static void index_add(SectorIndex& index, SectorId sector, EntryKey key);
-  static void index_remove(SectorIndex& index, SectorId sector, EntryKey key);
-  void sampler_add(EntryKey key);
-  void sampler_remove(EntryKey key);
+  [[nodiscard]] std::size_t slot_of(FileId file, ReplicaIndex idx) const;
+  void index_add(std::vector<std::vector<EntryKey>>& buckets,
+                 std::vector<std::size_t>& positions, SectorId sector,
+                 EntryKey key, std::size_t slot);
+  void index_remove(std::vector<std::vector<EntryKey>>& buckets,
+                    std::vector<std::size_t>& positions, SectorId sector,
+                    EntryKey key, std::size_t slot);
+  void sampler_add(EntryKey key, std::size_t slot);
+  void sampler_remove(EntryKey key, std::size_t slot);
 
-  std::unordered_map<FileId, std::vector<AllocEntry>> entries_;
-  SectorIndex by_prev_;
-  SectorIndex by_next_;
-  /// Dense array + position map for O(1) uniform sampling of normal entries.
+  std::unordered_map<FileId, Range> ranges_;
+  /// Struct-of-arrays slab, indexed by slot = range.offset + replica.
+  std::vector<SectorId> prev_;
+  std::vector<SectorId> next_;
+  std::vector<Time> last_;
+  std::vector<AllocState> state_;
+  std::vector<crypto::Hash256> comm_r_;
+  /// Intrusive positions of each slot's key inside the by-prev/by-next
+  /// buckets and the normal sampler (kNoPos when absent).
+  // fi-lint: not-serialized(derived: load() rebuilds from the index sections)
+  std::vector<std::size_t> pos_in_prev_;
+  // fi-lint: not-serialized(derived: load() rebuilds from the index sections)
+  std::vector<std::size_t> pos_in_next_;
+  // fi-lint: not-serialized(derived: load() rebuilds from the sampler section)
+  std::vector<std::size_t> pos_in_normal_;
+  /// Reverse indexes as dense per-sector buckets (sector ids are dense
+  /// registration indices, so a flat vector replaces the sector hash map).
+  std::vector<std::vector<EntryKey>> by_prev_;
+  std::vector<std::vector<EntryKey>> by_next_;
+  /// Dense array for O(1) uniform sampling of normal entries.
   std::vector<EntryKey> normal_entries_;
-  // fi-lint: not-serialized(derived: rebuilt from normal_entries_ on load)
-  std::unordered_map<EntryKey, std::size_t, EntryKeyHash> normal_positions_;
+  /// Recycled slot runs, keyed by run length (= cp).
+  // fi-lint: not-serialized(allocator state; load() repacks the slab dense)
+  util::FixedBlockPool pool_;
+  // fi-lint: not-serialized(in-process mutation counter for incremental hashing)
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace fi::core

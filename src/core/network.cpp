@@ -23,6 +23,10 @@ std::int64_t sample_refresh_countdown(util::Xoshiro256& rng,
 /// is configured — below it, pool dispatch costs more than the scan saves.
 constexpr std::size_t kMinSweepRun = 16;
 
+/// Sweep shard boundaries round to this many tasks (one cache line of
+/// 8-byte proof stamps) so adjacent workers never stamp the same line.
+constexpr std::size_t kSweepShardGranularity = 8;
+
 }  // namespace
 
 Network::Network(Params params, ledger::Ledger& ledger, std::uint64_t seed,
@@ -88,6 +92,7 @@ bool Network::charge_gas(AccountId payer, TokenAmount amount) {
 
 util::Result<SectorId> Network::sector_register(ProviderId provider,
                                                 ByteCount capacity) {
+  ++misc_version_;
   if (!ledger_.exists(provider)) {
     return util::err(util::ErrorCode::not_found, "unknown provider account");
   }
@@ -103,7 +108,7 @@ util::Result<SectorId> Network::sector_register(ProviderId provider,
   auto id = sector_table_.register_sector(provider, capacity, now_);
   if (!id.is_ok()) return id.status();
   // Rent accrues only from this point on.
-  sector_table_.mutable_at(id.value()).rent_acc_snapshot = rent_acc_;
+  sector_table_.set_rent_acc_snapshot(id.value(), rent_acc_);
   FI_CHECK(deposit_book_.pledge(id.value(), provider, deposit).is_ok());
   if (params_.admission_rebalance) {
     admission_rebalance(id.value());
@@ -112,6 +117,7 @@ util::Result<SectorId> Network::sector_register(ProviderId provider,
 }
 
 util::Status Network::sector_disable(ProviderId provider, SectorId sector) {
+  ++misc_version_;
   if (!sector_table_.exists(sector)) {
     return util::err(util::ErrorCode::not_found, "unknown sector");
   }
@@ -142,6 +148,7 @@ util::Status Network::file_confirm(
     ProviderId provider, FileId file, ReplicaIndex index, SectorId sector,
     const crypto::Hash256& comm_r,
     const std::optional<crypto::SealProof>& seal_proof) {
+  ++misc_version_;
   const auto it = files_.find(file);
   if (it == files_.end()) {
     return util::err(util::ErrorCode::not_found, "unknown file");
@@ -182,6 +189,7 @@ util::Status Network::file_confirm(
     const TokenAmount fee = params_.traffic_fee(it->second.desc.size);
     FI_CHECK(ledger_.transfer(traffic_escrow_, provider, fee).is_ok());
     it->second.traffic_escrowed[index] = false;
+    ++files_version_;
   }
   return util::Status::ok();
 }
@@ -189,6 +197,7 @@ util::Status Network::file_confirm(
 util::Status Network::file_prove(ProviderId provider, FileId file,
                                  ReplicaIndex index, SectorId sector,
                                  const crypto::WindowProof& proof) {
+  ++misc_version_;
   const auto it = files_.find(file);
   if (it == files_.end()) {
     return util::err(util::ErrorCode::not_found, "unknown file");
@@ -246,6 +255,7 @@ util::Status Network::file_prove_trusted(ProviderId provider, FileId file,
 // ---------------------------------------------------------------------------
 
 util::Result<FileId> Network::file_add(ClientId client, const FileInfo& info) {
+  ++misc_version_;
   if (!ledger_.exists(client)) {
     return util::err(util::ErrorCode::not_found, "unknown client account");
   }
@@ -299,6 +309,7 @@ util::Result<FileId> Network::file_add(ClientId client, const FileInfo& info) {
   rec.added_at = now_;
   rec.traffic_escrowed.assign(cp, true);
   files_.emplace(id, std::move(rec));
+  ++files_version_;
   alloc_table_.create_file(id, cp);
 
   const Time deadline = now_ + params_.transfer_window(info.size);
@@ -313,6 +324,7 @@ util::Result<FileId> Network::file_add(ClientId client, const FileInfo& info) {
 }
 
 util::Status Network::file_discard(ClientId client, FileId file) {
+  ++misc_version_;
   const auto it = files_.find(file);
   if (it == files_.end()) {
     return util::err(util::ErrorCode::not_found, "unknown file");
@@ -326,11 +338,13 @@ util::Status Network::file_discard(ClientId client, FileId file) {
                      "cannot pay request gas");
   }
   it->second.desc.state = FileState::discard;
+  ++files_version_;
   return util::Status::ok();
 }
 
 util::Result<std::vector<SectorId>> Network::file_get(ClientId client,
                                                       FileId file) {
+  ++misc_version_;
   const auto it = files_.find(file);
   if (it == files_.end()) {
     return util::err(util::ErrorCode::not_found, "unknown file");
@@ -343,7 +357,7 @@ util::Result<std::vector<SectorId>> Network::file_get(ClientId client,
   for (ReplicaIndex i = 0; i < it->second.desc.cp; ++i) {
     const AllocEntry& e = alloc_table_.entry(file, i);
     if (e.state == AllocState::corrupted || e.prev == kNoSector) continue;
-    if (sector_table_.at(e.prev).state == SectorState::corrupted) continue;
+    if (sector_table_.state(e.prev) == SectorState::corrupted) continue;
     holders.push_back(e.prev);
   }
   bus_.emit(RetrievalRequested{file, client, holders});
@@ -356,10 +370,20 @@ util::Result<std::vector<SectorId>> Network::file_get(ClientId client,
 
 void Network::advance_to(Time t) {
   FI_CHECK_MSG(t >= now_, "cannot advance backwards");
+  ++misc_version_;
   while (pending_.next_time() != kNoTime && pending_.next_time() <= t) {
     const Time batch_time = pending_.next_time();
     now_ = batch_time;
-    run_batch(pending_.pop_due(batch_time));
+    // Task processing can touch nearly every misc field (rng draws, stats,
+    // stored-value totals) and the file records (countdowns, escrow flags,
+    // removal), so one conservative bump per batch invalidates both
+    // components for the incremental hasher; the tables keep their own
+    // precise counters.
+    ++misc_version_;
+    ++files_version_;
+    due_buffer_.clear();
+    pending_.pop_due_into(batch_time, due_buffer_);
+    run_batch(due_buffer_);
   }
   now_ = t;
 }
@@ -392,11 +416,20 @@ void Network::run_check_proof_sweep(
     std::size_t end) {
   const std::size_t n = end - begin;
   if (proof_scans_.size() < n) proof_scans_.resize(n);
-  sweep_pool_->parallel_for(n, [&](std::size_t lo, std::size_t hi, std::size_t) {
-    for (std::size_t k = lo; k < hi; ++k) {
-      scan_check_proof(due[begin + k].second.file, proof_scans_[k]);
-    }
-  });
+  // Shard boundaries rounded to 8 tasks: batches run in file-id order and
+  // files sit contiguously in the alloc slab, so aligning the split keeps
+  // two workers' proof stamps (8 Time values per cache line) off the same
+  // line at the seam.
+  sweep_pool_->parallel_for(
+      n, kSweepShardGranularity,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          scan_check_proof(due[begin + k].second.file, proof_scans_[k]);
+        }
+      });
+  // Worker-side `last` stamps bypass the table's version counter (no shared
+  // atomic on the hot path); account for them once at the merge point.
+  alloc_table_.note_sweep_writes();
   bool hazard = false;
   for (std::size_t k = 0; k < n; ++k) {
     hazard = hazard || proof_scans_[k].any_breach;
@@ -431,12 +464,14 @@ void Network::run_check_refresh_sweep(
   // later batch.) So there is no hazard fallback here.
   const std::size_t n = end - begin;
   if (refresh_scans_.size() < n) refresh_scans_.resize(n);
-  sweep_pool_->parallel_for(n, [&](std::size_t lo, std::size_t hi, std::size_t) {
-    for (std::size_t k = lo; k < hi; ++k) {
-      const Task& task = due[begin + k].second;
-      scan_check_refresh(task.file, task.index, refresh_scans_[k]);
-    }
-  });
+  sweep_pool_->parallel_for(
+      n, kSweepShardGranularity,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const Task& task = due[begin + k].second;
+          scan_check_refresh(task.file, task.index, refresh_scans_[k]);
+        }
+      });
   for (std::size_t k = 0; k < n; ++k) {
     const Task& task = due[begin + k].second;
     apply_check_refresh(task.file, task.index, refresh_scans_[k]);
@@ -511,6 +546,7 @@ void Network::auto_check_proof(FileId file) {
   // over when a replica breached ProofDeadline (sector confiscation).
   ProofScan scan;
   scan_check_proof(file, scan);
+  alloc_table_.note_sweep_writes();
   if (scan.any_breach) {
     check_proof_hazard(file);
   } else {
@@ -533,21 +569,23 @@ void Network::scan_check_proof(FileId file, ProofScan& out) {
   if (it == files_.end()) return;
   out.rec = &it->second;
 
-  const std::span<AllocEntry> entries = alloc_table_.sweep_entries_of(file);
+  AllocTable::SweepView entries = alloc_table_.sweep_view_of(file);
   for (ReplicaIndex i = 0; i < entries.size(); ++i) {
-    AllocEntry& e = entries[i];
-    if (e.state == AllocState::corrupted) continue;  // dead replica slot
+    if (entries.state(i) == AllocState::corrupted) continue;  // dead slot
     out.all_corrupted = false;
-    if (e.prev == kNoSector) continue;
-    if (sector_table_.at(e.prev).state == SectorState::corrupted) continue;
-    if (auto_prove_ && !physically_corrupted_.contains(e.prev)) {
-      e.last = now_;  // fresh by construction: neither late nor breached
+    const SectorId prev = entries.prev(i);
+    if (prev == kNoSector) continue;
+    if (sector_table_.state(prev) == SectorState::corrupted) continue;
+    if (auto_prove_ && !is_physically_corrupted(prev)) {
+      // Fresh by construction: neither late nor breached.
+      entries.set_last(i, now_);
       continue;
     }
-    const bool never = (e.last == kNoTime);
-    if (never || e.last + params_.proof_deadline < now_) {
+    const Time last = entries.last(i);
+    const bool never = (last == kNoTime);
+    if (never || last + params_.proof_deadline < now_) {
       out.any_breach = true;
-    } else if (e.last + params_.proof_due < now_) {
+    } else if (last + params_.proof_due < now_) {
       out.late.push_back(i);
     }
   }
@@ -636,9 +674,8 @@ void Network::check_proof_hazard(FileId file) {
   for (ReplicaIndex i = 0; i < rec.desc.cp; ++i) {
     const AllocEntry& e = alloc_table_.entry(file, i);
     if (e.state == AllocState::corrupted || e.prev == kNoSector) continue;
-    const Sector& prev = sector_table_.at(e.prev);
-    if (prev.state == SectorState::corrupted) continue;
-    if (auto_prove_ && !physically_corrupted_.contains(e.prev)) {
+    if (sector_table_.state(e.prev) == SectorState::corrupted) continue;
+    if (auto_prove_ && !is_physically_corrupted(e.prev)) {
       alloc_table_.set_last(file, i, now_);
     }
     const Time last = alloc_table_.entry(file, i).last;
@@ -787,7 +824,7 @@ void Network::apply_check_refresh(FileId file, ReplicaIndex index,
     if (other.prev == kNoSector || other.state == AllocState::corrupted) {
       continue;
     }
-    if (sector_table_.at(other.prev).state == SectorState::corrupted) {
+    if (sector_table_.state(other.prev) == SectorState::corrupted) {
       continue;
     }
     const TokenAmount slashed =
@@ -842,16 +879,17 @@ TokenAmount Network::accrued_rent(SectorId sector) const {
 }
 
 TokenAmount Network::settle_rent_internal(SectorId sector) {
-  Sector& s = sector_table_.mutable_at(sector);
+  const Sector s = sector_table_.at(sector);
   const TokenAmount owed = owed_rent(s);
   if (owed == 0) return 0;
+  ++misc_version_;
   // Advance the snapshot by exactly the paid entitlement (rounded up, so
   // the pool can never be overdrawn); the sub-token fraction keeps
   // accruing instead of being shaved off at every settlement.
   const std::uint64_t units = s.capacity / params_.min_capacity;
   const RentAcc consumed =
       ((static_cast<RentAcc>(owed) << kRentAccFracBits) + units - 1) / units;
-  s.rent_acc_snapshot += consumed;
+  sector_table_.set_rent_acc_snapshot(sector, s.rent_acc_snapshot + consumed);
   FI_CHECK(ledger_.transfer(rent_pool_, s.owner, owed).is_ok());
   total_rent_paid_ = util::checked_add(total_rent_paid_, owed);
   return owed;
@@ -885,33 +923,45 @@ void Network::release_sector(SectorId sector, ByteCount size) {
 // Corruption
 // ---------------------------------------------------------------------------
 
+void Network::mark_phys_corrupted(SectorId sector) {
+  if (sector >= physically_corrupted_.size()) {
+    physically_corrupted_.resize(sector + 1, 0);
+  }
+  physically_corrupted_[sector] = 1;
+}
+
 void Network::corrupt_sector_physical(SectorId sector) {
   FI_CHECK(sector_table_.exists(sector));
-  physically_corrupted_.insert(sector);
+  ++misc_version_;
+  mark_phys_corrupted(sector);
 }
 
 void Network::corrupt_sector_now(SectorId sector) {
   FI_CHECK(sector_table_.exists(sector));
-  physically_corrupted_.insert(sector);
+  ++misc_version_;
+  ++files_version_;
+  mark_phys_corrupted(sector);
   corrupt_sector_internal(sector);
 }
 
 void Network::restore_sector_physical(SectorId sector) {
   FI_CHECK(sector_table_.exists(sector));
-  if (sector_table_.at(sector).state == SectorState::corrupted) return;
-  physically_corrupted_.erase(sector);
+  ++misc_version_;
+  if (sector_table_.state(sector) == SectorState::corrupted) return;
+  if (sector < physically_corrupted_.size()) physically_corrupted_[sector] = 0;
 }
 
 void Network::corrupt_sector_internal(SectorId sector) {
-  const SectorState state = sector_table_.at(sector).state;
+  const SectorState state = sector_table_.state(sector);
   if (state == SectorState::corrupted || state == SectorState::removed) {
     return;  // already dead
   }
+  ++misc_version_;
   // Rent credited before the corruption was honestly earned; pay it out
   // before the accrual freezes.
   settle_rent_internal(sector);
   FI_CHECK(sector_table_.mark_corrupted(sector));
-  physically_corrupted_.insert(sector);
+  mark_phys_corrupted(sector);
   const TokenAmount confiscated = deposit_book_.confiscate(sector);
   ++stats_.sectors_corrupted;
   bus_.emit(SectorCorrupted{sector, confiscated});
@@ -922,7 +972,7 @@ void Network::corrupt_sector_internal(SectorId sector) {
     const AllocEntry& e = alloc_table_.entry(file, index);
     if (e.state == AllocState::corrupted) continue;
     if (e.state == AllocState::confirm && e.next != kNoSector &&
-        sector_table_.at(e.next).state == SectorState::normal) {
+        sector_table_.state(e.next) == SectorState::normal) {
       // The replica already landed in the refresh target: complete the
       // swap instead of losing a healthy copy.
       const SectorId fresh = e.next;
@@ -1126,7 +1176,7 @@ NetworkStats load_network_stats(util::BinaryReader& reader) {
   return stats;
 }
 
-void Network::save(util::BinaryWriter& writer) const {
+void Network::save_misc(util::BinaryWriter& writer) const {
   // Construction-time account layout, written for cross-validation: a
   // snapshot restored into an engine whose ledger grew differently would
   // silently misroute every system flow.
@@ -1146,19 +1196,19 @@ void Network::save(util::BinaryWriter& writer) const {
   writer.u64(total_rent_paid_);
   writer.boolean(auto_prove_);
 
-  // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
-  std::vector<SectorId> corrupted(physically_corrupted_.begin(),
-                                  physically_corrupted_.end());
-  std::sort(corrupted.begin(), corrupted.end());
-  writer.u64(corrupted.size());
-  for (const SectorId s : corrupted) writer.u64(s);
+  // The dense flag vector encodes as (count, ascending set-ids) — the exact
+  // encoding the former sorted id set produced.
+  std::uint64_t corrupted = 0;
+  for (const std::uint8_t flag : physically_corrupted_) corrupted += flag;
+  writer.u64(corrupted);
+  for (std::size_t s = 0; s < physically_corrupted_.size(); ++s) {
+    if (physically_corrupted_[s] != 0) writer.u64(s);
+  }
 
   save_network_stats(stats_, writer);
-  sector_table_.save(writer);
-  alloc_table_.save(writer);
-  pending_.save(writer);
-  deposit_book_.save(writer);
+}
 
+void Network::save_files(util::BinaryWriter& writer) const {
   std::vector<FileId> files;
   files.reserve(files_.size());
   // fi-lint: allow(unordered-iter, keys collected then sorted before encoding)
@@ -1183,7 +1233,81 @@ void Network::save(util::BinaryWriter& writer) const {
   }
 }
 
+void Network::save_state_component(StateComponent component,
+                                   util::BinaryWriter& writer) const {
+  switch (component) {
+    case StateComponent::misc:
+      save_misc(writer);
+      return;
+    case StateComponent::sectors:
+      sector_table_.save(writer);
+      return;
+    case StateComponent::allocations:
+      alloc_table_.save(writer);
+      return;
+    case StateComponent::pending:
+      pending_.save(writer);
+      return;
+    case StateComponent::deposits:
+      deposit_book_.save(writer);
+      return;
+    case StateComponent::files:
+      save_files(writer);
+      return;
+  }
+  FI_CHECK_MSG(false, "unknown state component");
+}
+
+std::uint64_t Network::state_component_version(StateComponent component) const {
+  switch (component) {
+    case StateComponent::misc:
+      return misc_version_;
+    case StateComponent::sectors:
+      return sector_table_.version();
+    case StateComponent::allocations:
+      return alloc_table_.version();
+    case StateComponent::pending:
+      return pending_.version();
+    case StateComponent::deposits:
+      return deposit_book_.version();
+    case StateComponent::files:
+      return files_version_;
+  }
+  FI_CHECK_MSG(false, "unknown state component");
+  return 0;
+}
+
+const char* Network::state_component_name(StateComponent component) {
+  switch (component) {
+    case StateComponent::misc:
+      return "misc";
+    case StateComponent::sectors:
+      return "sectors";
+    case StateComponent::allocations:
+      return "allocations";
+    case StateComponent::pending:
+      return "pending";
+    case StateComponent::deposits:
+      return "deposits";
+    case StateComponent::files:
+      return "files";
+  }
+  FI_CHECK_MSG(false, "unknown state component");
+  return "";
+}
+
+void Network::save(util::BinaryWriter& writer) const {
+  // The flat snapshot encoding is the exact concatenation of the six state
+  // components in enum order — the incremental hasher re-encodes components
+  // individually and this identity keeps golden snapshots byte-identical.
+  for (std::size_t c = 0; c < kStateComponentCount; ++c) {
+    save_state_component(static_cast<StateComponent>(c), writer);
+  }
+}
+
 util::Status Network::load(util::BinaryReader& reader) {
+  ++misc_version_;
+  ++files_version_;
   const std::uint64_t ids[5] = {reader.u64(), reader.u64(), reader.u64(),
                                 reader.u64(), reader.u64()};
   if (ids[0] != escrow_ || ids[1] != pool_ || ids[2] != rent_pool_ ||
@@ -1205,16 +1329,37 @@ util::Status Network::load(util::BinaryReader& reader) {
   total_rent_paid_ = reader.u64();
   auto_prove_ = reader.boolean();
 
-  physically_corrupted_.clear();
+  // The corrupted-flag ids precede the sector table on the wire; buffer
+  // them and size the dense flag vector from the *restored* sector count —
+  // a crafted body must never choose the resize amount.
   const std::uint64_t corrupted = reader.count(8);
-  physically_corrupted_.reserve(corrupted);
+  std::vector<SectorId> corrupted_ids;
+  corrupted_ids.reserve(corrupted);
   for (std::uint64_t i = 0; i < corrupted; ++i) {
-    physically_corrupted_.insert(reader.u64());
+    const SectorId id = reader.u64();
+    if (!corrupted_ids.empty() && id <= corrupted_ids.back()) {
+      reader.fail();  // canonical encoding is strictly ascending
+      break;
+    }
+    corrupted_ids.push_back(id);
   }
 
   stats_ = load_network_stats(reader);
   sector_table_.load(reader);
-  alloc_table_.load(reader);
+
+  physically_corrupted_.clear();
+  if (reader.ok()) {
+    physically_corrupted_.assign(sector_table_.count(), 0);
+    for (const SectorId id : corrupted_ids) {
+      if (id >= physically_corrupted_.size()) {
+        reader.fail();  // flagged sector does not exist
+        break;
+      }
+      physically_corrupted_[id] = 1;
+    }
+  }
+
+  alloc_table_.load(reader, sector_table_.count());
   pending_.load(reader);
   deposit_book_.load(reader);
 

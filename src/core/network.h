@@ -5,7 +5,6 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/alloc_table.h"
@@ -225,10 +224,14 @@ class Network {
   /// When enabled, Auto_CheckProof treats every replica in a
   /// non-physically-corrupted sector as freshly proven — large-scale
   /// statistical runs without per-replica proof traffic.
-  void set_auto_prove(bool enabled) { auto_prove_ = enabled; }
+  void set_auto_prove(bool enabled) {
+    ++misc_version_;
+    auto_prove_ = enabled;
+  }
 
   [[nodiscard]] bool is_physically_corrupted(SectorId sector) const {
-    return physically_corrupted_.contains(sector);
+    return sector < physically_corrupted_.size() &&
+           physically_corrupted_[sector] != 0;
   }
 
   // ---- Introspection --------------------------------------------------------
@@ -320,6 +323,36 @@ class Network {
   /// snapshot digest first and treat failure as fatal for this instance.
   util::Status load(util::BinaryReader& reader);
 
+  // ---- Component-structured state (incremental hashing) -------------------
+  //
+  // `save` is defined as the in-order concatenation of these components, so
+  // a per-component hasher (`snapshot::IncrementalNetworkHasher`) can
+  // re-encode only what changed since its last refresh while the flat
+  // encoding — and every golden state hash derived from it — stays
+  // byte-identical.
+
+  enum class StateComponent : std::uint8_t {
+    misc = 0,     ///< accounts, rng, clock, rent accumulators, flags, stats
+    sectors,      ///< SectorTable
+    allocations,  ///< AllocTable
+    pending,      ///< PendingList
+    deposits,     ///< DepositBook
+    files,        ///< file records
+  };
+  static constexpr std::size_t kStateComponentCount = 6;
+
+  /// Encodes exactly one component's slice of the canonical encoding.
+  void save_state_component(StateComponent component,
+                            util::BinaryWriter& writer) const;
+  /// Mutation counter per component: unchanged counter implies an
+  /// unchanged encoding (the converse need not hold — counters may bump
+  /// conservatively on no-op mutations). Monotone within a process only.
+  [[nodiscard]] std::uint64_t state_component_version(
+      StateComponent component) const;
+  /// Stable lower-case component name (hash domain separation, logs).
+  [[nodiscard]] static const char* state_component_name(
+      StateComponent component);
+
   /// Registers an event observer (`core/events.h`). Listeners run
   /// synchronously inside the emitting request or task, in subscription
   /// order; they see a consistent mid-transaction snapshot and must not
@@ -355,7 +388,10 @@ class Network {
   // reads shared tables and writes only its own file's proof stamps.
 
   /// One file's precomputed Auto_CheckProof outcome (Fig. 8 replica loop).
-  struct ProofScan {
+  /// Cache-line aligned: scan slots sit in a shared array written
+  /// concurrently by shard workers, so one slot per line keeps a worker's
+  /// stores from invalidating its neighbors' lines (false sharing).
+  struct alignas(64) ProofScan {
     /// The file's record, or nullptr if it vanished before the sweep.
     FileRecord* rec = nullptr;
     /// Every replica entry is `corrupted` (the Fig. 8 loss condition).
@@ -368,7 +404,8 @@ class Network {
   };
 
   /// One replica's precomputed Auto_CheckRefresh branch (Fig. 9).
-  struct RefreshScan {
+  /// Cache-line aligned for the same false-sharing reason as ProofScan.
+  struct alignas(64) RefreshScan {
     enum class Outcome : std::uint8_t {
       skip,     ///< file gone, request stale, or storing sector corrupted
       success,  ///< entry confirmed: complete the prev <- next swap
@@ -452,6 +489,12 @@ class Network {
   bool charge_gas(AccountId payer, TokenAmount amount);
   /// Resamples a file's refresh countdown from Exp(AvgRefresh).
   void resample_cntdown(FileId file);
+  /// Sets / clears a sector's physical-corruption flag (dense bitmap).
+  void mark_phys_corrupted(SectorId sector);
+  /// Component savers backing `save_state_component`; `save` is their
+  /// in-order concatenation.
+  void save_misc(util::BinaryWriter& writer) const;
+  void save_files(util::BinaryWriter& writer) const;
   /// §VI-B: swap a Poisson number of random backups into a new sector.
   void admission_rebalance(SectorId sector);
   /// Starts a refresh of (file, index) targeted at a specific sector.
@@ -500,7 +543,12 @@ class Network {
   TokenAmount total_rent_paid_ = 0;
 
   bool auto_prove_ = false;
-  std::unordered_set<SectorId> physically_corrupted_;
+  /// Dense per-sector physical-corruption flags (sector ids are dense
+  /// registration indices; grown on demand, trailing sectors implicitly
+  /// clear). The proof sweep probes this per replica, so a flat byte
+  /// lookup replaces a hash probe on the hottest read path. Encoded as the
+  /// sorted id list the historical hash set serialized — byte-identical.
+  std::vector<std::uint8_t> physically_corrupted_;
 
   /// Worker pool for epoch sweeps (null while `workers_ == 1`).
   unsigned workers_ = 1;
@@ -513,8 +561,21 @@ class Network {
   std::vector<ProofScan> proof_scans_;
   // fi-lint: not-serialized(scratch buffers valid only within one sweep)
   std::vector<RefreshScan> refresh_scans_;
+  /// Popped-batch buffer reused across `advance_to` iterations so the
+  /// steady-state epoch loop pops without allocating.
+  // fi-lint: not-serialized(scratch buffer valid only within one batch)
+  std::vector<std::pair<Time, Task>> due_buffer_;
 
   NetworkStats stats_;
+
+  /// Component mutation counters for incremental state hashing (the tables
+  /// carry their own). `misc_version_` bumps at every public entry point —
+  /// conservative but cheap, since the misc component is a few hundred
+  /// bytes. `files_version_` bumps at each site mutating `files_`.
+  // fi-lint: not-serialized(in-process mutation counter for incremental hashing)
+  std::uint64_t misc_version_ = 0;
+  // fi-lint: not-serialized(in-process mutation counter for incremental hashing)
+  std::uint64_t files_version_ = 0;
 };
 
 }  // namespace fi::core

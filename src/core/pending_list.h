@@ -1,7 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -37,64 +38,86 @@ struct Task {
   ReplicaIndex index = 0;
 };
 
+/// Flat binary min-heap over (time, insertion-sequence) in one contiguous
+/// vector. The previous node-based multimap paid a heap allocation plus
+/// pointer-chasing per scheduled task; the vector heap is allocation-free
+/// once capacity is warm (re-arming storms recycle the same storage every
+/// proof cycle) and keeps sift paths inside a few cache lines.
+///
+/// The heap's *internal* array order is layout-dependent and never
+/// observable: every read goes through pops ordered by the strict total
+/// order (time, seq) or through `save`, which sorts a copy into execution
+/// order first.
 class PendingList {
  public:
   /// Enqueues `task` for execution at time `at` (gas already prepaid by
   /// the scheduling request). `at` may equal the current batch time:
   /// Network::advance_to runs such tasks within the same call.
   ///
-  /// Consecutive schedules at the same timestamp reuse the previous
-  /// insertion position as a hint, making re-arming storms (every file in
-  /// a proof batch reschedules at now + ProofCycle) amortized O(1)
-  /// instead of O(log n). Insertion order within a timestamp — and hence
-  /// execution order — is identical either way: a cold insert lands at
-  /// the upper bound of the equal range, a hinted one right after the
-  /// previous insert, which is that same upper bound.
+  /// The global sequence counter breaks timestamp ties by insertion
+  /// order, so execution order is identical to the historical
+  /// insertion-ordered multimap.
   void schedule(Time at, Task task) {
-    if (hint_valid_ && hint_time_ == at) {
-      hint_it_ = tasks_.emplace_hint(std::next(hint_it_), at, task);
-    } else {
-      hint_it_ = tasks_.emplace(at, task);
-      hint_time_ = at;
-      hint_valid_ = true;
+    heap_.push_back(Item{at, next_seq_++, task});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++version_;
+  }
+
+  /// Pops every task with timestamp <= `t`, ordered by (time, insertion),
+  /// appending onto `out` without clearing it. The epoch loop passes the
+  /// same buffer every batch, so steady-state pops allocate nothing.
+  void pop_due_into(Time t, std::vector<std::pair<Time, Task>>& out) {
+    while (!heap_.empty() && heap_.front().at <= t) {
+      out.emplace_back(heap_.front().at, heap_.front().task);
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      ++version_;
     }
   }
 
-  /// Pops every task with timestamp <= `t`, ordered by (time, insertion).
+  /// Convenience wrapper returning a fresh vector (tests / cold paths).
   [[nodiscard]] std::vector<std::pair<Time, Task>> pop_due(Time t) {
-    hint_valid_ = false;  // erasure may invalidate the cached position
     std::vector<std::pair<Time, Task>> due;
-    auto it = tasks_.begin();
-    while (it != tasks_.end() && it->first <= t) {
-      due.emplace_back(*it);
-      it = tasks_.erase(it);
-    }
+    pop_due_into(t, due);
     return due;
   }
 
   /// Time of the earliest pending task, or kNoTime when empty.
   [[nodiscard]] Time next_time() const {
-    return tasks_.empty() ? kNoTime : tasks_.begin()->first;
+    return heap_.empty() ? kNoTime : heap_.front().at;
   }
 
-  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
-  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
-  /// Canonical snapshot encoding: tasks in execution order — the multimap
-  /// already iterates (time, insertion)-ordered, and `load` re-schedules
-  /// in that order, so the restored list pops identically.
+  /// Mutation counter for incremental state hashing: bumped on every
+  /// schedule and pop. Monotone within a process; not comparable across
+  /// save/load.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Canonical snapshot encoding: tasks in execution order. The heap array
+  /// itself is layout-dependent, so `save` sorts a copy by the (time, seq)
+  /// total order — byte-identical to the historical multimap iteration —
+  /// and `load` re-schedules in that order with a fresh dense sequence,
+  /// which preserves relative order and hence pop order.
   void save(util::BinaryWriter& writer) const {
-    writer.u64(tasks_.size());
-    for (const auto& [at, task] : tasks_) {
-      writer.u64(at);
-      writer.u8(static_cast<std::uint8_t>(task.kind));
-      writer.u64(task.file);
-      writer.u32(task.index);
+    std::vector<Item> ordered(heap_);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Item& a, const Item& b) {
+                return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+              });
+    writer.u64(ordered.size());
+    for (const Item& item : ordered) {
+      writer.u64(item.at);
+      writer.u8(static_cast<std::uint8_t>(item.task.kind));
+      writer.u64(item.task.file);
+      writer.u32(item.task.index);
     }
   }
   void load(util::BinaryReader& reader) {
-    tasks_.clear();
-    hint_valid_ = false;
+    heap_.clear();
+    next_seq_ = 0;
+    ++version_;
     const std::uint64_t n = reader.count(21);
     for (std::uint64_t i = 0; i < n; ++i) {
       const Time at = reader.u64();
@@ -112,15 +135,31 @@ class PendingList {
   }
 
  private:
-  std::multimap<Time, Task> tasks_;
-  /// Last-insert hint (see `schedule`). Iterators into a multimap survive
-  /// unrelated inserts; only `pop_due`'s erasures invalidate the cache.
-  // fi-lint: not-serialized(insert-hint cache; load() resets it)
-  std::multimap<Time, Task>::iterator hint_it_;
-  // fi-lint: not-serialized(insert-hint cache; load() resets it)
-  Time hint_time_ = 0;
-  // fi-lint: not-serialized(insert-hint cache; load() resets it)
-  bool hint_valid_ = false;
+  struct Item {
+    Time at = 0;
+    /// Insertion tie-break: encoded *positionally* — save sorts by
+    /// (at, seq) and load renumbers densely in wire order, preserving the
+    /// only observable property (relative order).
+    // fi-lint: not-serialized(encoded positionally via the sorted order)
+    std::uint64_t seq = 0;
+    Task task;
+  };
+  /// Max-heap comparator inverted into a min-heap on (at, seq): the
+  /// strict total order guarantees a unique pop sequence for any heap
+  /// layout holding the same multiset of items.
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::vector<Item> heap_;
+  /// Tie-break sequence. Only *relative* order is observable (pops and the
+  /// sorted save), so the dense renumbering on load changes nothing.
+  // fi-lint: not-serialized(tie-break counter; load() renumbers densely)
+  std::uint64_t next_seq_ = 0;
+  // fi-lint: not-serialized(in-process mutation counter for incremental hashing)
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace fi::core

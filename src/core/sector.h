@@ -7,6 +7,7 @@
 #include "core/params.h"
 #include "core/types.h"
 #include "util/binary_io.h"
+#include "util/check.h"
 #include "util/fenwick.h"
 #include "util/prng.h"
 #include "util/status.h"
@@ -18,6 +19,15 @@
 /// sector is `normal`, and zero otherwise, so one O(log n) prefix search
 /// draws a live sector with the correct distribution even as sectors
 /// register, disable and corrupt online.
+///
+/// Storage is struct-of-arrays: each field lives in its own dense vector
+/// indexed by sector id. The epoch-loop hot paths touch one or two fields
+/// per sector (`state` during proof sweeps, `rent_acc_snapshot` during
+/// settlement), so packing a field per cache line instead of a 64-byte
+/// record per sector cuts the sweep's memory traffic by ~8x. The AoS
+/// `Sector` struct survives as the *view* type: `at` materializes one on
+/// demand, which existing `const Sector&` call sites bind via lifetime
+/// extension.
 namespace fi::core {
 
 /// Fixed-point rent accumulator value: tokens per capacity unit, scaled by
@@ -49,13 +59,36 @@ class SectorTable {
   util::Result<SectorId> register_sector(ProviderId owner, ByteCount capacity,
                                          Time now);
 
-  [[nodiscard]] bool exists(SectorId id) const { return id < sectors_.size(); }
-  /// Concurrency contract: `exists` / `at` / the O(1) totals below are
-  /// plain reads over stable storage and are safe from concurrent sweep
-  /// workers as long as no thread mutates the table (register / reserve /
-  /// release / state transitions all count as mutations).
-  [[nodiscard]] const Sector& at(SectorId id) const;
-  [[nodiscard]] std::size_t count() const { return sectors_.size(); }
+  [[nodiscard]] bool exists(SectorId id) const { return id < owners_.size(); }
+  /// Materialized full-record view of one sector (a *copy*: it does not
+  /// track later table mutations — re-read after mutating).
+  ///
+  /// Concurrency contract: `exists`, `at`, the single-field reads and the
+  /// O(1) totals below are plain reads over stable storage and are safe
+  /// from concurrent sweep workers as long as no thread mutates the table
+  /// (register / reserve / release / state transitions all count as
+  /// mutations).
+  [[nodiscard]] Sector at(SectorId id) const;
+  [[nodiscard]] std::size_t count() const { return owners_.size(); }
+
+  /// Single-field reads — the sweep hot path uses these so a proof scan
+  /// streams the (dense) state array instead of striding 64-byte records.
+  [[nodiscard]] SectorState state(SectorId id) const {
+    FI_CHECK_MSG(id < states_.size(), "unknown sector id");
+    return states_[id];
+  }
+  [[nodiscard]] ProviderId owner(SectorId id) const {
+    FI_CHECK_MSG(id < owners_.size(), "unknown sector id");
+    return owners_[id];
+  }
+  [[nodiscard]] ByteCount capacity(SectorId id) const {
+    FI_CHECK_MSG(id < capacities_.size(), "unknown sector id");
+    return capacities_[id];
+  }
+  [[nodiscard]] RentAcc rent_acc_snapshot(SectorId id) const {
+    FI_CHECK_MSG(id < rent_acc_snapshots_.size(), "unknown sector id");
+    return rent_acc_snapshots_[id];
+  }
 
   /// `RandomSector()`: capacity-weighted draw over normal sectors.
   /// Fails when no normal sector exists.
@@ -78,6 +111,9 @@ class SectorTable {
   /// Removes a drained disabled sector.
   void mark_removed(SectorId id);
 
+  /// Rent settlement bookkeeping (Network is the only caller).
+  void set_rent_acc_snapshot(SectorId id, RentAcc value);
+
   /// Total capacity over sectors in the given state (O(1), maintained
   /// incrementally across every state transition).
   [[nodiscard]] ByteCount total_capacity(SectorState state) const {
@@ -94,17 +130,21 @@ class SectorTable {
     return rentable_units_;
   }
 
-  /// Mutable access for the protocol engine (state transitions beyond the
-  /// helpers above are funneled through Network).
-  Sector& mutable_at(SectorId id);
-
   /// All sector ids in registration order.
   [[nodiscard]] std::vector<SectorId> all_ids() const;
 
+  /// Mutation counter for incremental state hashing: bumped by every
+  /// mutating member (conservatively, even when the mutation is a no-op).
+  /// Monotone within a process; not comparable across save/load.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
   /// Canonical snapshot encoding / full-state restore (`src/snapshot`).
-  /// `load` rebuilds the Fenwick weights and the per-state capacity totals
-  /// from the serialized sectors, so the derived structures can never
-  /// disagree with the restored state.
+  /// The wire format is record-ordered (one full sector after another),
+  /// unchanged from the AoS layout, so snapshots and golden state hashes
+  /// are byte-identical across the SoA refactor. `load` rebuilds the
+  /// Fenwick weights and the per-state capacity totals from the serialized
+  /// sectors, so the derived structures can never disagree with the
+  /// restored state.
   void save(util::BinaryWriter& writer) const;
   void load(util::BinaryReader& reader);
 
@@ -112,19 +152,31 @@ class SectorTable {
   void set_weight(SectorId id);
   /// Transitions a sector's state, moving its capacity between the
   /// per-state totals and keeping the rentable-unit count consistent
-  /// (normal/disabled earn rent). The only writer of Sector::state after
-  /// registration.
-  void transition_capacity(Sector& s, SectorState to);
+  /// (normal/disabled earn rent). The only writer of a sector's state
+  /// after registration.
+  void transition_capacity(SectorId id, SectorState to);
+  void push_back_sector(const Sector& s);
 
   // fi-lint: not-serialized(config reference wired at construction)
   const Params& params_;
-  std::vector<Sector> sectors_;
+  /// Struct-of-arrays storage, all indexed by dense SectorId. (`id` itself
+  /// is implicit — it equals the index — but stays on the wire for format
+  /// stability.)
+  std::vector<ProviderId> owners_;
+  std::vector<ByteCount> capacities_;
+  std::vector<ByteCount> free_caps_;
+  std::vector<SectorState> states_;
+  std::vector<Time> registered_ats_;
+  std::vector<std::uint32_t> ref_counts_;
+  std::vector<RentAcc> rent_acc_snapshots_;
   // fi-lint: not-serialized(derived: load() rebuilds the Fenwick tree)
   util::FenwickTree weights_;
   // fi-lint: not-serialized(derived: load() re-accumulates per-state totals)
   std::array<ByteCount, kSectorStateCount> capacity_by_state_{};
   // fi-lint: not-serialized(derived: load() re-accumulates rentable units)
   std::uint64_t rentable_units_ = 0;
+  // fi-lint: not-serialized(in-process mutation counter for incremental hashing)
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace fi::core

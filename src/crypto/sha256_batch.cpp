@@ -1,0 +1,240 @@
+#include "crypto/sha256_batch.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fi::crypto {
+
+namespace {
+
+// FIPS 180-4 round constants and initial state, identical to the scalar
+// hasher's (sha256.cpp keeps its copies in an anonymous namespace).
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::array<std::uint32_t, 8> kInitialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+constexpr std::size_t kLanes = kSha256Lanes;
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+/// One compression round over `kLanes` independent messages. All state is
+/// laid out lane-contiguous (`x[variable][lane]`), so every line of round
+/// arithmetic is a whole-array operation the compiler turns into vector
+/// instructions — the cross-round dependency chain still exists, but each
+/// step now advances eight digests at once.
+void compress_lanes(std::uint32_t state[8][kLanes],
+                    const std::uint8_t* const block[kLanes]) {
+  std::uint32_t w[64][kLanes];
+  for (int i = 0; i < 16; ++i) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      w[i][l] = load_be32(block[l] + 4 * i);
+    }
+  }
+  for (int i = 16; i < 64; ++i) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::uint32_t s0 = rotr(w[i - 15][l], 7) ^ rotr(w[i - 15][l], 18) ^
+                               (w[i - 15][l] >> 3);
+      const std::uint32_t s1 = rotr(w[i - 2][l], 17) ^ rotr(w[i - 2][l], 19) ^
+                               (w[i - 2][l] >> 10);
+      w[i][l] = w[i - 16][l] + s0 + w[i - 7][l] + s1;
+    }
+  }
+  std::uint32_t a[kLanes], b[kLanes], c[kLanes], d[kLanes];
+  std::uint32_t e[kLanes], f[kLanes], g[kLanes], h[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    a[l] = state[0][l];
+    b[l] = state[1][l];
+    c[l] = state[2][l];
+    d[l] = state[3][l];
+    e[l] = state[4][l];
+    f[l] = state[5][l];
+    g[l] = state[6][l];
+    h[l] = state[7][l];
+  }
+  for (int i = 0; i < 64; ++i) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::uint32_t s1 = rotr(e[l], 6) ^ rotr(e[l], 11) ^ rotr(e[l], 25);
+      const std::uint32_t ch = (e[l] & f[l]) ^ (~e[l] & g[l]);
+      const std::uint32_t t1 = h[l] + s1 + ch + kRoundConstants[i] + w[i][l];
+      const std::uint32_t s0 = rotr(a[l], 2) ^ rotr(a[l], 13) ^ rotr(a[l], 22);
+      const std::uint32_t maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+      const std::uint32_t t2 = s0 + maj;
+      h[l] = g[l];
+      g[l] = f[l];
+      f[l] = e[l];
+      e[l] = d[l] + t1;
+      d[l] = c[l];
+      c[l] = b[l];
+      b[l] = a[l];
+      a[l] = t1 + t2;
+    }
+  }
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    state[0][l] += a[l];
+    state[1][l] += b[l];
+    state[2][l] += c[l];
+    state[3][l] += d[l];
+    state[4][l] += e[l];
+    state[5][l] += f[l];
+    state[6][l] += g[l];
+    state[7][l] += h[l];
+  }
+}
+
+/// Hashes `kLanes` messages of identical length through the lane kernel.
+/// `msgs[l]` may be nullptr only when `len == 0`.
+void hash_lanes(const std::uint8_t* const msgs[kLanes], std::size_t len,
+                Digest* const outs[kLanes]) {
+  std::uint32_t state[8][kLanes];
+  for (std::size_t v = 0; v < 8; ++v) {
+    for (std::size_t l = 0; l < kLanes; ++l) state[v][l] = kInitialState[v];
+  }
+  const std::size_t full = len / 64;
+  const std::uint8_t* ptrs[kLanes];
+  for (std::size_t blk = 0; blk < full; ++blk) {
+    for (std::size_t l = 0; l < kLanes; ++l) ptrs[l] = msgs[l] + 64 * blk;
+    compress_lanes(state, ptrs);
+  }
+  // Identical lengths mean identical padding: the tail is one block when
+  // the remainder leaves room for 0x80 plus the 8-byte bit length, else two.
+  const std::size_t rem = len % 64;
+  const std::size_t tail_blocks = (rem < 56) ? 1 : 2;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+  std::uint8_t tail[kLanes][128];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    std::memset(tail[l], 0, sizeof(tail[l]));
+    if (rem > 0) std::memcpy(tail[l], msgs[l] + 64 * full, rem);
+    tail[l][rem] = 0x80;
+    for (std::size_t i = 0; i < 8; ++i) {
+      tail[l][tail_blocks * 64 - 8 + i] =
+          static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+  }
+  for (std::size_t blk = 0; blk < tail_blocks; ++blk) {
+    for (std::size_t l = 0; l < kLanes; ++l) ptrs[l] = tail[l] + 64 * blk;
+    compress_lanes(state, ptrs);
+  }
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    Digest& out = *outs[l];
+    for (std::size_t v = 0; v < 8; ++v) {
+      out[4 * v + 0] = static_cast<std::uint8_t>(state[v][l] >> 24);
+      out[4 * v + 1] = static_cast<std::uint8_t>(state[v][l] >> 16);
+      out[4 * v + 2] = static_cast<std::uint8_t>(state[v][l] >> 8);
+      out[4 * v + 3] = static_cast<std::uint8_t>(state[v][l]);
+    }
+  }
+}
+
+constexpr std::uint8_t kDomainSeparator = 0x1f;
+
+}  // namespace
+
+void Sha256Batch::add(std::span<const std::uint8_t> message, Digest* out) {
+  FI_CHECK(out != nullptr);
+  entries_.push_back(Entry{message.data(), 0, message.size(), out});
+}
+
+void Sha256Batch::add_owned_header(std::string_view domain) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(domain.data());
+  arena_.insert(arena_.end(), bytes, bytes + domain.size());
+  arena_.push_back(kDomainSeparator);
+}
+
+void Sha256Batch::add_tagged(std::string_view domain,
+                             std::span<const std::uint8_t> body, Digest* out) {
+  FI_CHECK(out != nullptr);
+  const std::size_t offset = arena_.size();
+  add_owned_header(domain);
+  arena_.insert(arena_.end(), body.begin(), body.end());
+  entries_.push_back(Entry{nullptr, offset, arena_.size() - offset, out});
+}
+
+void Sha256Batch::add_tagged_pair(std::string_view domain, const Digest& left,
+                                  const Digest& right, Digest* out) {
+  FI_CHECK(out != nullptr);
+  const std::size_t offset = arena_.size();
+  add_owned_header(domain);
+  arena_.insert(arena_.end(), left.begin(), left.end());
+  arena_.insert(arena_.end(), right.begin(), right.end());
+  entries_.push_back(Entry{nullptr, offset, arena_.size() - offset, out});
+}
+
+void Sha256Batch::flush() {
+  // Resolve arena-owned entries now that the arena has stopped growing.
+  for (Entry& e : entries_) {
+    if (e.ptr == nullptr && e.len > 0) e.ptr = arena_.data() + e.offset;
+  }
+  // Group same-length messages; a lane-kernel invocation needs identical
+  // block counts and padding across all lanes. The stable sort keeps
+  // insertion order within a group (irrelevant for correctness — every
+  // entry writes its own output — but it keeps the flush deterministic).
+  std::vector<std::size_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return entries_[x].len < entries_[y].len;
+                   });
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() &&
+           entries_[order[j]].len == entries_[order[i]].len) {
+      ++j;
+    }
+    // Full lane groups go through the kernel; the remainder (and any group
+    // narrower than the lane width) costs exactly the scalar price.
+    while (j - i >= kLanes) {
+      const std::uint8_t* msgs[kLanes];
+      Digest* outs[kLanes];
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        msgs[l] = entries_[order[i + l]].ptr;
+        outs[l] = entries_[order[i + l]].out;
+      }
+      hash_lanes(msgs, entries_[order[i]].len, outs);
+      i += kLanes;
+    }
+    for (; i < j; ++i) {
+      const Entry& e = entries_[order[i]];
+      *e.out = sha256({e.ptr, e.len});
+    }
+  }
+  entries_.clear();
+  arena_.clear();
+}
+
+void sha256_many(std::span<const std::span<const std::uint8_t>> messages,
+                 std::span<Digest> out) {
+  FI_CHECK_MSG(messages.size() == out.size(),
+               "sha256_many: one output digest per message");
+  Sha256Batch batch;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    batch.add(messages[i], &out[i]);
+  }
+  batch.flush();
+}
+
+}  // namespace fi::crypto

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+/// Batched multi-message SHA-256.
+///
+/// SHA-256 over one message is a serial dependency chain, but hashing many
+/// *independent* messages — Merkle leaf blocks, interior-node pairs, the
+/// incremental state hasher's chunks, PoSt challenge openings — has no
+/// cross-message dependency at all. `Sha256Batch` queues messages and, at
+/// `flush()`, runs the compression function over `kSha256Lanes` same-length
+/// messages in lockstep: every round operates on a lane-contiguous array of
+/// states, so the compiler vectorizes the per-round arithmetic across
+/// messages instead of waiting on the single-message dependency chain.
+///
+/// Digests are bitwise identical to the scalar `sha256()` for every
+/// message: the lane kernel is the same FIPS 180-4 math, only evaluated for
+/// several messages per instruction. Messages whose lengths don't fill a
+/// lane group fall back to the scalar hasher, so a batch of one costs
+/// exactly what it always did.
+namespace fi::crypto {
+
+/// Messages processed per lane-kernel invocation. Eight 32-bit lanes fill
+/// one AVX2 register; narrower vector units still vectorize cleanly at
+/// this width, and the lane state (8 x 8 x 4 bytes) stays in registers.
+inline constexpr std::size_t kSha256Lanes = 8;
+
+/// Queue of independent messages hashed together at `flush()`.
+///
+/// Messages added with `add()` are borrowed and must stay alive until the
+/// flush; the `add_tagged*` helpers copy their bytes into an internal
+/// arena, mirroring the domain-separated encodings of `hash_bytes` /
+/// `hash_pair` so call sites can swap a loop of scalar hashes for a
+/// queue + flush without re-deriving the tag layout.
+class Sha256Batch {
+ public:
+  /// Queues `message` (borrowed; must outlive `flush`). The digest is
+  /// written to `*out` during `flush()`.
+  void add(std::span<const std::uint8_t> message, Digest* out);
+
+  /// Queues `domain || 0x1f || body` (bytes copied), matching
+  /// `hash_bytes(domain, body)`.
+  void add_tagged(std::string_view domain, std::span<const std::uint8_t> body,
+                  Digest* out);
+
+  /// Queues `domain || 0x1f || left || right` (bytes copied), matching
+  /// `hash_pair(domain, left, right)` on the underlying 32-byte values.
+  void add_tagged_pair(std::string_view domain, const Digest& left,
+                       const Digest& right, Digest* out);
+
+  /// Hashes every queued message and writes the digests; clears the queue.
+  /// Full groups of `kSha256Lanes` same-length messages go through the
+  /// lane kernel, the remainder through the scalar hasher.
+  void flush();
+
+  [[nodiscard]] std::size_t pending() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    /// Borrowed message start, or nullptr for arena-owned bytes.
+    const std::uint8_t* ptr = nullptr;
+    /// Offset into `arena_` when owned (the arena may reallocate between
+    /// add and flush, so owned entries resolve their pointer late).
+    std::size_t offset = 0;
+    std::size_t len = 0;
+    Digest* out = nullptr;
+  };
+
+  void add_owned_header(std::string_view domain);
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint8_t> arena_;
+};
+
+/// One-shot convenience: hashes `messages[i]` into `out[i]` for all i.
+/// Equivalent to (and bitwise identical with) a loop of `sha256()` calls.
+/// `out.size()` must equal `messages.size()`.
+void sha256_many(std::span<const std::span<const std::uint8_t>> messages,
+                 std::span<Digest> out);
+
+}  // namespace fi::crypto

@@ -95,9 +95,17 @@ void TaskPool::run_shards(std::size_t shards,
 void TaskPool::parallel_for(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  parallel_for(n, 1, fn);
+}
+
+void TaskPool::parallel_for(
+    std::size_t n, std::size_t granularity,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  FI_CHECK_MSG(granularity >= 1, "granularity must be positive");
   const std::size_t shards = workers_;
-  const std::size_t chunk = (n + shards - 1) / shards;
+  std::size_t chunk = (n + shards - 1) / shards;
+  chunk = (chunk + granularity - 1) / granularity * granularity;
   const std::function<void(std::size_t)> shard_fn = [&](std::size_t shard) {
     const std::size_t begin = shard * chunk;
     if (begin >= n) return;

@@ -52,6 +52,15 @@ class TaskPool {
       std::size_t n,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
+  /// Same, but rounds the per-shard chunk up to a multiple of
+  /// `granularity`. Callers whose per-index outputs are smaller than a
+  /// cache line pass the number of outputs per line so shard boundaries
+  /// land on line boundaries — adjacent workers then never store into the
+  /// same line (false sharing). Trailing shards may be empty.
+  void parallel_for(
+      std::size_t n, std::size_t granularity,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
   /// Maps a requested worker count to an effective one: 0 means "one per
   /// hardware thread" (at least 1), anything else is clamped to
   /// `kMaxWorkers`.

@@ -137,9 +137,39 @@ def serializer_pairs(model: Model) -> list[SerializerPair]:
 # ---------------------------------------------------------------------------
 
 
+def _with_helpers(model: Model, fn: FunctionDef, subject: str | None,
+                  side: str) -> list[FunctionDef]:
+    """`fn` plus every same-class serialization helper it (transitively)
+    calls: a serializer that delegates to component savers (`save`
+    dispatching to `save_misc` / `save_files` through
+    `save_state_component`) is analyzed as if the helpers were inlined, so
+    coverage follows the refactor. Only methods that take the stream
+    (`BinaryWriter&` on the save side, `BinaryReader&` on the load side)
+    count — pure-computation helpers stay out of the coverage closure."""
+    takes_stream = _writer_param if side == "save" else _reader_param
+    out: list[FunctionDef] = []
+    visited: set[str] = set()
+    stack = [fn]
+    while stack:
+        cur = stack.pop()
+        if cur.name in visited:
+            continue
+        visited.add(cur.name)
+        out.append(cur)
+        if subject is None:
+            continue
+        for name in sorted(identifiers(cur.body)):
+            if name not in visited:
+                helper = model.body_of(subject, name)
+                if helper is not None and takes_stream(helper) is not None:
+                    stack.append(helper)
+    return out
+
+
 def check_serialization_coverage(model: Model) -> list[Finding]:
     """Every non-static data member of a class with a save/load (or
-    save_state/load_state) pair must be referenced in both bodies, unless
+    save_state/load_state) pair must be referenced in both bodies — same-
+    class helper methods called from a body count as part of it — unless
     annotated `// fi-lint: not-serialized(<reason>)`. Additionally, when a
     serializer encodes a known struct element-wise (`rec.desc.size`, ...),
     every field of that struct must be touched through the same base — the
@@ -147,8 +177,14 @@ def check_serialization_coverage(model: Model) -> list[Finding]:
     """
     findings: list[Finding] = []
     for pair in serializer_pairs(model):
-        save_ids = identifiers(pair.save.body)
-        load_ids = identifiers(pair.load.body)
+        save_fns = _with_helpers(model, pair.save, pair.subject, "save")
+        load_fns = _with_helpers(model, pair.load, pair.subject, "load")
+        save_ids: set[str] = set()
+        for fn in save_fns:
+            save_ids |= identifiers(fn.body)
+        load_ids: set[str] = set()
+        for fn in load_fns:
+            load_ids |= identifiers(fn.body)
 
         subject_cls = model.class_def(pair.subject, pair.save.path) \
             if pair.subject is not None else None
@@ -173,8 +209,10 @@ def check_serialization_coverage(model: Model) -> list[Finding]:
                           f"({pair.load.path}:{pair.load.line}); restore it or "
                           "annotate the member `// fi-lint: not-serialized(<why>)`")
 
-        findings.extend(_aggregate_coverage(model, pair, pair.save, "save"))
-        findings.extend(_aggregate_coverage(model, pair, pair.load, "load"))
+        for fn in save_fns:
+            findings.extend(_aggregate_coverage(model, pair, fn, "save"))
+        for fn in load_fns:
+            findings.extend(_aggregate_coverage(model, pair, fn, "load"))
     return findings
 
 
@@ -590,15 +628,16 @@ def _after_template_args(tokens: list[Token], i: int) -> int:
 
 
 def _call_sequence(model: Model, fn: FunctionDef, stream_var: str,
-                   helper_prefix: str,
+                   helper_prefix: str, subject: str | None = None,
                    visited: frozenset[str] = frozenset()) -> list[tuple[str, int]]:
     """Flattened source-order sequence of serialization calls in a body,
     normalized so a save body and its mirror load body produce the same
     sequence: primitive calls by wire type (count() is a validated u64),
     nested `obj.save(w)` / `obj.load(r)` as 'sub', and `save_X(...)` /
-    `load_X(...)` helpers inlined to their own primitive sequence when the
-    helper body is in the model (so a save-side wrapper matches a load side
-    that spells the same wire reads out directly), else kept by name X."""
+    `load_X(...)` helpers — free functions or `subject`-class methods —
+    inlined to their own primitive sequence when the helper body is in the
+    model (so a save-side wrapper matches a load side that spells the same
+    wire reads out directly), else kept by name X."""
     io_norm = _WRITE_NORM if helper_prefix == "save_" else _READ_NORM
     sub_names = {"save", "save_state"} if helper_prefix == "save_" \
         else {"load", "load_state"}
@@ -618,7 +657,8 @@ def _call_sequence(model: Model, fn: FunctionDef, stream_var: str,
             paren = _after_template_args(tokens, i + 1)
             if paren < n and tokens[paren].text == "(" \
                     and _mentions(tokens, paren, stream_var):
-                seq.extend(_helper_sequence(model, tok, helper_prefix, visited))
+                seq.extend(
+                    _helper_sequence(model, tok, helper_prefix, subject, visited))
         elif tok.text in sub_names and nxt == "(" and _is_member_access(tokens, i) \
                 and _mentions(tokens, i + 1, stream_var):
             seq.append(("sub", tok.line))
@@ -626,17 +666,23 @@ def _call_sequence(model: Model, fn: FunctionDef, stream_var: str,
 
 
 def _helper_sequence(model: Model, call_tok: Token, helper_prefix: str,
+                     subject: str | None,
                      visited: frozenset[str]) -> list[tuple[str, int]]:
     """The normalized sequence a `save_X(...)`/`load_X(...)` helper call
-    contributes, reported at the call-site line."""
-    helper = model.body_of(None, call_tok.text) if call_tok.text not in visited \
-        else None
+    contributes, reported at the call-site line. Same-class component
+    savers resolve before free functions."""
+    helper = None
+    if call_tok.text not in visited:
+        if subject is not None:
+            helper = model.body_of(subject, call_tok.text)
+        if helper is None:
+            helper = model.body_of(None, call_tok.text)
     if helper is not None:
         stream = _writer_param(helper) if helper_prefix == "save_" \
             else _reader_param(helper)
         if stream is not None:
             inner = _call_sequence(model, helper, stream, helper_prefix,
-                                   visited | {call_tok.text})
+                                   subject, visited | {call_tok.text})
             return [(name, call_tok.line) for name, _ in inner]
     return [(call_tok.text[len(helper_prefix):], call_tok.line)]
 
@@ -667,8 +713,10 @@ def _rw_mismatch(model: Model) -> list[Finding]:
         reader = _reader_param(pair.load)
         if writer is None or reader is None:
             continue
-        save_seq = _call_sequence(model, pair.save, writer, "save_")
-        load_seq = _call_sequence(model, pair.load, reader, "load_")
+        save_seq = _call_sequence(model, pair.save, writer, "save_",
+                                  pair.subject)
+        load_seq = _call_sequence(model, pair.load, reader, "load_",
+                                  pair.subject)
         label = (pair.subject + "::" if pair.subject else "") + pair.save.name
         for k in range(max(len(save_seq), len(load_seq))):
             s = save_seq[k] if k < len(save_seq) else None

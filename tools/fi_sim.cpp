@@ -30,6 +30,7 @@
 
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "snapshot/incremental_hash.h"
 #include "snapshot/snapshot.h"
 #include "util/config.h"
 
@@ -43,9 +44,9 @@ int usage(const char* argv0) {
       "usage: %s --scenario <config> [--out <report.json>] [--timings]\n"
       "          [--workers <n>] [--set key=value ...] [--dump-spec]\n"
       "          [--save <file> [--save-at <epoch> | --save-every <n>]]\n"
-      "          [--hash-state]\n"
+      "          [--hash-state] [--hash-network-every <n>]\n"
       "       %s --load <file> [--out ...] [--workers <n>] [--timings]\n"
-      "          [--save ...] [--hash-state]\n"
+      "          [--save ...] [--hash-state] [--hash-network-every <n>]\n"
       "\n"
       "  --scenario <config>  scenario spec (key=value or flat JSON file)\n"
       "  --out <path>         write the JSON report here (default: stdout)\n"
@@ -63,7 +64,12 @@ int usage(const char* argv0) {
       "                       continuation is byte-identical to the\n"
       "                       uninterrupted run (--workers may differ)\n"
       "  --hash-state         print the end-of-run state hash (SHA-256 of\n"
-      "                       the canonical state encoding) to stdout\n",
+      "                       the canonical state encoding) to stdout\n"
+      "  --hash-network-every <n>\n"
+      "                       every <n> epochs, print the incremental\n"
+      "                       network fingerprint (Merkle-ized per-component\n"
+      "                       hash; only changed components are re-hashed)\n"
+      "                       as 'network-fingerprint epoch=<e> <hex>'\n",
       argv0, argv0);
   return 2;
 }
@@ -77,6 +83,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::uint64_t save_at = 0;
   std::uint64_t save_every = 0;
+  std::uint64_t fingerprint_every = 0;
   bool timings = false;
   bool dump_spec = false;
   bool hash_state = false;
@@ -115,6 +122,15 @@ int main(int argc, char** argv) {
       timings = true;
     } else if (arg == "--hash-state") {
       hash_state = true;
+    } else if (arg == "--hash-network-every" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], fingerprint_every) || fingerprint_every == 0) {
+        std::fprintf(
+            stderr,
+            "fi_sim: --hash-network-every expects a cycle count >= 1, "
+            "got '%s'\n",
+            argv[i]);
+        return usage(argv[0]);
+      }
     } else if (arg == "--workers" && i + 1 < argc) {
       // Routed through the config override path (fresh runs) so the value
       // gets util::Config's strict unsigned-parse + range validation and
@@ -220,10 +236,23 @@ int main(int argc, char** argv) {
 
   bool save_failed = false;
   bool save_fired = false;
-  if (!save_path.empty() && (save_at != 0 || save_every != 0)) {
+  const bool save_hook = !save_path.empty() && (save_at != 0 || save_every != 0);
+  // The incremental hasher lives across epoch callbacks: each fingerprint
+  // re-hashes only the components whose version counters moved since the
+  // previous checkpoint, so frequent fingerprints cost O(changed state).
+  fi::snapshot::IncrementalNetworkHasher net_hasher;
+  if (save_hook || fingerprint_every != 0) {
     runner->set_epoch_callback(
         [&](const fi::scenario::ScenarioRunner& at_epoch) {
           const std::uint64_t epoch = at_epoch.epoch();
+          if (fingerprint_every != 0 && epoch % fingerprint_every == 0) {
+            const fi::crypto::Hash256 fp =
+                net_hasher.fingerprint(at_epoch.network());
+            std::fprintf(stdout, "network-fingerprint epoch=%llu %s\n",
+                         static_cast<unsigned long long>(epoch),
+                         fp.hex().c_str());
+          }
+          if (!save_hook) return;
           const bool due = save_every != 0 ? epoch % save_every == 0
                                            : epoch == save_at;
           if (!due) return;
