@@ -93,6 +93,11 @@ AdversarySpec adversary_for(StrategyKind kind, double intensity,
     }
     case StrategyKind::refresh_saboteur:
       return AdversarySpec::make_refresh_saboteur(intensity, 0, 1);
+    case StrategyKind::retrieval_ddos:
+    case StrategyKind::cartel_starver:
+      // Traffic-engine strategies need an enabled traffic block and are
+      // benched by bench_retrieval, not the adversary matrix.
+      break;
   }
   return AdversarySpec::make_targeted_file();
 }

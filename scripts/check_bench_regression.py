@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
-"""Gate bench_scale_engine results against a checked-in baseline.
+"""Gate bench JSON results against a checked-in baseline.
 
 Usage:
     check_bench_regression.py <measured.json> <baseline.json>
         [--threshold 2.0] [--append-trajectory <file.jsonl>]
         [--run-label <label>]
 
-Both files follow the bench_scale_engine --json schema (docs/BENCHMARKS.md).
+Both files follow the emitting bench's --json schema (docs/BENCHMARKS.md)
+and carry a top-level "bench" name, which selects the gate schema:
+
+  bench_scale_engine   worker_sweep / rent_scaling, lower-is-better, plus
+                       a byte-identity check of every sweep point's report
+                       against the serial run (the determinism contract).
+  bench_retrieval      retrieval_throughput, HIGHER-is-better (requests/sec
+                       through the full retrieval pipeline), plus a hard
+                       floor of 10^5 requests/sec that no baseline drift
+                       can relax.
+
 For every point in the *baseline* the measured run must exist and must not
-be slower than baseline * threshold; the threshold is deliberately generous
+regress past baseline x/÷ threshold; the threshold is deliberately generous
 (default 2x) because CI runners vary — the gate catches algorithmic
 regressions (a hot path going accidentally quadratic, a sweep silently
-serializing), not single-digit-percent noise.  Additionally, every sweep
-point's report must be byte-identical to the serial run — a cheap ride-along
-check of the determinism contract.
+serializing), not single-digit-percent noise. Hard floors are absolute:
+they bind even when the baseline would allow worse.
 
 A missing, unreadable, or structurally empty baseline is an ERROR, not a
 pass: a gate that silently compares against nothing is worse than no gate
@@ -31,10 +40,19 @@ import argparse
 import json
 import sys
 
-REQUIRED_AXES = {
-    # axis name -> (point key, gated metric)
-    "worker_sweep": ("workers", "per_epoch_seconds"),
-    "rent_scaling": ("sectors", "us_per_rent_cycle"),
+# bench name -> axis name -> (point key, gated metric, direction, hard floor)
+# direction "lower": measured must be <= baseline * threshold.
+# direction "higher": measured must be >= baseline / threshold.
+# The hard floor (higher-direction only) binds regardless of the baseline.
+BENCH_SCHEMAS = {
+    "bench_scale_engine": {
+        "worker_sweep": ("workers", "per_epoch_seconds", "lower", None),
+        "rent_scaling": ("sectors", "us_per_rent_cycle", "lower", None),
+    },
+    "bench_retrieval": {
+        "retrieval_throughput":
+            ("files", "requests_per_second", "higher", 1e5),
+    },
 }
 
 
@@ -54,14 +72,34 @@ def load_json(path, role):
         return None
 
 
-def validate_structure(data, path, role):
+def resolve_schema(measured, baseline, measured_path, baseline_path):
+    """Picks the gate schema from the measured run's "bench" name and
+    insists the baseline was produced by the same bench — gating one
+    bench's numbers against another's baseline must never pass silently."""
+    problems = []
+    name = measured.get("bench") if isinstance(measured, dict) else None
+    if name not in BENCH_SCHEMAS:
+        known = ", ".join(sorted(BENCH_SCHEMAS))
+        problems.append(f"measured {measured_path}: top-level \"bench\" is "
+                        f"{name!r}, expected one of: {known}")
+        return None, problems
+    base_name = baseline.get("bench") if isinstance(baseline, dict) else None
+    if base_name != name:
+        problems.append(f"baseline {baseline_path}: \"bench\" is "
+                        f"{base_name!r} but the measured run is {name!r} — "
+                        f"mismatched baseline")
+        return None, problems
+    return BENCH_SCHEMAS[name], problems
+
+
+def validate_structure(data, path, role, schema):
     """A usable run/baseline has every gated axis, non-empty, with the keyed
     fields present in every row. Anything less means the gate would silently
     skip points."""
     problems = []
     if not isinstance(data, dict):
         return [f"{role} {path}: top level is not a JSON object"]
-    for axis, (key, metric) in REQUIRED_AXES.items():
+    for axis, (key, metric, _direction, _floor) in schema.items():
         rows = data.get(axis)
         if not isinstance(rows, list) or not rows:
             problems.append(f"{role} {path}: axis '{axis}' is missing or "
@@ -78,8 +116,8 @@ def index_by(rows, key):
     return {row[key]: row for row in rows}
 
 
-def check_axis(name, measured_rows, baseline_rows, key, metric, threshold,
-               failures):
+def check_axis(name, measured_rows, baseline_rows, key, metric, direction,
+               floor, threshold, failures):
     measured = index_by(measured_rows, key)
     for point, base in index_by(baseline_rows, key).items():
         got = measured.get(point)
@@ -88,22 +126,42 @@ def check_axis(name, measured_rows, baseline_rows, key, metric, threshold,
                 f"{name}: baseline point {key}={point} missing from the "
                 f"measured run")
             continue
-        limit = base[metric] * threshold
-        if got[metric] > limit:
+        if direction == "lower":
+            limit = base[metric] * threshold
+            bad = got[metric] > limit
+            relation = f"{got[metric]:.6f} <= {limit:.6f}"
+        else:
+            limit = base[metric] / threshold
+            bad = got[metric] < limit
+            relation = f"{got[metric]:.6f} >= {limit:.6f}"
+        if bad:
             failures.append(
                 f"{name} [{key}={point}]: {metric} regressed — measured "
-                f"{got[metric]:.6f} > allowed {limit:.6f} "
-                f"(baseline {base[metric]:.6f} x threshold {threshold})")
+                f"{got[metric]:.6f} vs allowed {limit:.6f} "
+                f"(baseline {base[metric]:.6f}, threshold {threshold}, "
+                f"{direction}-is-better)")
         else:
-            print(f"ok: {name} [{key}={point}] {metric} "
-                  f"{got[metric]:.6f} <= {limit:.6f}")
+            print(f"ok: {name} [{key}={point}] {metric} {relation}")
+        if floor is not None and got[metric] < floor:
+            failures.append(
+                f"{name} [{key}={point}]: {metric} {got[metric]:.1f} is "
+                f"below the hard floor {floor:.0f}")
+    # Hard floors bind measured points even when the baseline lacks them —
+    # a pruned baseline must not disable the absolute requirement.
+    if floor is not None:
+        baseline_points = set(index_by(baseline_rows, key))
+        for point, got in measured.items():
+            if point not in baseline_points and got[metric] < floor:
+                failures.append(
+                    f"{name} [{key}={point}]: {metric} {got[metric]:.1f} is "
+                    f"below the hard floor {floor:.0f} (no baseline point)")
 
 
-def append_trajectory(path, label, measured):
+def append_trajectory(path, label, measured, schema):
     """Appends a one-line summary of the measured run, so successive CI
     builds accumulate a perf history instead of discarding each run."""
-    entry = {"label": label}
-    for axis, (key, metric) in REQUIRED_AXES.items():
+    entry = {"label": label, "bench": measured.get("bench")}
+    for axis, (key, metric, _direction, _floor) in schema.items():
         entry[axis] = [{key: row[key], metric: row[metric]}
                        for row in measured.get(axis, [])]
     try:
@@ -119,11 +177,11 @@ def append_trajectory(path, label, measured):
 
 def main():
     parser = argparse.ArgumentParser(
-        description="Compare bench_scale_engine JSON against a baseline")
+        description="Compare bench JSON against a baseline")
     parser.add_argument("measured")
     parser.add_argument("baseline")
     parser.add_argument("--threshold", type=float, default=2.0,
-                        help="allowed slowdown factor (default: 2.0)")
+                        help="allowed regression factor (default: 2.0)")
     parser.add_argument("--append-trajectory", metavar="FILE",
                         help="append a one-line JSON summary of the measured "
                              "run to this .jsonl file")
@@ -137,8 +195,13 @@ def main():
     if measured is None or baseline is None:
         return 1
 
-    structural = (validate_structure(measured, args.measured, "measured") +
-                  validate_structure(baseline, args.baseline, "baseline"))
+    schema, structural = resolve_schema(measured, baseline, args.measured,
+                                        args.baseline)
+    if schema is not None:
+        structural += validate_structure(measured, args.measured, "measured",
+                                         schema)
+        structural += validate_structure(baseline, args.baseline, "baseline",
+                                         schema)
     if structural:
         print(f"\n{len(structural)} structural problem(s) — refusing to "
               f"gate against a hollow input:", file=sys.stderr)
@@ -147,9 +210,9 @@ def main():
         return 1
 
     failures = []
-    for axis, (key, metric) in REQUIRED_AXES.items():
+    for axis, (key, metric, direction, floor) in schema.items():
         check_axis(axis, measured.get(axis, []), baseline.get(axis, []),
-                   key, metric, args.threshold, failures)
+                   key, metric, direction, floor, args.threshold, failures)
 
     for row in measured.get("worker_sweep", []):
         if not row.get("report_identical_to_serial", False):
@@ -160,7 +223,7 @@ def main():
 
     if args.append_trajectory:
         if not append_trajectory(args.append_trajectory, args.run_label,
-                                 measured):
+                                 measured, schema):
             return 1
 
     if failures:

@@ -48,6 +48,8 @@ const char* strategy_kind_name(StrategyKind kind) {
     case StrategyKind::churn_griefer: return "churn_griefer";
     case StrategyKind::adaptive_threshold: return "adaptive_threshold";
     case StrategyKind::refresh_saboteur: return "refresh_saboteur";
+    case StrategyKind::retrieval_ddos: return "retrieval_ddos";
+    case StrategyKind::cartel_starver: return "cartel_starver";
   }
   return "unknown";
 }
@@ -56,7 +58,8 @@ util::Result<StrategyKind> strategy_kind_from_name(std::string_view name) {
   for (const StrategyKind kind :
        {StrategyKind::targeted_file, StrategyKind::colluding_pool,
         StrategyKind::proof_withholder, StrategyKind::churn_griefer,
-        StrategyKind::adaptive_threshold, StrategyKind::refresh_saboteur}) {
+        StrategyKind::adaptive_threshold, StrategyKind::refresh_saboteur,
+        StrategyKind::retrieval_ddos, StrategyKind::cartel_starver}) {
     if (name == strategy_kind_name(kind)) return kind;
   }
   return util::err(util::ErrorCode::invalid_argument,
@@ -115,6 +118,15 @@ util::Result<AdversarySpec> AdversarySpec::from_config(
       FI_ADV_FIELD(get_double_or, fraction, 0.0);
       FI_ADV_FIELD(get_u64_or, duration, 0);
       break;
+    case StrategyKind::retrieval_ddos:
+      FI_ADV_FIELD(get_u64_or, requests_per_epoch, 0);
+      FI_ADV_FIELD(get_u64_or, gang, 1);
+      FI_ADV_FIELD(get_u64_or, duration, 0);
+      break;
+    case StrategyKind::cartel_starver:
+      FI_ADV_FIELD(get_double_or, fraction, 0.0);
+      FI_ADV_FIELD(get_u64_or, duration, 0);
+      break;
   }
 #undef FI_ADV_FIELD
   return spec;
@@ -134,7 +146,11 @@ util::Status AdversarySpec::validate(const std::string& where) const {
   };
   const bool takes_fraction = kind == StrategyKind::colluding_pool ||
                               kind == StrategyKind::proof_withholder ||
-                              kind == StrategyKind::refresh_saboteur;
+                              kind == StrategyKind::refresh_saboteur ||
+                              kind == StrategyKind::cartel_starver;
+  const bool takes_duration = kind == StrategyKind::refresh_saboteur ||
+                              kind == StrategyKind::retrieval_ddos ||
+                              kind == StrategyKind::cartel_starver;
   const Knob knobs[] = {
       {takes_fraction, fraction == 0.0, "fraction"},
       {kind == StrategyKind::colluding_pool, window == 1, "window"},
@@ -152,7 +168,10 @@ util::Status AdversarySpec::validate(const std::string& where) const {
        "penalty_budget"},
       {kind == StrategyKind::adaptive_threshold, escalate_every == 4,
        "escalate_every"},
-      {kind == StrategyKind::refresh_saboteur, duration == 0, "duration"},
+      {takes_duration, duration == 0, "duration"},
+      {kind == StrategyKind::retrieval_ddos, requests_per_epoch == 0,
+       "requests_per_epoch"},
+      {kind == StrategyKind::retrieval_ddos, gang == 1, "gang"},
   };
   for (const Knob& knob : knobs) {
     if (!knob.relevant && !knob.at_default) {
@@ -220,6 +239,18 @@ util::Status AdversarySpec::validate(const std::string& where) const {
       break;
     case StrategyKind::refresh_saboteur:
       break;
+    case StrategyKind::retrieval_ddos:
+      if (requests_per_epoch == 0) {
+        return util::err(util::ErrorCode::invalid_argument,
+                         where + ".requests_per_epoch must be positive");
+      }
+      if (gang == 0) {
+        return util::err(util::ErrorCode::invalid_argument,
+                         where + ".gang must be positive");
+      }
+      break;
+    case StrategyKind::cartel_starver:
+      break;
   }
   return util::Status::ok();
 }
@@ -261,6 +292,15 @@ void AdversarySpec::serialize(std::string& out, std::size_t index) const {
       emit_u64("escalate_every", escalate_every);
       break;
     case StrategyKind::refresh_saboteur:
+      emit("fraction", util::format_shortest_double(fraction));
+      emit_u64("duration", duration);
+      break;
+    case StrategyKind::retrieval_ddos:
+      emit_u64("requests_per_epoch", requests_per_epoch);
+      emit_u64("gang", gang);
+      emit_u64("duration", duration);
+      break;
+    case StrategyKind::cartel_starver:
       emit("fraction", util::format_shortest_double(fraction));
       emit_u64("duration", duration);
       break;

@@ -51,6 +51,18 @@ enum class StrategyKind : std::uint8_t {
   /// handoffs and uploads) for `duration` epochs — delaying refresh and
   /// farming failed-handoff punishments (the Fig. 9 failure path).
   refresh_saboteur,
+  /// Retrieval-layer DDoS: a gang of `gang` request streams hammers one
+  /// live file with `requests_per_epoch` retrievals each per epoch (for
+  /// `duration` epochs, 0 = rest of the run), swamping its holders'
+  /// service queues. Re-targets if the victim file is lost. Requires a
+  /// scenario with the traffic engine enabled.
+  retrieval_ddos,
+  /// Supply-side starvation: a cartel holding a `fraction` of the fleet
+  /// refuses to *serve* retrievals for `duration` epochs (0 = rest of the
+  /// run) — requests whose every holder is a cartel member starve, the
+  /// complement of the refresh saboteur's inbound refusal. Requires a
+  /// scenario with the traffic engine enabled.
+  cartel_starver,
 };
 
 [[nodiscard]] const char* strategy_kind_name(StrategyKind kind);
@@ -95,8 +107,13 @@ struct AdversarySpec {
   TokenAmount penalty_budget = 0;
   /// adaptive_threshold: epochs between rate doublings.
   std::uint64_t escalate_every = 4;
-  /// refresh_saboteur: epochs of refusal (0 = rest of the run).
+  /// refresh_saboteur / retrieval_ddos / cartel_starver: epochs of
+  /// activity (0 = rest of the run).
   std::uint64_t duration = 0;
+  /// retrieval_ddos: hammer requests per gang stream per epoch.
+  std::uint64_t requests_per_epoch = 0;
+  /// retrieval_ddos: number of attacking request streams.
+  std::uint64_t gang = 1;
 
   [[nodiscard]] std::string display_label() const {
     return label.empty() ? strategy_kind_name(kind) : label;
@@ -175,6 +192,26 @@ struct AdversarySpec {
                                              std::uint64_t start_epoch = 0) {
     AdversarySpec a;
     a.kind = StrategyKind::refresh_saboteur;
+    a.fraction = fraction;
+    a.duration = duration;
+    a.start_epoch = start_epoch;
+    return a;
+  }
+  static AdversarySpec make_retrieval_ddos(std::uint64_t requests_per_epoch,
+                                           std::uint64_t gang = 1,
+                                           std::uint64_t start_epoch = 0) {
+    AdversarySpec a;
+    a.kind = StrategyKind::retrieval_ddos;
+    a.requests_per_epoch = requests_per_epoch;
+    a.gang = gang;
+    a.start_epoch = start_epoch;
+    return a;
+  }
+  static AdversarySpec make_cartel_starver(double fraction,
+                                           std::uint64_t duration = 0,
+                                           std::uint64_t start_epoch = 0) {
+    AdversarySpec a;
+    a.kind = StrategyKind::cartel_starver;
     a.fraction = fraction;
     a.duration = duration;
     a.start_epoch = start_epoch;

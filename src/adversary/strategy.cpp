@@ -414,6 +414,101 @@ class RefreshSaboteur final : public AdversaryStrategy {
   std::vector<SectorId> members_;
 };
 
+// ---- retrieval_ddos --------------------------------------------------------
+
+/// Retrieval-layer DDoS: every active epoch, each gang stream hammers one
+/// live victim file with `requests_per_epoch` retrievals, swamping its
+/// holders' service queues (and, with the defense enabled, walking
+/// straight into the Poisson envelope). Re-targets if the victim is lost.
+class RetrievalDdos final : public AdversaryStrategy {
+ public:
+  explicit RetrievalDdos(AdversarySpec spec) : spec_(std::move(spec)) {}
+
+  void on_epoch(AdversaryView& view) override {
+    if (view.epoch() < spec_.start_epoch) return;
+    if (spec_.duration != 0 &&
+        view.epoch() >= spec_.start_epoch + spec_.duration) {
+      return;
+    }
+    if (target_ == core::kNoFile || !view.net().file_exists(target_)) {
+      if (view.live_files().empty()) return;  // retry next epoch
+      target_ = view.live_files()[static_cast<std::size_t>(
+          view.rng().uniform_below(view.live_files().size()))];
+      ++retargets_;
+      view.set_extra("target_file", static_cast<double>(target_));
+      view.set_extra("retargets", static_cast<double>(retargets_));
+    }
+    for (std::uint64_t g = 0; g < spec_.gang; ++g) {
+      view.hammer_file(target_, g, spec_.requests_per_epoch);
+    }
+  }
+
+  void save_state(util::BinaryWriter& writer) const override {
+    writer.u64(target_);
+    writer.u64(retargets_);
+  }
+  void load_state(util::BinaryReader& reader) override {
+    target_ = reader.u64();
+    retargets_ = reader.u64();
+  }
+
+ private:
+  // fi-lint: not-serialized(rebuilt from the scenario spec when the
+  // strategy is re-created on resume)
+  AdversarySpec spec_;
+  core::FileId target_ = core::kNoFile;
+  std::uint64_t retargets_ = 0;
+};
+
+// ---- cartel_starver --------------------------------------------------------
+
+/// Supply-side starvation: a cartel holding a fraction of the fleet keeps
+/// storing (and proving — no deposit is at risk) but refuses to serve
+/// retrievals for `duration` epochs. Requests whose every holder is a
+/// cartel member starve outright; the rest concentrate on the holders
+/// still serving.
+class CartelStarver final : public AdversaryStrategy {
+ public:
+  explicit CartelStarver(AdversarySpec spec) : spec_(std::move(spec)) {}
+
+  void on_epoch(AdversaryView& view) override {
+    if (view.epoch() < spec_.start_epoch) return;
+    if (!recruited_) {
+      recruited_ = true;
+      std::vector<SectorId> pool = normal_sector_ids(view.net());
+      const std::size_t quota = fraction_of(pool.size(), spec_.fraction);
+      members_ = sample_sectors(std::move(pool), quota, view.rng());
+      view.set_extra("members", static_cast<double>(members_.size()));
+      for (const SectorId s : members_) view.refuse_serve(s, true);
+      return;
+    }
+    if (!stopped_ && spec_.duration != 0 &&
+        view.epoch() >= spec_.start_epoch + spec_.duration) {
+      stopped_ = true;
+      for (const SectorId s : members_) view.refuse_serve(s, false);
+    }
+  }
+
+  void save_state(util::BinaryWriter& writer) const override {
+    writer.boolean(recruited_);
+    writer.boolean(stopped_);
+    util::save_u64_seq(writer, members_);
+  }
+  void load_state(util::BinaryReader& reader) override {
+    recruited_ = reader.boolean();
+    stopped_ = reader.boolean();
+    members_ = util::load_u64_seq<SectorId>(reader);
+  }
+
+ private:
+  // fi-lint: not-serialized(rebuilt from the scenario spec when the
+  // strategy is re-created on resume)
+  AdversarySpec spec_;
+  bool recruited_ = false;
+  bool stopped_ = false;
+  std::vector<SectorId> members_;
+};
+
 }  // namespace
 
 std::unique_ptr<AdversaryStrategy> make_strategy(const AdversarySpec& spec) {
@@ -430,6 +525,10 @@ std::unique_ptr<AdversaryStrategy> make_strategy(const AdversarySpec& spec) {
       return std::make_unique<AdaptiveThreshold>(spec);
     case StrategyKind::refresh_saboteur:
       return std::make_unique<RefreshSaboteur>(spec);
+    case StrategyKind::retrieval_ddos:
+      return std::make_unique<RetrievalDdos>(spec);
+    case StrategyKind::cartel_starver:
+      return std::make_unique<CartelStarver>(spec);
   }
   FI_CHECK_MSG(false, "unhandled adversary strategy kind");
   return nullptr;

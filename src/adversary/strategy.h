@@ -66,10 +66,25 @@ struct ExitSector {
 struct JoinSectors {
   std::uint64_t count;
 };
+/// Queue `requests` retrieval requests against `file` on traffic-engine
+/// stream `stream_offset` (an offset into this adversary's gang block; the
+/// runner maps it to a global stream id) for the current epoch's traffic
+/// tick. Requires the scenario's traffic engine.
+struct HammerFile {
+  core::FileId file;
+  std::uint64_t stream_offset;
+  std::uint64_t requests;
+};
+/// Toggle refusal to *serve* retrievals from a sector (the supply-side
+/// complement of RefuseTransfers). Requires the traffic engine.
+struct RefuseServe {
+  core::SectorId sector;
+  bool refuse;
+};
 
 using AdversaryAction =
     std::variant<CorruptSector, WithholdProofs, ResumeProofs, RefuseTransfers,
-                 ExitSector, JoinSectors>;
+                 ExitSector, JoinSectors, HammerFile, RefuseServe>;
 
 // ---- Outcome counters ------------------------------------------------------
 
@@ -179,6 +194,13 @@ class AdversaryView {
   }
   void join_sectors(std::uint64_t count) {
     actions_.push_back(JoinSectors{count});
+  }
+  void hammer_file(core::FileId file, std::uint64_t stream_offset,
+                   std::uint64_t requests) {
+    actions_.push_back(HammerFile{file, stream_offset, requests});
+  }
+  void refuse_serve(core::SectorId sector, bool refuse) {
+    actions_.push_back(RefuseServe{sector, refuse});
   }
 
   /// Emitted actions, in emission order (consumed by the runner).

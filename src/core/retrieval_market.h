@@ -7,6 +7,7 @@
 
 #include "core/types.h"
 #include "ledger/account.h"
+#include "util/binary_io.h"
 #include "util/status.h"
 
 /// The Retrieval Market (§III-A2, §III-E): "when a client requests retrieval
@@ -48,18 +49,37 @@ class RetrievalMarket {
   /// nothing) if the client cannot pay.
   util::Status settle(ClientId client, ProviderId provider, ByteCount bytes);
 
+  /// Settles at an explicit price (the defense layer's surge repricing)
+  /// with the accounting keyed by `seller` — the competing holder, a
+  /// sector in the scenario engine's per-sector QoS model — while the
+  /// tokens land in `payee`, the seller's owning account.
+  util::Status settle_to(ClientId client, ProviderId seller, AccountId payee,
+                         ByteCount bytes, TokenAmount price);
+
   /// Lifetime accounting.
   [[nodiscard]] ByteCount bytes_served(ProviderId provider) const;
   [[nodiscard]] TokenAmount revenue(ProviderId provider) const;
   [[nodiscard]] std::uint64_t retrievals_settled() const { return settled_; }
+  [[nodiscard]] ByteCount total_bytes_served() const { return total_bytes_; }
+  [[nodiscard]] TokenAmount total_revenue() const { return total_revenue_; }
+
+  /// Canonical snapshot encoding / restore (`src/snapshot`): the book of
+  /// asks plus lifetime accounting. The ledger reference and default
+  /// price are construction inputs, restored by the owner.
+  void save_state(util::BinaryWriter& writer) const;
+  void load_state(util::BinaryReader& reader);
 
  private:
+  // fi-lint: not-serialized(runtime wiring, re-supplied on construction)
   ledger::Ledger& ledger_;
+  // fi-lint: not-serialized(construction input, rebuilt from the spec)
   TokenAmount default_price_;
   std::unordered_map<ProviderId, TokenAmount> asks_;
   std::unordered_map<ProviderId, ByteCount> served_;
   std::unordered_map<ProviderId, TokenAmount> revenue_;
   std::uint64_t settled_ = 0;
+  ByteCount total_bytes_ = 0;
+  TokenAmount total_revenue_ = 0;
 };
 
 }  // namespace fi::core

@@ -243,6 +243,59 @@ std::string MetricsReport::to_json(bool include_timings) const {
     json.end_array();
   }
 
+  if (traffic.enabled) {
+    json.object("traffic");
+    json.field("epochs", traffic.epochs);
+    json.field("streams", traffic.streams);
+    json.field("honest_streams", traffic.honest_streams);
+    json.field("requests_attempted", traffic.requests_attempted);
+    json.field("rate_limited", traffic.rate_limited);
+    json.field("lookup_failures", traffic.lookup_failures);
+    json.field("starved", traffic.starved);
+    json.field("dropped", traffic.dropped);
+    json.field("enqueued", traffic.enqueued);
+    json.field("served", traffic.served);
+    json.field("backlog", traffic.backlog);
+    json.field("cache_hits", traffic.cache_hits);
+    json.field("cache_misses", traffic.cache_misses);
+    json.field("payment_failures", traffic.payment_failures);
+    json.field("retrievals_settled", traffic.retrievals_settled);
+    json.field("bytes_served", traffic.bytes_served);
+    json.field("revenue", traffic.revenue);
+    json.field("p50_latency", traffic.p50_latency);
+    json.field("p99_latency", traffic.p99_latency);
+    json.object("defense");
+    json.field("armed", traffic.defense_armed);
+    json.field("envelope", traffic.defense_envelope);
+    json.field("flagged_streams", traffic.flagged_streams);
+    if (traffic.first_flagged_epoch != traffic::kNeverFlagged) {
+      json.field("first_flagged_epoch", traffic.first_flagged_epoch);
+    }
+    if (!traffic.flagged_stream_ids.empty()) {
+      json.begin_array("flagged_stream_ids");
+      for (const std::uint64_t stream : traffic.flagged_stream_ids) {
+        json.begin_object();
+        json.field("stream", stream);
+        json.end_object();
+      }
+      json.end_array();
+    }
+    json.end_object();
+    if (!traffic.top_providers.empty()) {
+      json.begin_array("top_providers");
+      for (const traffic::ProviderQoS& q : traffic.top_providers) {
+        json.begin_object();
+        json.field("sector", q.sector);
+        json.field("served", q.served);
+        json.field("dropped", q.dropped);
+        json.field("backlog", q.backlog);
+        json.end_object();
+      }
+      json.end_array();
+    }
+    json.end_object();
+  }
+
   json.object("totals");
   write_counters(json, totals, rent_charged, rent_paid);
   json.field("rent_pool", rent_pool);

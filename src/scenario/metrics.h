@@ -8,6 +8,7 @@
 
 #include "adversary/strategy.h"
 #include "core/network.h"
+#include "traffic/engine.h"
 #include "util/binary_io.h"
 #include "util/types.h"
 
@@ -74,6 +75,10 @@ struct MetricsReport {
   /// JSON when the scenario has none, so attack-free reports are
   /// unchanged).
   std::vector<AdversaryMetrics> adversaries;
+
+  /// Retrieval-traffic outcome (absent from the JSON unless the scenario
+  /// enables the traffic engine, so traffic-free reports are unchanged).
+  traffic::TrafficMetrics traffic;
 
   /// Cumulative engine counters at the end of the run.
   core::NetworkStats totals;

@@ -158,8 +158,39 @@ void ScenarioRunner::build_network() {
                         util::checked_mul(p.gas_per_task, 2));
   const TokenAmount per_file = util::checked_add(
       upfront, util::checked_mul(per_cycle, planned_cycles(spec_)));
+
+  // Retrieval budget: the worst-case request volume per cycle (diurnal
+  // peak, flash multiplier, every hammer gang at full rate) times the
+  // worst-case per-request cost (lookup gas plus the dearer ask tier,
+  // surge-repriced when the defense can flag).
+  TokenAmount traffic_budget = 0;
+  if (spec_.traffic.enabled) {
+    const traffic::TrafficSpec& t = spec_.traffic;
+    const TokenAmount kib = (spec_.file_size_max + 1023) / 1024;
+    TokenAmount per_request = util::checked_add(
+        p.gas_per_task, util::checked_mul(t.price_per_kib + 1, kib));
+    if (t.defense_enabled) {
+      per_request = util::checked_mul(per_request, t.defense_surge);
+    }
+    std::uint64_t requests = util::checked_mul(t.requests_per_cycle, 2);
+    if (t.flash_duration > 0) {
+      requests = util::checked_mul(requests, t.flash_multiplier);
+    }
+    for (const adversary::AdversarySpec& adv : spec_.adversaries) {
+      if (adv.kind == adversary::StrategyKind::retrieval_ddos) {
+        requests = util::checked_add(
+            requests, util::checked_mul(adv.gang, adv.requests_per_epoch));
+      }
+    }
+    requests = util::checked_add(requests, 64);
+    traffic_budget = util::checked_mul(
+        util::checked_mul(requests, per_request), planned_cycles(spec_));
+  }
+
   client_ = ledger_.create_account(util::checked_add(
-      util::checked_mul(util::checked_add(adds, 1), per_file),
+      util::checked_add(
+          util::checked_mul(util::checked_add(adds, 1), per_file),
+          traffic_budget),
       1'000'000'000ull));
 
   net_ = std::make_unique<core::Network>(p, ledger_, spec_.seed);
@@ -216,6 +247,23 @@ void ScenarioRunner::build_network() {
       }
     }
   });
+
+  if (spec_.traffic.enabled) {
+    // Stream layout: honest streams first, then one contiguous block per
+    // retrieval_ddos gang, in spec order — the layout is a pure function
+    // of the spec, so resume rebuilds it identically.
+    std::uint64_t next_stream = spec_.traffic.streams;
+    gang_base_.reserve(spec_.adversaries.size());
+    for (const adversary::AdversarySpec& adv : spec_.adversaries) {
+      gang_base_.push_back(next_stream);
+      if (adv.kind == adversary::StrategyKind::retrieval_ddos) {
+        next_stream = util::checked_add(next_stream, adv.gang);
+      }
+    }
+    traffic_ = std::make_unique<traffic::TrafficEngine>(
+        spec_.traffic, *net_, ledger_, client_,
+        spec_.seed ^ kTrafficSeedSalt, next_stream);
+  }
 }
 
 void ScenarioRunner::setup_population() {
@@ -290,6 +338,9 @@ void ScenarioRunner::advance_cycles(std::uint64_t cycles) {
   // same timestamps; intermediate horizons only move the idle clock).
   for (std::uint64_t c = 0; c < cycles; ++c) {
     if (!adversaries_.empty()) run_adversaries();
+    // Traffic ticks after the adversaries' turn (their hammers land in
+    // this epoch's load) and before the cycle's task batches.
+    if (traffic_ != nullptr) traffic_->on_epoch(epoch_, live_files_);
     advance_confirming(net_->now() + spec_.params.proof_cycle);
     ++epoch_;
   }
@@ -372,6 +423,20 @@ void ScenarioRunner::apply_adversary_actions(
         claim_sector(index, id.value());
         ++adv.counters.sectors_joined;
       }
+    } else if (const auto* hammer =
+                   std::get_if<adversary::HammerFile>(&action)) {
+      // Spec validation ties hammer-emitting strategies to an enabled
+      // traffic block, so traffic_ is live here; the offset maps into the
+      // adversary's contiguous gang block.
+      if (traffic_ == nullptr) continue;
+      traffic_->inject(gang_base_[index] + hammer->stream_offset,
+                       hammer->file, hammer->requests);
+    } else if (const auto* starve =
+                   std::get_if<adversary::RefuseServe>(&action)) {
+      const core::SectorId s = starve->sector;
+      if (traffic_ == nullptr || !net_->sectors().exists(s)) continue;
+      claim_sector(index, s);
+      traffic_->set_serve_refusal(s, starve->refuse);
     }
   }
 }
@@ -654,6 +719,49 @@ MetricsReport ScenarioRunner::run() {
     adversary::AdversaryView view(*net_, epoch_, adv.rng, live_files_,
                                   adv.claimed, adv.counters);
     adv.strategy->on_run_end(view);
+    if (traffic_ != nullptr &&
+        adv.spec.kind == adversary::StrategyKind::retrieval_ddos) {
+      // The gang's demand-side outcome, summed over its stream block.
+      std::uint64_t attempted = 0;
+      std::uint64_t limited = 0;
+      std::uint64_t dropped = 0;
+      std::uint64_t enqueued = 0;
+      std::uint64_t flagged = 0;
+      std::uint64_t first_flag = traffic::kNeverFlagged;
+      for (std::uint64_t g = 0; g < adv.spec.gang; ++g) {
+        const std::uint64_t stream = gang_base_[i] + g;
+        attempted += traffic_->attempted(stream);
+        limited += traffic_->rate_limited(stream);
+        dropped += traffic_->dropped(stream);
+        enqueued += traffic_->enqueued(stream);
+        if (traffic_->flagged(stream)) {
+          ++flagged;
+          first_flag =
+              std::min(first_flag, traffic_->first_flagged_epoch(stream));
+        }
+      }
+      adv.counters.set_extra("requests_attempted",
+                             static_cast<double>(attempted));
+      adv.counters.set_extra("requests_rate_limited",
+                             static_cast<double>(limited));
+      adv.counters.set_extra("requests_dropped",
+                             static_cast<double>(dropped));
+      adv.counters.set_extra("requests_enqueued",
+                             static_cast<double>(enqueued));
+      adv.counters.set_extra("streams_flagged",
+                             static_cast<double>(flagged));
+      if (first_flag != traffic::kNeverFlagged) {
+        adv.counters.set_extra("first_flagged_epoch",
+                               static_cast<double>(first_flag));
+      }
+    } else if (traffic_ != nullptr &&
+               adv.spec.kind == adversary::StrategyKind::cartel_starver) {
+      std::uint64_t hits = 0;
+      for (const core::SectorId s : adv.claimed) {
+        hits += traffic_->refusal_hits(s);
+      }
+      adv.counters.set_extra("refusal_hits", static_cast<double>(hits));
+    }
     AdversaryMetrics outcome;
     outcome.label = adv.spec.display_label();
     outcome.strategy = adversary::strategy_kind_name(adv.spec.kind);
@@ -661,6 +769,7 @@ MetricsReport ScenarioRunner::run() {
     report.adversaries.push_back(std::move(outcome));
   }
 
+  if (traffic_ != nullptr) report.traffic = traffic_->metrics();
   report.totals = net_->stats();
   report.rent_charged = net_->total_rent_charged();
   report.rent_paid = net_->total_rent_paid();
@@ -756,6 +865,10 @@ void ScenarioRunner::save_state(util::BinaryWriter& writer) const {
   for (const PhaseMetrics& metrics : finished_phases_) {
     metrics.save(writer);
   }
+
+  // Appended last so traffic-free snapshots stay byte-identical to
+  // pre-traffic builds.
+  if (traffic_ != nullptr) traffic_->save_state(writer);
 }
 
 util::Status ScenarioRunner::load_state(util::BinaryReader& reader) {
@@ -875,6 +988,8 @@ util::Status ScenarioRunner::load_state(util::BinaryReader& reader) {
     metrics.load(reader);
     finished_phases_.push_back(std::move(metrics));
   }
+
+  if (traffic_ != nullptr) traffic_->load_state(reader);
 
   if (!reader.ok() || !reader.exhausted()) {
     return util::err(util::ErrorCode::invalid_argument,

@@ -12,6 +12,7 @@
 #include "ledger/account.h"
 #include "scenario/metrics.h"
 #include "scenario/spec.h"
+#include "traffic/engine.h"
 #include "util/binary_io.h"
 #include "util/prng.h"
 
@@ -61,6 +62,10 @@ inline constexpr std::uint64_t kWorkloadSeedSalt = 0x5363656e6172696fULL;
 /// Salt folded into `spec.seed` (together with the adversary's index) for
 /// each strategy's private RNG stream.
 inline constexpr std::uint64_t kAdversarySeedSalt = 0x4164766572736172ULL;
+
+/// Salt folded into `spec.seed` for the retrieval-traffic engine's stream,
+/// so request draws perturb neither protocol nor workload draws.
+inline constexpr std::uint64_t kTrafficSeedSalt = 0x5265747269657665ULL;
 
 class ScenarioRunner {
  public:
@@ -241,6 +246,17 @@ class ScenarioRunner {
   /// Sectors currently refusing inbound transfers (lookups only).
   std::unordered_set<core::SectorId> refused_sectors_;
   std::uint64_t epoch_ = 0;
+
+  /// Retrieval-traffic engine (present iff `spec.traffic.enabled`): issues
+  /// the per-epoch request load after the adversaries' turn and before the
+  /// cycle's task batches.
+  std::unique_ptr<traffic::TrafficEngine> traffic_;
+  /// Global id of each adversary's first traffic stream (honest streams
+  /// occupy [0, spec.traffic.streams); each `retrieval_ddos` gang gets the
+  /// next contiguous block, in spec order; non-traffic adversaries keep
+  /// the running base unused).
+  // fi-lint: not-serialized(derived from the spec's adversary list)
+  std::vector<std::uint64_t> gang_base_;
 
   std::uint64_t initial_files_stored_ = 0;
   std::uint64_t add_rejections_ = 0;

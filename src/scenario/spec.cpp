@@ -217,6 +217,12 @@ util::Result<ScenarioSpec> ScenarioSpec::from_config(
     return s;
   }
 
+  {
+    auto traffic = traffic::TrafficSpec::from_config(config);
+    if (!traffic.is_ok()) return traffic.status();
+    spec.traffic = std::move(traffic).value();
+  }
+
   for (std::size_t i = 0; config.contains(phase_key(i, "kind")); ++i) {
     auto phase = parse_phase(config, i);
     if (!phase.is_ok()) return phase.status();
@@ -360,11 +366,22 @@ util::Status ScenarioSpec::validate() const {
                        where + ".add_sectors must be positive");
     }
   }
+  if (util::Status s = traffic.validate(); !s.is_ok()) return s;
   for (std::size_t i = 0; i < adversaries.size(); ++i) {
     if (util::Status s =
             adversaries[i].validate("adversary." + std::to_string(i));
         !s.is_ok()) {
       return s;
+    }
+    const adversary::StrategyKind kind = adversaries[i].kind;
+    if ((kind == adversary::StrategyKind::retrieval_ddos ||
+         kind == adversary::StrategyKind::cartel_starver) &&
+        !traffic.enabled) {
+      return util::err(util::ErrorCode::invalid_argument,
+                       "adversary." + std::to_string(i) + ": a " +
+                           std::string(adversary::strategy_kind_name(kind)) +
+                           " adversary needs the traffic engine "
+                           "(set traffic.requests_per_cycle)");
     }
   }
   return util::Status::ok();
@@ -407,6 +424,12 @@ std::string ScenarioSpec::to_config_string() const {
       << "\n";
   out << "net.post_challenges = " << params.post_challenges << "\n";
   out << "net.cr_size = " << params.cr_size << "\n";
+
+  {
+    std::string traffic_block;
+    traffic.serialize(traffic_block);
+    out << traffic_block;
+  }
 
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseSpec& phase = phases[i];

@@ -7,6 +7,7 @@
 
 #include "adversary/spec.h"
 #include "core/params.h"
+#include "traffic/spec.h"
 #include "util/config.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -178,6 +179,13 @@ struct ScenarioSpec {
   TokenAmount file_value = 0;
 
   std::vector<PhaseSpec> phases;
+
+  /// Retrieval-traffic engine configuration (`traffic.*` config keys;
+  /// disabled unless `traffic.requests_per_cycle` is present). When
+  /// enabled, the runner generates a Zipf/diurnal/flash-crowd request
+  /// load over the live files each proof cycle and routes it through the
+  /// retrieval market — see `traffic/engine.h`.
+  traffic::TrafficSpec traffic;
 
   /// Adversaries active across the whole run (`adversary.<i>.*` config
   /// blocks): each is consulted once per proof cycle on its own

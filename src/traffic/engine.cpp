@@ -1,0 +1,451 @@
+#include "traffic/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "ipfs/cid.h"
+#include "util/checked.h"
+#include "util/distributions.h"
+
+namespace fi::traffic {
+
+namespace {
+
+/// A file's cache block: its id, little-endian (the simulation tracks
+/// metadata only, so the block stands in for the file's bytes).
+std::vector<std::uint8_t> file_block(FileId file) {
+  std::vector<std::uint8_t> data(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    data[i] = static_cast<std::uint8_t>(file >> (8 * i));
+  }
+  return data;
+}
+
+ipfs::Cid file_cid(FileId file) {
+  return ipfs::make_cid(ipfs::Codec::raw, file_block(file));
+}
+
+/// Smallest histogram bucket at which the cumulative count reaches
+/// `numer/denom` of the total.
+std::uint64_t percentile(const std::vector<std::uint64_t>& hist,
+                         std::uint64_t total, std::uint64_t numer,
+                         std::uint64_t denom) {
+  if (total == 0) return 0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t bucket = 0; bucket < hist.size(); ++bucket) {
+    cumulative += hist[bucket];
+    if (cumulative * denom >= total * numer) return bucket;
+  }
+  return hist.size() - 1;
+}
+
+void grow_to(std::vector<std::uint64_t>& v, std::size_t index) {
+  if (index >= v.size()) v.resize(index + 1, 0);
+}
+
+}  // namespace
+
+TrafficEngine::TrafficEngine(const TrafficSpec& spec, core::Network& net,
+                             ledger::Ledger& ledger, ClientId client,
+                             std::uint64_t seed, std::uint64_t total_streams)
+    : spec_(spec),
+      net_(net),
+      client_(client),
+      streams_(total_streams),
+      honest_streams_(spec.streams),
+      rng_(seed),
+      market_(ledger, spec.price_per_kib),
+      attempted_(total_streams, 0),
+      rate_limited_(total_streams, 0),
+      dropped_(total_streams, 0),
+      starved_(total_streams, 0),
+      enqueued_(total_streams, 0),
+      admitted_epoch_(total_streams, 0),
+      hist_(64, 0) {
+  if (spec.defense_enabled) {
+    defense_ = std::make_unique<PoissonEnvelopeDefense>(
+        total_streams, spec.defense_warmup, spec.defense_k,
+        spec.defense_violations);
+  }
+}
+
+void TrafficEngine::inject(std::uint64_t stream, FileId file,
+                           std::uint64_t requests) {
+  pending_.push_back(Injected{stream, file, requests});
+}
+
+void TrafficEngine::set_serve_refusal(SectorId sector, bool refuse) {
+  grow_to(serve_refused_, sector);
+  serve_refused_[sector] = refuse ? 1 : 0;
+}
+
+std::uint64_t TrafficEngine::refusal_hits(SectorId sector) const {
+  return sector < refusal_hits_.size() ? refusal_hits_[sector] : 0;
+}
+
+bool TrafficEngine::flash_active(std::uint64_t epoch) const {
+  return spec_.flash_duration > 0 && epoch >= spec_.flash_epoch &&
+         epoch < spec_.flash_epoch + spec_.flash_duration;
+}
+
+std::uint64_t TrafficEngine::rate_for(std::uint64_t epoch) const {
+  std::uint64_t rate = spec_.requests_per_cycle;
+  if (spec_.diurnal_period > 0 && spec_.diurnal_amplitude > 0.0) {
+    // Triangle wave: integer phase arithmetic plus a handful of
+    // IEEE-exact double ops, so the load curve is bit-stable everywhere.
+    const double frac = static_cast<double>(epoch % spec_.diurnal_period) /
+                        static_cast<double>(spec_.diurnal_period);
+    const double wave = 1.0 - std::fabs(2.0 * frac - 1.0);
+    const double mult = 1.0 + spec_.diurnal_amplitude * (2.0 * wave - 1.0);
+    rate = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(rate) * mult));
+  }
+  if (flash_active(epoch)) {
+    rate = util::checked_mul(rate, spec_.flash_multiplier);
+  }
+  return rate;
+}
+
+void TrafficEngine::service_tick() {
+  for (std::size_t sector = 0; sector < queues_.size(); ++sector) {
+    const std::uint64_t take =
+        std::min(queues_[sector], spec_.provider_capacity);
+    if (take == 0) continue;
+    queues_[sector] -= take;
+    grow_to(sector_served_, sector);
+    sector_served_[sector] += take;
+    served_total_ += take;
+  }
+}
+
+void TrafficEngine::ensure_ask(SectorId sector) {
+  if (sector < ask_posted_.size() && ask_posted_[sector] != 0) return;
+  if (sector >= ask_posted_.size()) ask_posted_.resize(sector + 1, 0);
+  ask_posted_[sector] = 1;
+  // Two price tiers keyed off the id parity: enough spread that the
+  // market's cheapest-wins selection is exercised, still a pure function
+  // of the sector id (idempotent across resume).
+  market_.post_ask(sector, spec_.price_per_kib + (sector & 1));
+}
+
+void TrafficEngine::cache_insert(FileId file) {
+  store_.put(ipfs::Codec::raw, file_block(file));
+  cache_fifo_.push_back(file);
+  while (store_.block_count() > spec_.cache_blocks) {
+    store_.remove(file_cid(cache_fifo_[cache_head_]));
+    ++cache_head_;
+  }
+  if (cache_head_ > 0 && cache_head_ * 2 > cache_fifo_.size()) {
+    cache_fifo_.erase(cache_fifo_.begin(),
+                      cache_fifo_.begin() +
+                          static_cast<std::ptrdiff_t>(cache_head_));
+    cache_head_ = 0;
+  }
+}
+
+void TrafficEngine::issue(std::uint64_t stream, FileId file) {
+  const std::size_t si = static_cast<std::size_t>(stream);
+  ++attempted_[si];
+  ++attempted_total_;
+  if (defense_ != nullptr) {
+    // Offered load is observed before the limiter: a flagged stream
+    // cannot launder its counts back under the envelope by being limited.
+    defense_->observe(si);
+    if (defense_->flagged(si) && spec_.defense_rate_limit &&
+        admitted_epoch_[si] >= defense_->allowance()) {
+      ++rate_limited_[si];
+      ++rate_limited_total_;
+      return;
+    }
+  }
+  ++admitted_epoch_[si];
+
+  auto holders = net_.file_get(client_, file);
+  if (!holders.is_ok() || holders.value().empty()) {
+    ++lookup_failures_;
+    return;
+  }
+
+  std::vector<SectorId> candidates;
+  candidates.reserve(holders.value().size());
+  for (const SectorId holder : holders.value()) {
+    if (holder < serve_refused_.size() && serve_refused_[holder] != 0) {
+      grow_to(refusal_hits_, holder);
+      ++refusal_hits_[holder];
+      continue;
+    }
+    candidates.push_back(holder);
+  }
+  if (candidates.empty()) {
+    ++starved_[si];
+    ++starved_total_;
+    return;
+  }
+
+  // Provider-side content cache: a hit serves from the hot store, a miss
+  // adds one fetch cycle and warms the cache.
+  std::uint64_t extra_latency = 0;
+  if (store_.has(file_cid(file))) {
+    ++cache_hits_;
+  } else {
+    ++cache_misses_;
+    extra_latency = 1;
+    cache_insert(file);
+  }
+
+  // Market competition with QoS awareness: cheapest ask wins, ties break
+  // to the shortest queue, then the lowest sector id.
+  SectorId best = kNoSector;
+  TokenAmount best_price = 0;
+  std::uint64_t best_queue = 0;
+  for (const SectorId candidate : candidates) {
+    ensure_ask(candidate);
+    const TokenAmount price = market_.ask_of(candidate);
+    const std::uint64_t depth = queue_depth(candidate);
+    if (best == kNoSector || price < best_price ||
+        (price == best_price &&
+         (depth < best_queue || (depth == best_queue && candidate < best)))) {
+      best = candidate;
+      best_price = price;
+      best_queue = depth;
+    }
+  }
+
+  if (best_queue >= spec_.queue_limit) {
+    ++dropped_[si];
+    ++dropped_total_;
+    grow_to(sector_dropped_, best);
+    ++sector_dropped_[best];
+    return;
+  }
+
+  const ByteCount bytes = net_.file(file).size;
+  TokenAmount price = market_.quote(best, bytes);
+  if (defense_ != nullptr && defense_->flagged(si)) {
+    // Surge repricing: a flagged stream pays a multiple for every request
+    // it is still allowed — abuse gets expensive before it gets blocked.
+    price = util::checked_mul(price, spec_.defense_surge);
+  }
+  const AccountId payee = net_.sectors().owner(best);
+  if (!market_.settle_to(client_, best, payee, bytes, price).is_ok()) {
+    ++payment_failures_;
+    return;
+  }
+
+  const std::uint64_t latency =
+      best_queue / spec_.provider_capacity + extra_latency;
+  ++hist_[std::min<std::uint64_t>(latency, hist_.size() - 1)];
+  grow_to(queues_, best);
+  ++queues_[best];
+  ++enqueued_[si];
+  ++enqueued_total_;
+}
+
+void TrafficEngine::on_epoch(std::uint64_t epoch,
+                             const std::vector<FileId>& live_files) {
+  service_tick();
+
+  if (!live_files.empty()) {
+    if (flash_active(epoch) && hot_file_ == kNoFile) {
+      hot_file_ =
+          live_files[static_cast<std::size_t>(
+              rng_.uniform_below(live_files.size()))];
+    }
+    const bool flash_now =
+        flash_active(epoch) && hot_file_ != kNoFile &&
+        net_.file_exists(hot_file_);
+    const double per_stream_mean =
+        static_cast<double>(rate_for(epoch)) /
+        static_cast<double>(honest_streams_);
+    for (std::uint64_t stream = 0; stream < honest_streams_; ++stream) {
+      const std::uint64_t n = util::sample_poisson(rng_, per_stream_mean);
+      for (std::uint64_t r = 0; r < n; ++r) {
+        FileId file;
+        if (flash_now && rng_.uniform_double() < spec_.flash_focus) {
+          file = hot_file_;
+        } else {
+          const std::uint64_t rank =
+              util::sample_zipf(rng_, live_files.size(), spec_.zipf_s);
+          file = live_files[static_cast<std::size_t>(rank - 1)];
+        }
+        issue(stream, file);
+      }
+    }
+  }
+
+  for (const Injected& hammer : pending_) {
+    for (std::uint64_t r = 0; r < hammer.requests; ++r) {
+      issue(hammer.stream, hammer.file);
+    }
+  }
+  pending_.clear();
+
+  if (defense_ != nullptr) defense_->end_epoch(epoch);
+  std::fill(admitted_epoch_.begin(), admitted_epoch_.end(), 0);
+  ++epochs_run_;
+}
+
+TrafficMetrics TrafficEngine::metrics() const {
+  TrafficMetrics m;
+  m.enabled = true;
+  m.epochs = epochs_run_;
+  m.streams = streams_;
+  m.honest_streams = honest_streams_;
+  m.requests_attempted = attempted_total_;
+  m.rate_limited = rate_limited_total_;
+  m.lookup_failures = lookup_failures_;
+  m.starved = starved_total_;
+  m.dropped = dropped_total_;
+  m.enqueued = enqueued_total_;
+  m.served = served_total_;
+  for (const std::uint64_t depth : queues_) m.backlog += depth;
+  m.cache_hits = cache_hits_;
+  m.cache_misses = cache_misses_;
+  m.payment_failures = payment_failures_;
+  m.retrievals_settled = market_.retrievals_settled();
+  m.bytes_served = market_.total_bytes_served();
+  m.revenue = market_.total_revenue();
+  m.p50_latency = percentile(hist_, enqueued_total_, 1, 2);
+  m.p99_latency = percentile(hist_, enqueued_total_, 99, 100);
+  if (defense_ != nullptr) {
+    m.defense_armed = defense_->armed();
+    m.defense_envelope = defense_->envelope();
+    m.flagged_streams = defense_->flagged_count();
+    for (std::uint64_t stream = 0; stream < streams_; ++stream) {
+      if (!defense_->flagged(stream)) continue;
+      m.flagged_stream_ids.push_back(stream);
+      m.first_flagged_epoch = std::min(
+          m.first_flagged_epoch, defense_->first_flagged_epoch(stream));
+    }
+  }
+  std::vector<ProviderQoS> qos;
+  const std::size_t sectors = std::max(
+      {sector_served_.size(), sector_dropped_.size(), queues_.size()});
+  for (std::size_t sector = 0; sector < sectors; ++sector) {
+    ProviderQoS q;
+    q.sector = sector;
+    q.served = sector < sector_served_.size() ? sector_served_[sector] : 0;
+    q.dropped = sector < sector_dropped_.size() ? sector_dropped_[sector] : 0;
+    q.backlog = sector < queues_.size() ? queues_[sector] : 0;
+    if (q.served > 0 || q.dropped > 0 || q.backlog > 0) qos.push_back(q);
+  }
+  std::sort(qos.begin(), qos.end(),
+            [](const ProviderQoS& a, const ProviderQoS& b) {
+              if (a.served != b.served) return a.served > b.served;
+              return a.sector < b.sector;
+            });
+  if (qos.size() > 8) qos.resize(8);
+  m.top_providers = std::move(qos);
+  return m;
+}
+
+void TrafficEngine::save_state(util::BinaryWriter& writer) const {
+  for (const std::uint64_t word : rng_.state()) writer.u64(word);
+  market_.save_state(writer);
+  // The cache is encoded as its live FIFO window (insertion order), from
+  // which load_state rebuilds the block store.
+  writer.u64(cache_fifo_.size() - cache_head_);
+  for (std::size_t i = cache_head_; i < cache_fifo_.size(); ++i) {
+    writer.u64(cache_fifo_[i]);
+  }
+  writer.u64(hot_file_);
+  writer.u64(pending_.size());
+  for (const Injected& hammer : pending_) {
+    writer.u64(hammer.stream);
+    writer.u64(hammer.file);
+    writer.u64(hammer.requests);
+  }
+  util::save_u64_seq(writer, queues_);
+  util::save_u64_seq(writer, sector_served_);
+  util::save_u64_seq(writer, sector_dropped_);
+  util::save_u64_seq(writer, refusal_hits_);
+  util::save_u64_seq(writer, serve_refused_);
+  util::save_u64_seq(writer, attempted_);
+  util::save_u64_seq(writer, rate_limited_);
+  util::save_u64_seq(writer, dropped_);
+  util::save_u64_seq(writer, starved_);
+  util::save_u64_seq(writer, enqueued_);
+  util::save_u64_seq(writer, admitted_epoch_);
+  writer.u64(attempted_total_);
+  writer.u64(rate_limited_total_);
+  writer.u64(lookup_failures_);
+  writer.u64(starved_total_);
+  writer.u64(dropped_total_);
+  writer.u64(enqueued_total_);
+  writer.u64(served_total_);
+  writer.u64(cache_hits_);
+  writer.u64(cache_misses_);
+  writer.u64(payment_failures_);
+  util::save_u64_seq(writer, hist_);
+  writer.u64(epochs_run_);
+  if (defense_ != nullptr) defense_->save_state(writer);
+}
+
+void TrafficEngine::load_state(util::BinaryReader& reader) {
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) word = reader.u64();
+  rng_.set_state(rng_state);
+  market_.load_state(reader);
+  cache_fifo_ = util::load_u64_seq<FileId>(reader);
+  cache_head_ = 0;
+  store_ = ipfs::ContentStore{};
+  for (const FileId file : cache_fifo_) {
+    store_.put(ipfs::Codec::raw, file_block(file));
+  }
+  hot_file_ = reader.u64();
+  pending_.clear();
+  const std::uint64_t n_pending = reader.count(24);
+  pending_.reserve(n_pending);
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    Injected hammer;
+    hammer.stream = reader.u64();
+    hammer.file = reader.u64();
+    hammer.requests = reader.u64();
+    pending_.push_back(hammer);
+  }
+  queues_ = util::load_u64_seq<std::uint64_t>(reader);
+  sector_served_ = util::load_u64_seq<std::uint64_t>(reader);
+  sector_dropped_ = util::load_u64_seq<std::uint64_t>(reader);
+  refusal_hits_ = util::load_u64_seq<std::uint64_t>(reader);
+  serve_refused_ = util::load_u64_seq<std::uint64_t>(reader);
+  attempted_ = util::load_u64_seq<std::uint64_t>(reader);
+  rate_limited_ = util::load_u64_seq<std::uint64_t>(reader);
+  dropped_ = util::load_u64_seq<std::uint64_t>(reader);
+  starved_ = util::load_u64_seq<std::uint64_t>(reader);
+  enqueued_ = util::load_u64_seq<std::uint64_t>(reader);
+  admitted_epoch_ = util::load_u64_seq<std::uint64_t>(reader);
+  attempted_total_ = reader.u64();
+  rate_limited_total_ = reader.u64();
+  lookup_failures_ = reader.u64();
+  starved_total_ = reader.u64();
+  dropped_total_ = reader.u64();
+  enqueued_total_ = reader.u64();
+  served_total_ = reader.u64();
+  cache_hits_ = reader.u64();
+  cache_misses_ = reader.u64();
+  payment_failures_ = reader.u64();
+  hist_ = util::load_u64_seq<std::uint64_t>(reader);
+  epochs_run_ = reader.u64();
+  if (defense_ != nullptr) defense_->load_state(reader);
+  // Per-stream vectors must match the spec-derived stream layout; a
+  // crafted body with other lengths is rejected, not indexed OOB. The
+  // pending streams themselves are range-checked too.
+  if (attempted_.size() != streams_ || rate_limited_.size() != streams_ ||
+      dropped_.size() != streams_ || starved_.size() != streams_ ||
+      enqueued_.size() != streams_ || admitted_epoch_.size() != streams_ ||
+      hist_.size() != 64) {
+    reader.fail();
+  }
+  for (const Injected& hammer : pending_) {
+    if (hammer.stream >= streams_) reader.fail();
+  }
+  for (const std::uint64_t flag : serve_refused_) {
+    if (flag > 1) reader.fail();
+  }
+  // A refused-flag ask-memo mismatch cannot happen (asks are in the
+  // market book); clear the memo so ensure_ask re-posts idempotently.
+  std::fill(ask_posted_.begin(), ask_posted_.end(), 0);
+}
+
+}  // namespace fi::traffic

@@ -173,6 +173,19 @@ ScenarioSpec strategy_spec(StrategyKind kind, std::uint64_t workers) {
       spec.adversaries.push_back(
           AdversarySpec::make_refresh_saboteur(0.3, 3, 1));
       break;
+    case StrategyKind::retrieval_ddos:
+      // Exercised in depth by traffic_test.cpp; here just a valid spec.
+      spec.traffic.enabled = true;
+      spec.traffic.requests_per_cycle = 16;
+      spec.traffic.streams = 4;
+      spec.adversaries.push_back(AdversarySpec::make_retrieval_ddos(20, 2, 1));
+      break;
+    case StrategyKind::cartel_starver:
+      spec.traffic.enabled = true;
+      spec.traffic.requests_per_cycle = 16;
+      spec.traffic.streams = 4;
+      spec.adversaries.push_back(AdversarySpec::make_cartel_starver(0.3, 0, 1));
+      break;
   }
   return spec;
 }

@@ -150,6 +150,16 @@ scenario::ScenarioSpec shrunk_spec(const fs::path& config) {
   for (adversary::AdversarySpec& adv : spec.adversaries) {
     adv.start_epoch = std::min<std::uint64_t>(adv.start_epoch, 1);
     adv.sectors = std::min<std::uint64_t>(adv.sectors, 6);
+    adv.requests_per_epoch =
+        std::min<std::uint64_t>(adv.requests_per_epoch, 12);
+  }
+  if (spec.traffic.enabled) {
+    spec.traffic.requests_per_cycle =
+        std::min<std::uint64_t>(spec.traffic.requests_per_cycle, 48);
+    if (spec.traffic.defense_enabled) {
+      spec.traffic.defense_warmup =
+          std::min<std::uint64_t>(spec.traffic.defense_warmup, 2);
+    }
   }
   return spec;
 }
@@ -220,7 +230,7 @@ void expect_save_load_identity(const scenario::ScenarioSpec& spec,
 
 TEST(SnapshotRoundTrip, EveryShippedConfigAtSeveralEpochs) {
   const std::vector<fs::path> configs = shipped_configs();
-  ASSERT_GE(configs.size(), 10u) << "configs/ directory not found or empty";
+  ASSERT_GE(configs.size(), 13u) << "configs/ directory not found or empty";
   for (const fs::path& config : configs) {
     const scenario::ScenarioSpec spec = shrunk_spec(config);
     const std::uint64_t epochs = total_epochs(spec);

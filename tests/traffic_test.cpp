@@ -1,0 +1,459 @@
+// Retrieval-traffic engine: traffic.* spec parsing/rejection/round-trips,
+// the Poisson-envelope defense (honest streams never flagged across
+// seeds, a DDoS gang flagged within a bounded number of epochs, no
+// defense-off flags), worker-count byte-identity of traffic reports, QoS
+// behavior under flash crowds and serve-refusal cartels, and snapshot
+// round-trips of every piece of new traffic/defense/market state.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/spec.h"
+#include "scenario/metrics.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "snapshot/snapshot.h"
+#include "traffic/defense.h"
+#include "traffic/spec.h"
+#include "util/binary_io.h"
+#include "util/config.h"
+
+namespace {
+
+using fi::adversary::AdversarySpec;
+using fi::scenario::MetricsReport;
+using fi::scenario::PhaseSpec;
+using fi::scenario::ScenarioRunner;
+using fi::scenario::ScenarioSpec;
+using fi::traffic::kNeverFlagged;
+using fi::traffic::PoissonEnvelopeDefense;
+using fi::traffic::TrafficSpec;
+using fi::util::BinaryReader;
+using fi::util::BinaryWriter;
+using fi::util::Config;
+
+// ---- Spec parsing ----------------------------------------------------------
+
+TEST(TrafficSpecTest, AbsentBlockStaysDisabledAndSerializesNothing) {
+  const auto config = Config::parse("");
+  ASSERT_TRUE(config.is_ok());
+  const auto spec = TrafficSpec::from_config(config.value());
+  ASSERT_TRUE(spec.is_ok());
+  EXPECT_FALSE(spec.value().enabled);
+  std::string out;
+  spec.value().serialize(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TrafficSpecTest, ConfigRoundTripIsLossless) {
+  const std::string text =
+      "traffic.requests_per_cycle = 120\n"
+      "traffic.streams = 6\n"
+      "traffic.zipf_s = 1.1\n"
+      "traffic.diurnal_period = 8\n"
+      "traffic.diurnal_amplitude = 0.5\n"
+      "traffic.flash_epoch = 4\n"
+      "traffic.flash_duration = 3\n"
+      "traffic.flash_multiplier = 7\n"
+      "traffic.flash_focus = 0.85\n"
+      "traffic.provider_capacity = 16\n"
+      "traffic.queue_limit = 64\n"
+      "traffic.cache_blocks = 128\n"
+      "traffic.price_per_kib = 2\n"
+      "traffic.defense.enabled = true\n"
+      "traffic.defense.warmup = 3\n"
+      "traffic.defense.k = 3.5\n"
+      "traffic.defense.violations = 2\n"
+      "traffic.defense.surge = 6\n"
+      "traffic.defense.rate_limit = false\n";
+  const auto config = Config::parse(text);
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  const auto parsed = TrafficSpec::from_config(config.value());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const TrafficSpec& spec = parsed.value();
+  EXPECT_TRUE(spec.enabled);
+  EXPECT_EQ(spec.requests_per_cycle, 120u);
+  EXPECT_EQ(spec.streams, 6u);
+  EXPECT_DOUBLE_EQ(spec.zipf_s, 1.1);
+  EXPECT_EQ(spec.flash_multiplier, 7u);
+  EXPECT_TRUE(spec.defense_enabled);
+  EXPECT_FALSE(spec.defense_rate_limit);
+  EXPECT_TRUE(spec.validate().is_ok());
+
+  std::string out;
+  spec.serialize(out);
+  EXPECT_EQ(out, text);
+}
+
+TEST(TrafficSpecTest, ValidateRejectsInconsistentBlocks) {
+  const auto expect_invalid = [](TrafficSpec spec) {
+    spec.enabled = true;
+    if (spec.requests_per_cycle == 0) spec.requests_per_cycle = 10;
+    EXPECT_FALSE(spec.validate().is_ok());
+  };
+  {
+    TrafficSpec spec;
+    spec.streams = 0;
+    expect_invalid(spec);
+  }
+  {
+    TrafficSpec spec;
+    spec.zipf_s = 0.0;
+    expect_invalid(spec);
+  }
+  {
+    TrafficSpec spec;
+    spec.diurnal_amplitude = 0.5;  // no period
+    expect_invalid(spec);
+  }
+  {
+    TrafficSpec spec;
+    spec.diurnal_period = 4;  // no amplitude
+    expect_invalid(spec);
+  }
+  {
+    TrafficSpec spec;
+    spec.flash_multiplier = 10;  // flash knob without a flash window
+    expect_invalid(spec);
+  }
+  {
+    TrafficSpec spec;
+    spec.flash_duration = 2;
+    spec.flash_multiplier = 1;  // a multiplier of 1 is no flash at all
+    expect_invalid(spec);
+  }
+  {
+    TrafficSpec spec;
+    spec.defense_surge = 9;  // defense knob without defense.enabled
+    expect_invalid(spec);
+  }
+  {
+    TrafficSpec spec;
+    spec.defense_enabled = true;
+    spec.defense_warmup = 0;
+    expect_invalid(spec);
+  }
+  {
+    // Knobs off their defaults while the block itself is disabled.
+    TrafficSpec spec;
+    spec.streams = 5;
+    EXPECT_FALSE(spec.validate().is_ok());
+  }
+}
+
+TEST(TrafficSpecTest, TrafficAdversariesRequireTheTrafficEngine) {
+  ScenarioSpec spec;
+  spec.sectors = 10;
+  spec.initial_files = 10;
+  spec.phases.push_back(PhaseSpec::make_idle(2));
+  spec.adversaries.push_back(AdversarySpec::make_retrieval_ddos(10, 2, 1));
+  EXPECT_FALSE(spec.validate().is_ok());
+  spec.traffic.enabled = true;
+  spec.traffic.requests_per_cycle = 10;
+  EXPECT_TRUE(spec.validate().is_ok());
+
+  spec.adversaries.back() = AdversarySpec::make_cartel_starver(0.2);
+  EXPECT_TRUE(spec.validate().is_ok());
+  spec.traffic = TrafficSpec{};
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+// ---- Defense unit behavior -------------------------------------------------
+
+TEST(PoissonEnvelopeDefenseTest, FlagsOnlyPersistentEnvelopeBreakers) {
+  // 4 streams at ~10/epoch, one attacker at 60/epoch from epoch 3.
+  PoissonEnvelopeDefense defense(/*streams=*/5, /*warmup=*/3, /*k=*/4.0,
+                                 /*violations=*/2);
+  for (std::uint64_t epoch = 0; epoch < 8; ++epoch) {
+    for (std::size_t stream = 0; stream < 4; ++stream) {
+      for (int r = 0; r < 10; ++r) defense.observe(stream);
+    }
+    const int attack = epoch >= 3 ? 60 : 10;
+    for (int r = 0; r < attack; ++r) defense.observe(4);
+    defense.end_epoch(epoch);
+  }
+  // Envelope from warmup means of 10: 10 + 4*sqrt(10) + 3 ~ 25.6.
+  EXPECT_TRUE(defense.armed());
+  EXPECT_GT(defense.envelope(), 20.0);
+  EXPECT_LT(defense.envelope(), 30.0);
+  for (std::size_t stream = 0; stream < 4; ++stream) {
+    EXPECT_FALSE(defense.flagged(stream)) << stream;
+    EXPECT_EQ(defense.first_flagged_epoch(stream), kNeverFlagged);
+  }
+  EXPECT_TRUE(defense.flagged(4));
+  // Violations at epochs 3 and 4 -> flagged when epoch 4 closes.
+  EXPECT_EQ(defense.first_flagged_epoch(4), 4u);
+  EXPECT_EQ(defense.flagged_count(), 1u);
+  EXPECT_EQ(defense.allowance(), 25u);
+}
+
+TEST(PoissonEnvelopeDefenseTest, FlagIsStickyAfterBackoff) {
+  PoissonEnvelopeDefense defense(/*streams=*/3, /*warmup=*/2, /*k=*/2.0,
+                                 /*violations=*/1);
+  for (std::uint64_t epoch = 0; epoch < 8; ++epoch) {
+    for (std::size_t stream = 0; stream < 2; ++stream) {
+      for (int r = 0; r < 8; ++r) defense.observe(stream);
+    }
+    // Attack for exactly one epoch, then go quiet.
+    const int attack = epoch == 3 ? 100 : 8;
+    for (int r = 0; r < attack; ++r) defense.observe(2);
+    defense.end_epoch(epoch);
+  }
+  EXPECT_TRUE(defense.flagged(2));
+  EXPECT_EQ(defense.first_flagged_epoch(2), 3u);
+}
+
+// ---- Scenario fixtures -----------------------------------------------------
+
+ScenarioSpec traffic_base_spec(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "traffic";
+  spec.seed = seed;
+  spec.sectors = 60;
+  spec.sector_units = 4;
+  spec.initial_files = 250;
+  spec.file_size_min = 1024;
+  spec.file_size_max = 1024;
+  spec.file_value = 10;
+  spec.params.min_value = 10;
+  spec.params.k = 3;
+  spec.params.cap_para = 200.0;
+  spec.params.gamma_deposit = 0.05;
+  spec.params.avg_refresh = 20.0;
+  spec.traffic.enabled = true;
+  spec.traffic.requests_per_cycle = 80;
+  spec.traffic.streams = 8;
+  spec.traffic.provider_capacity = 16;
+  spec.traffic.queue_limit = 64;
+  spec.traffic.cache_blocks = 64;
+  spec.phases.push_back(PhaseSpec::make_idle(12));
+  spec.phases.push_back(PhaseSpec::make_rent_audit(1));
+  return spec;
+}
+
+void enable_defense(ScenarioSpec& spec) {
+  spec.traffic.defense_enabled = true;
+  spec.traffic.defense_warmup = 3;
+  spec.traffic.defense_k = 4.0;
+  spec.traffic.defense_violations = 2;
+  spec.traffic.defense_surge = 4;
+  spec.traffic.defense_rate_limit = true;
+}
+
+// ---- Defense end-to-end ----------------------------------------------------
+
+TEST(TrafficDefenseTest, HonestLoadIsNeverFlaggedAcrossSeeds) {
+  for (const std::uint64_t seed : {11u, 202u, 3003u}) {
+    ScenarioSpec spec = traffic_base_spec(seed);
+    enable_defense(spec);
+    ScenarioRunner runner(std::move(spec));
+    const MetricsReport report = runner.run();
+    ASSERT_TRUE(report.traffic.enabled);
+    EXPECT_TRUE(report.traffic.defense_armed) << seed;
+    EXPECT_EQ(report.traffic.flagged_streams, 0u) << seed;
+    EXPECT_EQ(report.traffic.rate_limited, 0u) << seed;
+    EXPECT_EQ(report.traffic.first_flagged_epoch, kNeverFlagged) << seed;
+    EXPECT_GT(report.traffic.requests_attempted, 0u) << seed;
+  }
+}
+
+TEST(TrafficDefenseTest, DdosGangIsFlaggedWithinBoundedEpochs) {
+  ScenarioSpec spec = traffic_base_spec(77);
+  enable_defense(spec);
+  spec.adversaries.push_back(
+      AdversarySpec::make_retrieval_ddos(/*requests_per_epoch=*/120,
+                                         /*gang=*/3, /*start_epoch=*/5));
+  ScenarioRunner runner(std::move(spec));
+  const MetricsReport report = runner.run();
+  ASSERT_TRUE(report.traffic.enabled);
+  // All 3 gang streams flagged, within violations+1 epochs of the attack.
+  EXPECT_EQ(report.traffic.flagged_streams, 3u);
+  ASSERT_EQ(report.traffic.flagged_stream_ids.size(), 3u);
+  for (const std::uint64_t stream : report.traffic.flagged_stream_ids) {
+    EXPECT_GE(stream, 8u) << "an honest stream was flagged";
+  }
+  EXPECT_LE(report.traffic.first_flagged_epoch, 8u);
+  // The rate limiter bit: most of the hammer volume never reaches a
+  // provider queue.
+  EXPECT_GT(report.traffic.rate_limited, 0u);
+  ASSERT_EQ(report.adversaries.size(), 1u);
+  const auto& extras = report.adversaries[0].counters.extras;
+  const auto extra = [&extras](const char* name) {
+    const auto it = std::find_if(
+        extras.begin(), extras.end(),
+        [name](const auto& kv) { return kv.first == name; });
+    return it == extras.end() ? -1.0 : it->second;
+  };
+  EXPECT_EQ(extra("streams_flagged"), 3.0);
+  EXPECT_GT(extra("requests_rate_limited"), 0.0);
+  EXPECT_GT(extra("requests_attempted"), extra("requests_enqueued"));
+}
+
+TEST(TrafficDefenseTest, NoDefenseMeansNoFlagsAndNoLimiting) {
+  ScenarioSpec spec = traffic_base_spec(78);
+  spec.adversaries.push_back(
+      AdversarySpec::make_retrieval_ddos(/*requests_per_epoch=*/120,
+                                         /*gang=*/2, /*start_epoch=*/5));
+  ScenarioRunner runner(std::move(spec));
+  const MetricsReport report = runner.run();
+  EXPECT_FALSE(report.traffic.defense_armed);
+  EXPECT_EQ(report.traffic.flagged_streams, 0u);
+  EXPECT_EQ(report.traffic.rate_limited, 0u);
+}
+
+// ---- QoS paths -------------------------------------------------------------
+
+TEST(TrafficQosTest, CartelStarvationShowsUpAsStarvedRequests) {
+  ScenarioSpec spec = traffic_base_spec(79);
+  // Refuse service from most of the fleet so some files lose every
+  // cooperative holder.
+  spec.adversaries.push_back(AdversarySpec::make_cartel_starver(0.9, 0, 1));
+  ScenarioRunner runner(std::move(spec));
+  const MetricsReport report = runner.run();
+  EXPECT_GT(report.traffic.starved, 0u);
+  ASSERT_EQ(report.adversaries.size(), 1u);
+  const auto& extras = report.adversaries[0].counters.extras;
+  const auto it = std::find_if(
+      extras.begin(), extras.end(),
+      [](const auto& kv) { return kv.first == "refusal_hits"; });
+  ASSERT_NE(it, extras.end());
+  EXPECT_GT(it->second, 0.0);
+}
+
+TEST(TrafficQosTest, FlashCrowdOverloadsDropsAndRaisesTailLatency) {
+  ScenarioSpec quiet = traffic_base_spec(80);
+  ScenarioSpec flash = traffic_base_spec(80);
+  flash.traffic.flash_epoch = 4;
+  flash.traffic.flash_duration = 4;
+  flash.traffic.flash_multiplier = 12;
+  flash.traffic.flash_focus = 0.95;
+  const MetricsReport quiet_report = ScenarioRunner(std::move(quiet)).run();
+  const MetricsReport flash_report = ScenarioRunner(std::move(flash)).run();
+  EXPECT_EQ(quiet_report.traffic.dropped, 0u);
+  EXPECT_GT(flash_report.traffic.dropped, 0u);
+  EXPECT_GE(flash_report.traffic.p99_latency,
+            quiet_report.traffic.p99_latency);
+  EXPECT_GT(flash_report.traffic.requests_attempted,
+            quiet_report.traffic.requests_attempted);
+}
+
+TEST(TrafficQosTest, RetrievalSettlementConservesTheLedger) {
+  ScenarioSpec spec = traffic_base_spec(81);
+  ScenarioRunner runner(std::move(spec));
+  const MetricsReport report = runner.run();
+  // Every enqueued request settled exactly once, and rent conservation
+  // still holds with retrieval payments riding the same ledger.
+  EXPECT_EQ(report.traffic.retrievals_settled, report.traffic.enqueued);
+  EXPECT_GT(report.traffic.revenue, 0u);
+  EXPECT_EQ(report.traffic.payment_failures, 0u);
+  EXPECT_TRUE(report.rent_conserved);
+}
+
+// ---- Determinism -----------------------------------------------------------
+
+TEST(TrafficDeterminismTest, ReportsAreByteIdenticalAcrossWorkerCounts) {
+  const auto spec_with_workers = [](std::uint64_t workers) {
+    ScenarioSpec spec = traffic_base_spec(91);
+    enable_defense(spec);
+    spec.engine_workers = workers;
+    spec.adversaries.push_back(
+        AdversarySpec::make_retrieval_ddos(100, 2, 4));
+    spec.adversaries.push_back(AdversarySpec::make_cartel_starver(0.2, 0, 2));
+    return spec;
+  };
+  ScenarioRunner serial(spec_with_workers(1));
+  const std::string reference = serial.run().to_json(false);
+  EXPECT_NE(reference.find("\"traffic\""), std::string::npos);
+  for (const std::uint64_t workers : {4u, 16u}) {
+    ScenarioRunner parallel(spec_with_workers(workers));
+    EXPECT_EQ(reference, parallel.run().to_json(false))
+        << "worker drift at engine.workers = " << workers;
+  }
+}
+
+// ---- Snapshot round-trip ---------------------------------------------------
+
+std::string state_hash_of(ScenarioSpec spec) {
+  ScenarioRunner runner(std::move(spec));
+  (void)runner.run();
+  return fi::snapshot::state_hash(runner);
+}
+
+TEST(TrafficSnapshotTest, MidAttackSaveLoadContinuesByteIdentically) {
+  // Save mid-flash, mid-attack, with the defense armed and flags set —
+  // every piece of new state (market book/tallies, cache FIFO, queues,
+  // per-stream counters, defense streaks/flags, pending hammers) is
+  // non-trivial at the checkpoint.
+  const auto make_spec = [] {
+    ScenarioSpec spec = traffic_base_spec(92);
+    enable_defense(spec);
+    spec.traffic.flash_epoch = 5;
+    spec.traffic.flash_duration = 4;
+    spec.traffic.flash_multiplier = 6;
+    spec.adversaries.push_back(
+        AdversarySpec::make_retrieval_ddos(100, 2, 4));
+    spec.adversaries.push_back(AdversarySpec::make_cartel_starver(0.3, 0, 2));
+    return spec;
+  };
+
+  ScenarioRunner uninterrupted(make_spec());
+  const std::string reference = uninterrupted.run().to_json(false);
+  const std::string reference_hash = fi::snapshot::state_hash(uninterrupted);
+
+  BinaryWriter saved;
+  {
+    ScenarioRunner saver(make_spec());
+    saver.set_epoch_callback([&](const ScenarioRunner& at_epoch) {
+      if (at_epoch.epoch() == 7) saver.save_state(saved);
+    });
+    EXPECT_EQ(saver.run().to_json(false), reference);
+  }
+  ASSERT_GT(saved.size(), 0u);
+
+  BinaryReader reader(saved.data());
+  auto resumed = ScenarioRunner::resume(make_spec(), reader);
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_EQ(resumed.value()->epoch(), 7u);
+  EXPECT_EQ(resumed.value()->run().to_json(false), reference);
+  EXPECT_EQ(fi::snapshot::state_hash(*resumed.value()), reference_hash);
+}
+
+TEST(TrafficSnapshotTest, TruncatedTrafficTailIsRejected) {
+  const auto make_spec = [] {
+    ScenarioSpec spec = traffic_base_spec(93);
+    enable_defense(spec);
+    return spec;
+  };
+  BinaryWriter saved;
+  {
+    ScenarioRunner saver(make_spec());
+    saver.set_epoch_callback([&](const ScenarioRunner& at_epoch) {
+      if (at_epoch.epoch() == 5) saver.save_state(saved);
+    });
+    (void)saver.run();
+  }
+  ASSERT_GT(saved.size(), 64u);
+  // Chop into the traffic tail: the reader must fail cleanly, not crash
+  // or accept a half-loaded engine.
+  const auto& bytes = saved.data();
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 48);
+  BinaryReader reader(truncated);
+  EXPECT_FALSE(ScenarioRunner::resume(make_spec(), reader).is_ok());
+}
+
+TEST(TrafficSnapshotTest, TrafficFreeSnapshotsCarryNoTrafficBytes) {
+  // A disabled traffic block must leave the snapshot byte-stream exactly
+  // as the pre-traffic format: the runner appends nothing.
+  ScenarioSpec spec = traffic_base_spec(94);
+  spec.traffic = TrafficSpec{};
+  spec.adversaries.clear();
+  const std::string hash_a = state_hash_of(spec);
+  const std::string hash_b = state_hash_of(spec);
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_FALSE(hash_a.empty());
+}
+
+}  // namespace

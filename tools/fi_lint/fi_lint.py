@@ -47,7 +47,7 @@ from cpp_model import Model  # noqa: E402
 # (ISSUE 6; src/util and src/crypto host the sanctioned primitives, src/sim
 # and src/ipfs are not yet wired into the epoch loop).
 DETERMINISM_DIRS = ("src/core", "src/scenario", "src/adversary",
-                    "src/snapshot", "src/ledger")
+                    "src/snapshot", "src/ledger", "src/traffic")
 
 CHECKERS = ("serialization-coverage", "determinism", "snapshot-hygiene")
 
