@@ -296,6 +296,31 @@ std::string MetricsReport::to_json(bool include_timings) const {
     json.end_object();
   }
 
+  if (network.enabled) {
+    json.object("network");
+    json.field("regions", network.regions);
+    json.field("sent", network.sent);
+    json.field("delivered", network.delivered);
+    json.field("delivered_late", network.delivered_late);
+    json.field("dropped_loss", network.dropped_loss);
+    json.field("dropped_partition", network.dropped_partition);
+    json.field("dropped_down", network.dropped_down);
+    json.object("deadline_misses");
+    json.field("network", network.deadline_misses_network);
+    json.field("malice", network.deadline_misses_malice);
+    json.end_object();
+    json.begin_array("per_region");
+    for (const RegionMetrics& region : network.per_region) {
+      json.begin_object();
+      json.field("delivered", region.delivered);
+      json.field("mean_latency", region.mean_latency);
+      json.field("max_latency", region.max_latency);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
   json.object("totals");
   write_counters(json, totals, rent_charged, rent_paid);
   json.field("rent_pool", rent_pool);

@@ -53,6 +53,38 @@ struct PhaseMetrics {
 [[nodiscard]] double extra_or(const PhaseMetrics& phase,
                               std::string_view name, double fallback = 0.0);
 
+/// Delivery outcome of one regional subnet (latency in ticks, over
+/// messages delivered *into* the region).
+struct RegionMetrics {
+  std::uint64_t delivered = 0;
+  double mean_latency = 0.0;
+  std::uint64_t max_latency = 0;
+};
+
+/// Outcome of the simulated delivery network over the whole run (absent
+/// from the JSON unless the scenario enables the `network.*` block, so
+/// net-free reports are unchanged). Computed at run end from the
+/// `sim::NetModel` counters — pure reporting, never serialized into
+/// snapshots (the model itself is).
+struct NetworkMetrics {
+  bool enabled = false;
+  std::uint64_t regions = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  /// Delivered after the transfer's protocol deadline.
+  std::uint64_t delivered_late = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_down = 0;
+  /// Deadline-miss attribution: transfers the *network* made late or lost
+  /// (late deliveries plus every drop) ...
+  std::uint64_t deadline_misses_network = 0;
+  /// ... versus transfers refused by adversaries (malice) — the two causes
+  /// a Fig. 9 refresh failure or Auto_CheckAlloc upload failure can have.
+  std::uint64_t deadline_misses_malice = 0;
+  std::vector<RegionMetrics> per_region;
+};
+
 /// Outcome of one configured adversary strategy over the whole run: the
 /// runner's action-side counts plus the economic fallout attributed to the
 /// sectors the strategy touched (see `adversary::AdversaryCounters`).
@@ -79,6 +111,10 @@ struct MetricsReport {
   /// Retrieval-traffic outcome (absent from the JSON unless the scenario
   /// enables the traffic engine, so traffic-free reports are unchanged).
   traffic::TrafficMetrics traffic;
+
+  /// Simulated-network outcome (absent from the JSON unless the scenario
+  /// enables the `network.*` block).
+  NetworkMetrics network;
 
   /// Cumulative engine counters at the end of the run.
   core::NetworkStats totals;

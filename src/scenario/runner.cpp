@@ -81,9 +81,10 @@ void save_id_set(const std::unordered_set<Id>& set,
 
 }  // namespace
 
-ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec, bool force_sim_delivery)
     : spec_(std::move(spec)),
-      workload_rng_(spec_.seed ^ kWorkloadSeedSalt) {
+      workload_rng_(spec_.seed ^ kWorkloadSeedSalt),
+      force_sim_delivery_(force_sim_delivery) {
   {
     const util::Status valid = spec_.validate();
     FI_CHECK_MSG(valid.is_ok(), "invalid ScenarioSpec: " << valid.to_string());
@@ -248,6 +249,15 @@ void ScenarioRunner::build_network() {
     }
   });
 
+  if (spec_.network.enabled || force_sim_delivery_) {
+    // The model's RNG streams from its own salt, so latency/loss draws
+    // perturb neither protocol, workload, adversary nor traffic draws.
+    // In force mode the spec's block is disabled and to_net_config()
+    // yields the all-zero (instantaneous) profile.
+    netmodel_ = std::make_unique<sim::NetModel>(
+        spec_.network.to_net_config(), spec_.seed ^ kNetSeedSalt);
+  }
+
   if (spec_.traffic.enabled) {
     // Stream layout: honest streams first, then one contiguous block per
     // retrieval_ddos gang, in spec order — the layout is a pure function
@@ -290,30 +300,74 @@ void ScenarioRunner::setup_population() {
   setup_seconds_ = seconds_since(setup0);
 }
 
+void ScenarioRunner::confirm_transfer(
+    const core::ReplicaTransferRequested& req) {
+  if (!net_->sectors().exists(req.to)) return;
+  if (!refused_sectors_.empty() && refused_sectors_.contains(req.to)) {
+    // A refresh-sabotaging adversary holds the receiving sector: the
+    // transfer is never confirmed, so Auto_CheckRefresh (or
+    // Auto_CheckAlloc, for uploads) sees it miss the deadline.
+    const auto claim = sector_claims_.find(req.to);
+    if (claim != sector_claims_.end()) {
+      ++adversaries_[claim->second].counters.transfers_refused;
+    }
+    return;
+  }
+  // Rejections are expected (the file may have been lost or discarded
+  // between request and confirmation) and are visible in the punishment
+  // and refresh-failure counters, so they are not tracked separately.
+  (void)net_->file_confirm(net_->sectors().at(req.to).owner, req.file,
+                           req.index, req.to, {}, std::nullopt);
+}
+
+void ScenarioRunner::deliver_messages() {
+  sim::TransferMessage msg;
+  while (netmodel_->pop_due(net_->now(), msg)) {
+    core::ReplicaTransferRequested req;
+    req.file = msg.file;
+    req.index = msg.index;
+    req.from = msg.from_sector;
+    req.to = msg.to_sector;
+    req.client = msg.client;
+    req.deadline = msg.deadline;
+    confirm_transfer(req);
+  }
+}
+
 void ScenarioRunner::drain_transfers() {
   // Confirming can trigger follow-on work but never emits new transfer
   // requests synchronously; iterate over a swapped-out batch anyway so the
   // queue stays valid if that ever changes.
   std::vector<core::ReplicaTransferRequested> batch;
   batch.swap(transfer_queue_);
-  for (const core::ReplicaTransferRequested& req : batch) {
-    if (!net_->sectors().exists(req.to)) continue;
-    if (!refused_sectors_.empty() && refused_sectors_.contains(req.to)) {
-      // A refresh-sabotaging adversary holds the receiving sector: the
-      // transfer is never confirmed, so Auto_CheckRefresh (or
-      // Auto_CheckAlloc, for uploads) sees it miss the deadline.
-      const auto claim = sector_claims_.find(req.to);
-      if (claim != sector_claims_.end()) {
-        ++adversaries_[claim->second].counters.transfers_refused;
-      }
-      continue;
+  if (netmodel_ == nullptr) {
+    for (const core::ReplicaTransferRequested& req : batch) {
+      confirm_transfer(req);
     }
-    // Rejections are expected (the file may have been lost or discarded
-    // between request and confirmation) and are visible in the punishment
-    // and refresh-failure counters, so they are not tracked separately.
-    (void)net_->file_confirm(net_->sectors().at(req.to).owner, req.file,
-                             req.index, req.to, {}, std::nullopt);
+    return;
   }
+  // Sim-backed path: every request becomes a message with sampled latency;
+  // the exists/refused checks move to delivery time (the receiver acts
+  // when the bytes arrive, not when the chain asks). Dispatch first, then
+  // deliver, so zero-latency messages pop at this very drain point in FIFO
+  // order — the exact check/confirm interleaving of the direct loop.
+  const Time now = net_->now();
+  for (const core::ReplicaTransferRequested& req : batch) {
+    sim::TransferMessage msg;
+    msg.file = req.file;
+    msg.index = req.index;
+    msg.from_sector = req.from;
+    msg.to_sector = req.to;
+    msg.client = req.client;
+    msg.deadline = req.deadline;
+    // The transferred payload is the replica itself; a file discarded
+    // between request and dispatch still sends an (empty) message, whose
+    // delivery is then rejected by file_confirm like any stale request.
+    const ByteCount size =
+        net_->file_exists(req.file) ? net_->file(req.file).size : 0;
+    netmodel_->send(now, size, msg);
+  }
+  deliver_messages();
 }
 
 void ScenarioRunner::advance_confirming(Time horizon) {
@@ -322,7 +376,15 @@ void ScenarioRunner::advance_confirming(Time horizon) {
   // batch, and Auto_CheckAlloc must find them confirmed.
   drain_transfers();
   while (true) {
-    const Time next = net_->next_task_time();
+    const Time next_task = net_->next_task_time();
+    const Time next_msg =
+        netmodel_ != nullptr ? netmodel_->next_delivery_time() : kNoTime;
+    // Message due times are advance targets too: a message landing between
+    // task batches must confirm before the next deadline task runs. At
+    // equal timestamps engine tasks run first (advance_to executes the
+    // batch, then drain delivers), so a message arriving exactly on its
+    // deadline tick is too late — delivery order is pure (time, seq).
+    const Time next = std::min(next_task, next_msg);
     if (next == kNoTime || next > horizon) break;
     net_->advance_to(next);
     drain_transfers();
@@ -344,6 +406,42 @@ void ScenarioRunner::advance_cycles(std::uint64_t cycles) {
     advance_confirming(net_->now() + spec_.params.proof_cycle);
     ++epoch_;
   }
+}
+
+void ScenarioRunner::suppress_region_proofs(std::uint64_t region) {
+  // A blocked region cannot reach the chain: its sectors stop auto-proving
+  // (the same gate adversarial withholding uses). Only sectors not already
+  // physically corrupted are claimed, so an adversary's own marks — and
+  // their eventual confiscations — stay attributed to the adversary.
+  for (core::SectorId s = 0; s < net_->sectors().count(); ++s) {
+    if (netmodel_->region_of_sector(s) != region) continue;
+    if (!net_->sectors().exists(s)) continue;
+    const core::SectorState state = net_->sectors().at(s).state;
+    if (state != core::SectorState::normal &&
+        state != core::SectorState::disabled) {
+      continue;
+    }
+    if (net_->is_physically_corrupted(s)) continue;
+    net_->corrupt_sector_physical(s);
+    const auto at =
+        std::lower_bound(net_suppressed_.begin(), net_suppressed_.end(), s);
+    net_suppressed_.insert(at, s);
+  }
+}
+
+void ScenarioRunner::restore_region_proofs(std::uint64_t region) {
+  std::vector<core::SectorId> keep;
+  keep.reserve(net_suppressed_.size());
+  for (const core::SectorId s : net_suppressed_) {
+    if (netmodel_->region_of_sector(s) != region) {
+      keep.push_back(s);
+      continue;
+    }
+    // No-op for sectors the chain confiscated while the region was dark
+    // (restore never resurrects a chain-corrupted sector).
+    if (net_->sectors().exists(s)) net_->restore_sector_physical(s);
+  }
+  net_suppressed_ = std::move(keep);
 }
 
 void ScenarioRunner::run_adversaries() {
@@ -541,6 +639,16 @@ void ScenarioRunner::begin_phase(const PhaseSpec& phase) {
       drain_transfers();  // confirm the §VI-B swap-ins
       break;
     }
+    case PhaseKind::partition:
+      // Spec validation ties net-condition phases to an enabled network
+      // block, so netmodel_ is live here (and in the outage/heal paths).
+      netmodel_->set_region_partitioned(phase.region, true);
+      suppress_region_proofs(phase.region);
+      break;
+    case PhaseKind::outage:
+      netmodel_->set_region_down(phase.region, true);
+      suppress_region_proofs(phase.region);
+      break;
     default:
       break;
   }
@@ -602,10 +710,22 @@ void ScenarioRunner::step_phase_cycle(const PhaseSpec& phase) {
       }
       break;
     }
+    case PhaseKind::outage:
+      // Restart after down_cycles completed cycles: the region's links
+      // come back and its sectors resume proving. cycles_done is snapshot
+      // state, so a resumed run restarts at exactly the same cycle.
+      if (progress_.cycles_done == phase.down_cycles &&
+          netmodel_->region_down(phase.region)) {
+        netmodel_->set_region_down(phase.region, false);
+        restore_region_proofs(phase.region);
+      }
+      advance_cycles(1);
+      break;
     case PhaseKind::idle:
     case PhaseKind::corrupt_burst:
     case PhaseKind::rent_audit:
     case PhaseKind::admit:
+    case PhaseKind::partition:
       advance_cycles(1);
       break;
   }
@@ -667,6 +787,27 @@ void ScenarioRunner::end_phase(const PhaseSpec& phase) {
                            static_cast<double>(total));
       break;
     }
+    case PhaseKind::partition:
+      // Heal: links come back and the region's sectors resume proving from
+      // the next cycle. Any proof windows missed while cut off have already
+      // been punished (late or confiscated, depending on duration) —
+      // healing never re-punishes.
+      netmodel_->set_region_partitioned(phase.region, false);
+      restore_region_proofs(phase.region);
+      metrics.extras.emplace_back(
+          "dropped_partition",
+          static_cast<double>(netmodel_->dropped_partition()));
+      break;
+    case PhaseKind::outage:
+      // down_cycles < cycles restarts mid-phase (step_phase_cycle); a
+      // phase-long outage heals here instead.
+      if (netmodel_->region_down(phase.region)) {
+        netmodel_->set_region_down(phase.region, false);
+        restore_region_proofs(phase.region);
+      }
+      metrics.extras.emplace_back(
+          "dropped_down", static_cast<double>(netmodel_->dropped_down()));
+      break;
     case PhaseKind::idle:
       break;
   }
@@ -770,6 +911,36 @@ MetricsReport ScenarioRunner::run() {
   }
 
   if (traffic_ != nullptr) report.traffic = traffic_->metrics();
+  if (spec_.network.enabled) {
+    // Gated on the spec block, not netmodel_ presence: a force_sim_delivery
+    // run with the block disabled must keep the net-free report bytes.
+    NetworkMetrics& nm = report.network;
+    nm.enabled = true;
+    nm.regions = netmodel_->regions();
+    nm.sent = netmodel_->sent();
+    nm.delivered = netmodel_->delivered();
+    nm.delivered_late = netmodel_->delivered_late();
+    nm.dropped_loss = netmodel_->dropped_loss();
+    nm.dropped_partition = netmodel_->dropped_partition();
+    nm.dropped_down = netmodel_->dropped_down();
+    nm.deadline_misses_network = nm.delivered_late + nm.dropped_loss +
+                                 nm.dropped_partition + nm.dropped_down;
+    for (const AdversaryMetrics& adv : report.adversaries) {
+      nm.deadline_misses_malice += adv.counters.transfers_refused;
+    }
+    nm.per_region.reserve(nm.regions);
+    for (std::uint64_t r = 0; r < nm.regions; ++r) {
+      RegionMetrics region;
+      region.delivered = netmodel_->region_delivered(r);
+      region.mean_latency =
+          region.delivered == 0
+              ? 0.0
+              : static_cast<double>(netmodel_->region_latency_sum(r)) /
+                    static_cast<double>(region.delivered);
+      region.max_latency = netmodel_->region_latency_max(r);
+      nm.per_region.push_back(region);
+    }
+  }
   report.totals = net_->stats();
   report.rent_charged = net_->total_rent_charged();
   report.rent_paid = net_->total_rent_paid();
@@ -869,6 +1040,14 @@ void ScenarioRunner::save_state(util::BinaryWriter& writer) const {
   // Appended last so traffic-free snapshots stay byte-identical to
   // pre-traffic builds.
   if (traffic_ != nullptr) traffic_->save_state(writer);
+
+  // Net tail after the traffic tail, gated on the spec block (not
+  // netmodel_ presence) so net-free snapshots — including
+  // force_sim_delivery test runs — keep the byte format.
+  if (spec_.network.enabled) {
+    util::save_u64_seq(writer, net_suppressed_);
+    netmodel_->save_state(writer);
+  }
 }
 
 util::Status ScenarioRunner::load_state(util::BinaryReader& reader) {
@@ -990,6 +1169,11 @@ util::Status ScenarioRunner::load_state(util::BinaryReader& reader) {
   }
 
   if (traffic_ != nullptr) traffic_->load_state(reader);
+
+  if (spec_.network.enabled) {
+    net_suppressed_ = util::load_u64_seq<core::SectorId>(reader);
+    netmodel_->load_state(reader);
+  }
 
   if (!reader.ok() || !reader.exhausted()) {
     return util::err(util::ErrorCode::invalid_argument,

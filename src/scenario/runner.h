@@ -12,6 +12,7 @@
 #include "ledger/account.h"
 #include "scenario/metrics.h"
 #include "scenario/spec.h"
+#include "sim/net_model.h"
 #include "traffic/engine.h"
 #include "util/binary_io.h"
 #include "util/prng.h"
@@ -67,10 +68,22 @@ inline constexpr std::uint64_t kAdversarySeedSalt = 0x4164766572736172ULL;
 /// so request draws perturb neither protocol nor workload draws.
 inline constexpr std::uint64_t kTrafficSeedSalt = 0x5265747269657665ULL;
 
+/// Salt folded into `spec.seed` for the simulated network's latency/loss
+/// stream, so delivery draws perturb none of the above ("NetModel").
+inline constexpr std::uint64_t kNetSeedSalt = 0x4e65744d6f64656cULL;
+
 class ScenarioRunner {
  public:
   /// Builds the network and setup population; `spec` must validate.
-  explicit ScenarioRunner(ScenarioSpec spec);
+  ///
+  /// `force_sim_delivery` is the zero-latency-equivalence test hook: it
+  /// routes transfers through a `sim::NetModel` with the all-zero profile
+  /// even when the spec's `network.*` block is absent. The model is
+  /// behaviorally invisible in that configuration (no RNG draws, empty
+  /// in-flight set at every checkpoint, no report block, no snapshot
+  /// tail), so reports and state hashes must match the instantaneous loop
+  /// byte for byte — the property `tests/netchaos_test.cpp` pins.
+  explicit ScenarioRunner(ScenarioSpec spec, bool force_sim_delivery = false);
 
   ScenarioRunner(const ScenarioRunner&) = delete;
   ScenarioRunner& operator=(const ScenarioRunner&) = delete;
@@ -121,6 +134,13 @@ class ScenarioRunner {
   /// Proof cycles advanced since setup (the epoch counter adversaries
   /// observe).
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// The simulated delivery network, when one is active (spec `network.*`
+  /// block or `force_sim_delivery`); nullptr on the instantaneous path.
+  /// Read-only observation hook for tests and tooling.
+  [[nodiscard]] const sim::NetModel* netmodel() const {
+    return netmodel_.get();
+  }
 
  private:
   struct ResumeTag {};
@@ -179,15 +199,36 @@ class ScenarioRunner {
   util::Status load_state(util::BinaryReader& reader);
 
   // ---- Epoch loop ---------------------------------------------------------
-  /// Confirms every queued replica-transfer request (upload or refresh),
-  /// except those targeting sectors in an adversary's refusal set.
+  /// Instantaneous path: confirms a requested transfer unless the target
+  /// sector is gone or in an adversary's refusal set (checks evaluated at
+  /// confirmation time — i.e. at message delivery, when sim-backed).
+  void confirm_transfer(const core::ReplicaTransferRequested& request);
+  /// Dispatches every queued replica-transfer request — directly
+  /// (instantaneous loop) or as a latency-sampled `sim::NetModel` message —
+  /// then delivers every message due at or before the current time.
   void drain_transfers();
+  /// Pops and confirms every sim message due at or before `net_->now()`.
+  void deliver_messages();
   /// Advances to `horizon` one task batch at a time, draining transfer
-  /// requests between batches.
+  /// requests between batches. With a sim network, message due times are
+  /// advance targets too; engine tasks at time `t` run before deliveries
+  /// at `t` (a message landing exactly on its deadline tick is too late) —
+  /// with zero latency every message is delivered at its dispatch drain
+  /// point, which reproduces the instantaneous loop exactly.
   void advance_confirming(Time horizon);
   /// Advances whole proof cycles, consulting every adversary before each
   /// one and bumping the epoch counter after it.
   void advance_cycles(std::uint64_t cycles);
+
+  // ---- Net-condition plumbing ---------------------------------------------
+  /// Marks every provable sector of `region` physically corrupted (the
+  /// outage/partition proof gate: a blocked region cannot submit proofs),
+  /// recording which sectors *this layer* marked in `net_suppressed_` so
+  /// healing never clobbers an adversary's own withholding marks.
+  void suppress_region_proofs(std::uint64_t region);
+  /// Reverses `suppress_region_proofs` for the net-owned marks of
+  /// `region`; sectors confiscated in the meantime are left alone.
+  void restore_region_proofs(std::uint64_t region);
 
   // ---- Adversary plumbing -------------------------------------------------
   /// Gives every strategy its per-epoch turn (spec order) and applies the
@@ -247,6 +288,17 @@ class ScenarioRunner {
   std::unordered_set<core::SectorId> refused_sectors_;
   std::uint64_t epoch_ = 0;
 
+  /// Simulated delivery network (present iff `spec.network.enabled`, or
+  /// with the all-zero profile under `force_sim_delivery`): replica
+  /// transfers travel through it as latency-sampled messages. Its report
+  /// block and snapshot tail stay gated on `spec_.network.enabled`, so the
+  /// force mode is byte-invisible.
+  std::unique_ptr<sim::NetModel> netmodel_;
+  /// Sectors whose proofs the net layer suppressed (region partition or
+  /// outage), kept sorted. Disjoint from adversary withholding marks:
+  /// sectors already physically corrupted are never claimed here.
+  std::vector<core::SectorId> net_suppressed_;
+
   /// Retrieval-traffic engine (present iff `spec.traffic.enabled`): issues
   /// the per-epoch request load after the adversaries' turn and before the
   /// cycle's task batches.
@@ -257,6 +309,10 @@ class ScenarioRunner {
   /// the running base unused).
   // fi-lint: not-serialized(derived from the spec's adversary list)
   std::vector<std::uint64_t> gang_base_;
+
+  // fi-lint: not-serialized(construction input; test-only hook — resume
+  // never runs in force mode, the spec's network block governs there)
+  bool force_sim_delivery_ = false;
 
   std::uint64_t initial_files_stored_ = 0;
   std::uint64_t add_rejections_ = 0;

@@ -68,6 +68,15 @@ util::Result<PhaseSpec> parse_phase(const util::Config& config,
       FI_PHASE_FIELD(get_u64_or, cycles, 1);
       FI_PHASE_FIELD(get_u64_or, add_sectors, 0);
       break;
+    case PhaseKind::partition:
+      FI_PHASE_FIELD(get_u64_or, cycles, 1);
+      FI_PHASE_FIELD(get_u64_or, region, 0);
+      break;
+    case PhaseKind::outage:
+      FI_PHASE_FIELD(get_u64_or, cycles, 1);
+      FI_PHASE_FIELD(get_u64_or, region, 0);
+      FI_PHASE_FIELD(get_u64_or, down_cycles, 0);
+      break;
   }
 #undef FI_PHASE_FIELD
   return phase;
@@ -169,6 +178,8 @@ const char* phase_kind_name(PhaseKind kind) {
     case PhaseKind::selfish_refresh: return "selfish_refresh";
     case PhaseKind::rent_audit: return "rent_audit";
     case PhaseKind::admit: return "admit";
+    case PhaseKind::partition: return "partition";
+    case PhaseKind::outage: return "outage";
   }
   return "unknown";
 }
@@ -176,11 +187,85 @@ const char* phase_kind_name(PhaseKind kind) {
 util::Result<PhaseKind> phase_kind_from_name(std::string_view name) {
   for (const PhaseKind kind :
        {PhaseKind::idle, PhaseKind::churn, PhaseKind::corrupt_burst,
-        PhaseKind::selfish_refresh, PhaseKind::rent_audit, PhaseKind::admit}) {
+        PhaseKind::selfish_refresh, PhaseKind::rent_audit, PhaseKind::admit,
+        PhaseKind::partition, PhaseKind::outage}) {
     if (name == phase_kind_name(kind)) return kind;
   }
   return util::err(util::ErrorCode::invalid_argument,
                    "unknown phase kind '" + std::string(name) + "'");
+}
+
+util::Result<NetworkSpec> NetworkSpec::from_config(
+    const util::Config& config) {
+  NetworkSpec spec;
+  spec.enabled = config.contains("network.regions");
+  if (!spec.enabled) return spec;
+
+#define FI_NETWORK_FIELD(getter, field)                           \
+  do {                                                            \
+    auto parsed = config.getter("network." #field, spec.field);   \
+    if (!parsed.is_ok()) return parsed.status();                  \
+    spec.field = parsed.value();                                  \
+  } while (false)
+
+  FI_NETWORK_FIELD(get_u64_or, regions);
+  FI_NETWORK_FIELD(get_u64_or, base_latency);
+  FI_NETWORK_FIELD(get_u64_or, region_latency);
+  FI_NETWORK_FIELD(get_u64_or, ticks_per_kib);
+  FI_NETWORK_FIELD(get_u64_or, jitter);
+  FI_NETWORK_FIELD(get_double_or, drop_probability);
+#undef FI_NETWORK_FIELD
+  return spec;
+}
+
+util::Status NetworkSpec::validate() const {
+  if (!enabled) {
+    // Knobs of a disabled block must stay at their defaults — file
+    // configs get this from the unknown-key sweep (the keys are only
+    // consumed when the block is present); this covers in-code specs.
+    const NetworkSpec defaults;
+    const bool pristine = regions == defaults.regions &&
+                          base_latency == defaults.base_latency &&
+                          region_latency == defaults.region_latency &&
+                          ticks_per_kib == defaults.ticks_per_kib &&
+                          jitter == defaults.jitter &&
+                          drop_probability == defaults.drop_probability;
+    if (!pristine) {
+      return util::err(util::ErrorCode::invalid_argument,
+                       "network.* knobs set without network.regions (the "
+                       "block's enable key)");
+    }
+    return util::Status::ok();
+  }
+  if (regions == 0) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "network.regions must be positive");
+  }
+  // Strictly below 1: a lossless link is drop_probability = 0; a link that
+  // drops everything would deadlock every upload forever.
+  if (!(drop_probability >= 0.0 && drop_probability < 1.0)) {
+    return util::err(util::ErrorCode::invalid_argument,
+                     "network.drop_probability must lie in [0, 1), got " +
+                         format_shortest_double(drop_probability));
+  }
+  return util::Status::ok();
+}
+
+void NetworkSpec::serialize(std::string& out) const {
+  if (!enabled) return;
+  const auto emit = [&out](const char* key, const std::string& value) {
+    out += "network.";
+    out += key;
+    out += " = ";
+    out += value;
+    out += "\n";
+  };
+  emit("regions", std::to_string(regions));
+  emit("base_latency", std::to_string(base_latency));
+  emit("region_latency", std::to_string(region_latency));
+  emit("ticks_per_kib", std::to_string(ticks_per_kib));
+  emit("jitter", std::to_string(jitter));
+  emit("drop_probability", format_shortest_double(drop_probability));
 }
 
 util::Result<ScenarioSpec> ScenarioSpec::from_config(
@@ -215,6 +300,12 @@ util::Result<ScenarioSpec> ScenarioSpec::from_config(
 
   if (util::Status s = parse_params(config, spec.params); !s.is_ok()) {
     return s;
+  }
+
+  {
+    auto network = NetworkSpec::from_config(config);
+    if (!network.is_ok()) return network.status();
+    spec.network = std::move(network).value();
   }
 
   {
@@ -322,6 +413,8 @@ util::Status ScenarioSpec::validate() const {
       const char* name;
     };
     const bool is_churn = phase.kind == PhaseKind::churn;
+    const bool is_net_condition = phase.kind == PhaseKind::partition ||
+                                  phase.kind == PhaseKind::outage;
     const Knob knobs[] = {
         {phase.kind != PhaseKind::rent_audit, phase.cycles == 1, "cycles"},
         {phase.kind == PhaseKind::rent_audit, phase.periods == 0, "periods"},
@@ -334,6 +427,9 @@ util::Status ScenarioSpec::validate() const {
          phase.coalition_fraction == 0.0, "coalition_fraction"},
         {phase.kind == PhaseKind::admit, phase.add_sectors == 0,
          "add_sectors"},
+        {is_net_condition, phase.region == 0, "region"},
+        {phase.kind == PhaseKind::outage, phase.down_cycles == 0,
+         "down_cycles"},
     };
     for (const Knob& knob : knobs) {
       if (!knob.relevant && !knob.at_default) {
@@ -365,7 +461,27 @@ util::Status ScenarioSpec::validate() const {
       return util::err(util::ErrorCode::invalid_argument,
                        where + ".add_sectors must be positive");
     }
+    if (is_net_condition) {
+      if (!network.enabled) {
+        return util::err(util::ErrorCode::invalid_argument,
+                         where + ": a " +
+                             std::string(phase_kind_name(phase.kind)) +
+                             " phase needs the simulated network (set "
+                             "network.regions)");
+      }
+      if (phase.region >= network.regions) {
+        return util::err(util::ErrorCode::invalid_argument,
+                         where + ".region must be below network.regions");
+      }
+    }
+    if (phase.kind == PhaseKind::outage &&
+        (phase.down_cycles == 0 || phase.down_cycles > phase.cycles)) {
+      return util::err(util::ErrorCode::invalid_argument,
+                       where + ".down_cycles must lie in [1, cycles] (the "
+                              "region restarts within the phase)");
+    }
   }
+  if (util::Status s = network.validate(); !s.is_ok()) return s;
   if (util::Status s = traffic.validate(); !s.is_ok()) return s;
   for (std::size_t i = 0; i < adversaries.size(); ++i) {
     if (util::Status s =
@@ -426,6 +542,12 @@ std::string ScenarioSpec::to_config_string() const {
   out << "net.cr_size = " << params.cr_size << "\n";
 
   {
+    std::string network_block;
+    network.serialize(network_block);
+    out << network_block;
+  }
+
+  {
     std::string traffic_block;
     traffic.serialize(traffic_block);
     out << traffic_block;
@@ -467,6 +589,16 @@ std::string ScenarioSpec::to_config_string() const {
       case PhaseKind::admit:
         out << phase_key(i, "cycles") << " = " << phase.cycles << "\n";
         out << phase_key(i, "add_sectors") << " = " << phase.add_sectors
+            << "\n";
+        break;
+      case PhaseKind::partition:
+        out << phase_key(i, "cycles") << " = " << phase.cycles << "\n";
+        out << phase_key(i, "region") << " = " << phase.region << "\n";
+        break;
+      case PhaseKind::outage:
+        out << phase_key(i, "cycles") << " = " << phase.cycles << "\n";
+        out << phase_key(i, "region") << " = " << phase.region << "\n";
+        out << phase_key(i, "down_cycles") << " = " << phase.down_cycles
             << "\n";
         break;
     }

@@ -7,6 +7,7 @@
 
 #include "adversary/spec.h"
 #include "core/params.h"
+#include "sim/net_model.h"
 #include "traffic/spec.h"
 #include "util/config.h"
 #include "util/status.h"
@@ -48,6 +49,15 @@ enum class PhaseKind : std::uint8_t {
   /// rebalancing study), confirm the triggered swap-ins, then run
   /// `cycles` proof cycles; reports the newcomers' backup share.
   admit,
+  /// Cut region `region` off from the rest of the network for `cycles`
+  /// proof cycles (intra-region links survive; proofs, refresh handoffs
+  /// and uploads crossing the border are lost), then heal at phase end.
+  /// Requires the `network.*` block.
+  partition,
+  /// Crash region `region` (all links lost, proofs suppressed) for
+  /// `down_cycles` proof cycles, restart it, then run the remaining
+  /// `cycles - down_cycles` cycles of recovery. Requires `network.*`.
+  outage,
 };
 
 [[nodiscard]] const char* phase_kind_name(PhaseKind kind);
@@ -79,6 +89,10 @@ struct PhaseSpec {
   double coalition_fraction = 0.0;
   /// admit: fresh sectors registered at phase start.
   std::uint64_t add_sectors = 0;
+  /// partition/outage: the regional subnet the condition hits.
+  std::uint64_t region = 0;
+  /// outage: proof cycles the region stays down before restarting.
+  std::uint64_t down_cycles = 0;
 
   [[nodiscard]] std::string display_label() const {
     return label.empty() ? phase_kind_name(kind) : label;
@@ -134,6 +148,70 @@ struct PhaseSpec {
     p.cycles = cycles;
     return p;
   }
+  static PhaseSpec make_partition(std::uint64_t region, std::uint64_t cycles) {
+    PhaseSpec p;
+    p.kind = PhaseKind::partition;
+    p.region = region;
+    p.cycles = cycles;
+    return p;
+  }
+  static PhaseSpec make_outage(std::uint64_t region, std::uint64_t down_cycles,
+                               std::uint64_t cycles) {
+    PhaseSpec p;
+    p.kind = PhaseKind::outage;
+    p.region = region;
+    p.down_cycles = down_cycles;
+    p.cycles = cycles;
+    return p;
+  }
+};
+
+/// Simulated-delivery configuration (`network.*` config keys; disabled
+/// unless `network.regions` is present). When enabled, the runner routes
+/// every replica transfer — initial uploads and refresh handoffs — through
+/// a `sim::NetModel`: each becomes a message with latency sampled from the
+/// per-link profile these knobs describe, providers live in `regions`
+/// regional subnets (sector `s` in region `s % regions`), and partition /
+/// outage phases can block regions mid-run. Scenarios without the block
+/// behave exactly as before — no keys are emitted, no state is serialized,
+/// and reports are byte-identical to pre-network builds. The defaults are
+/// the zero-latency profile, so `network.regions = 1` alone is behaviorally
+/// identical to the instantaneous loop (the equivalence the tests pin).
+struct NetworkSpec {
+  /// Derived, not a config key: true iff `network.regions` is present.
+  bool enabled = false;
+
+  /// Regional subnets providers are spread across (sector id modulo).
+  std::uint64_t regions = 1;
+  /// Ticks added to every message, regardless of size or route.
+  std::uint64_t base_latency = 0;
+  /// Extra ticks for messages crossing regions (or the client backbone).
+  std::uint64_t region_latency = 0;
+  /// Bandwidth model: extra ticks per KiB of transferred file.
+  std::uint64_t ticks_per_kib = 0;
+  /// Uniform extra ticks in [0, jitter], drawn per message.
+  std::uint64_t jitter = 0;
+  /// Random loss probability in [0, 1), sampled at send.
+  double drop_probability = 0.0;
+
+  /// The sim-layer knob struct this block configures.
+  [[nodiscard]] sim::NetConfig to_net_config() const {
+    sim::NetConfig config;
+    config.regions = regions;
+    config.base_latency = base_latency;
+    config.region_latency = region_latency;
+    config.ticks_per_kib = ticks_per_kib;
+    config.jitter = jitter;
+    config.drop_probability = drop_probability;
+    return config;
+  }
+
+  /// Reads the `network.*` block (absent block => `enabled == false` and
+  /// every knob at its default).
+  static util::Result<NetworkSpec> from_config(const util::Config& config);
+  [[nodiscard]] util::Status validate() const;
+  /// Lossless key=value serialization; emits nothing when disabled.
+  void serialize(std::string& out) const;
 };
 
 /// Scenario-mode protocol parameters: identical to the engine defaults
@@ -179,6 +257,12 @@ struct ScenarioSpec {
   TokenAmount file_value = 0;
 
   std::vector<PhaseSpec> phases;
+
+  /// Simulated-delivery network (`network.*` config keys; disabled unless
+  /// `network.regions` is present). When enabled, replica transfers travel
+  /// as latency-sampled messages through a `sim::NetModel` and partition /
+  /// outage phases become available — see `NetworkSpec`.
+  NetworkSpec network;
 
   /// Retrieval-traffic engine configuration (`traffic.*` config keys;
   /// disabled unless `traffic.requests_per_cycle` is present). When

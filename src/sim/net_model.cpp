@@ -1,0 +1,186 @@
+#include "sim/net_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fi::sim {
+
+NetModel::NetModel(const NetConfig& config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      partitioned_(config.regions, 0),
+      down_(config.regions, 0),
+      region_delivered_(config.regions, 0),
+      region_latency_sum_(config.regions, 0),
+      region_latency_max_(config.regions, 0) {
+  FI_CHECK_MSG(config.regions > 0, "NetModel needs at least one region");
+}
+
+void NetModel::set_region_partitioned(std::uint64_t region, bool partitioned) {
+  partitioned_[region] = partitioned ? 1 : 0;
+}
+
+void NetModel::set_region_down(std::uint64_t region, bool down) {
+  down_[region] = down ? 1 : 0;
+}
+
+std::uint64_t NetModel::source_region(const TransferMessage& msg) const {
+  // Uploads carry `from_sector == ~0` (no sending sector): the client
+  // transmits from the backbone.
+  if (msg.from_sector == ~std::uint64_t{0}) return kBackboneRegion;
+  return region_of_sector(msg.from_sector);
+}
+
+bool NetModel::path_down(std::uint64_t src, std::uint64_t dst) const {
+  return (src != kBackboneRegion && region_down(src)) ||
+         (dst != kBackboneRegion && region_down(dst));
+}
+
+bool NetModel::path_partitioned(std::uint64_t src, std::uint64_t dst) const {
+  if (src == dst) return false;  // intra-region links survive a partition
+  return (src != kBackboneRegion && region_partitioned(src)) ||
+         (dst != kBackboneRegion && region_partitioned(dst));
+}
+
+void NetModel::send(Time now, ByteCount payload_bytes,
+                    const TransferMessage& message) {
+  ++sent_;
+  const std::uint64_t src = source_region(message);
+  const std::uint64_t dst = region_of_sector(message.to_sector);
+  if (path_down(src, dst)) {
+    ++dropped_down_;
+    return;
+  }
+  if (path_partitioned(src, dst)) {
+    ++dropped_partition_;
+    return;
+  }
+  if (config_.drop_probability > 0.0 &&
+      rng_.uniform_double() < config_.drop_probability) {
+    ++dropped_loss_;
+    return;
+  }
+  Time latency = config_.base_latency;
+  if (src != dst) latency += config_.region_latency;
+  latency += config_.ticks_per_kib * ((payload_bytes + 1023) / 1024);
+  if (config_.jitter > 0) latency += rng_.uniform_below(config_.jitter + 1);
+
+  InFlight entry;
+  entry.deliver_at = now + latency;
+  entry.seq = next_seq_++;
+  entry.sent_at = now;
+  entry.msg = message;
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), LaterFirst{});
+}
+
+Time NetModel::next_delivery_time() const {
+  return heap_.empty() ? kNoTime : heap_.front().deliver_at;
+}
+
+bool NetModel::pop_due(Time now, TransferMessage& out) {
+  while (!heap_.empty() && heap_.front().deliver_at <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), LaterFirst{});
+    const InFlight entry = heap_.back();
+    heap_.pop_back();
+    const std::uint64_t src = source_region(entry.msg);
+    const std::uint64_t dst = region_of_sector(entry.msg.to_sector);
+    if (path_down(src, dst)) {
+      ++dropped_down_;
+      continue;
+    }
+    if (path_partitioned(src, dst)) {
+      ++dropped_partition_;
+      continue;
+    }
+    ++delivered_;
+    if (entry.deliver_at > entry.msg.deadline) ++delivered_late_;
+    const Time latency = entry.deliver_at - entry.sent_at;
+    ++region_delivered_[dst];
+    region_latency_sum_[dst] += latency;
+    region_latency_max_[dst] = std::max(region_latency_max_[dst], latency);
+    out = entry.msg;
+    return true;
+  }
+  return false;
+}
+
+void NetModel::save_state(util::BinaryWriter& writer) const {
+  for (const std::uint64_t word : rng_.state()) writer.u64(word);
+  for (const std::uint8_t flag : partitioned_) writer.u8(flag);
+  for (const std::uint8_t flag : down_) writer.u8(flag);
+
+  // The in-flight set, sorted by its total delivery order — canonical
+  // bytes regardless of the heap array's incidental layout.
+  std::vector<InFlight> sorted = heap_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const InFlight& a, const InFlight& b) {
+              if (a.deliver_at != b.deliver_at) {
+                return a.deliver_at < b.deliver_at;
+              }
+              return a.seq < b.seq;
+            });
+  writer.u64(sorted.size());
+  for (const InFlight& entry : sorted) {
+    writer.u64(entry.deliver_at);
+    writer.u64(entry.seq);
+    writer.u64(entry.sent_at);
+    writer.u64(entry.msg.file);
+    writer.u32(entry.msg.index);
+    writer.u64(entry.msg.from_sector);
+    writer.u64(entry.msg.to_sector);
+    writer.u64(entry.msg.client);
+    writer.u64(entry.msg.deadline);
+  }
+  writer.u64(next_seq_);
+
+  writer.u64(sent_);
+  writer.u64(delivered_);
+  writer.u64(delivered_late_);
+  writer.u64(dropped_loss_);
+  writer.u64(dropped_partition_);
+  writer.u64(dropped_down_);
+  for (const std::uint64_t v : region_delivered_) writer.u64(v);
+  for (const std::uint64_t v : region_latency_sum_) writer.u64(v);
+  for (const std::uint64_t v : region_latency_max_) writer.u64(v);
+}
+
+void NetModel::load_state(util::BinaryReader& reader) {
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = reader.u64();
+  rng_.set_state(rng_state);
+  for (std::uint8_t& flag : partitioned_) flag = reader.u8();
+  for (std::uint8_t& flag : down_) flag = reader.u8();
+
+  heap_.clear();
+  const std::uint64_t in_flight = reader.count(68);
+  heap_.reserve(in_flight);
+  for (std::uint64_t i = 0; i < in_flight; ++i) {
+    InFlight entry;
+    entry.deliver_at = reader.u64();
+    entry.seq = reader.u64();
+    entry.sent_at = reader.u64();
+    entry.msg.file = reader.u64();
+    entry.msg.index = reader.u32();
+    entry.msg.from_sector = reader.u64();
+    entry.msg.to_sector = reader.u64();
+    entry.msg.client = reader.u64();
+    entry.msg.deadline = reader.u64();
+    heap_.push_back(entry);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), LaterFirst{});
+  next_seq_ = reader.u64();
+
+  sent_ = reader.u64();
+  delivered_ = reader.u64();
+  delivered_late_ = reader.u64();
+  dropped_loss_ = reader.u64();
+  dropped_partition_ = reader.u64();
+  dropped_down_ = reader.u64();
+  for (std::uint64_t& v : region_delivered_) v = reader.u64();
+  for (std::uint64_t& v : region_latency_sum_) v = reader.u64();
+  for (std::uint64_t& v : region_latency_max_) v = reader.u64();
+}
+
+}  // namespace fi::sim

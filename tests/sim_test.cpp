@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "scenario/runner.h"
+#include "scenario/spec.h"
 #include "sim/event_queue.h"
+#include "sim/net_model.h"
 #include "sim/network.h"
+#include "snapshot/snapshot.h"
+#include "util/binary_io.h"
 
 namespace fi::sim {
 namespace {
@@ -184,6 +190,231 @@ TEST(SimNetwork, LossyLinkDropsApproximatelyAtRate) {
   }
   q.run_all();
   EXPECT_NEAR(static_cast<double>(b.messages.size()) / 2000.0, 0.7, 0.04);
+}
+
+// ---------------------------------------------------------------------------
+// NetModel — the serializable scenario-grade delivery substrate
+// ---------------------------------------------------------------------------
+
+/// Drains every message due at or before `now` in pop order.
+std::vector<TransferMessage> drain_due(NetModel& model, Time now) {
+  std::vector<TransferMessage> out;
+  TransferMessage msg;
+  while (model.pop_due(now, msg)) out.push_back(msg);
+  return out;
+}
+
+TEST(NetModel, SameTimestampPopsInSendOrder) {
+  // The (deliver_at, seq) tie-break: messages due at the same tick pop in
+  // FIFO send order, exactly like EventQueue events and the protocol
+  // pending list — delivery order is state, so it must be canonical.
+  NetConfig config;  // all-zero: every message due at its send time
+  NetModel model(config, 7);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    model.send(5, 0, {.file = i, .to_sector = 0, .deadline = 100});
+  }
+  const auto delivered = drain_due(model, 5);
+  ASSERT_EQ(delivered.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(delivered[i].file, i);
+}
+
+TEST(NetModel, ZeroConfigConsumesNoRandomness) {
+  // The zero-latency special case must not touch the RNG: the loss draw
+  // only happens when drop_probability > 0 and the jitter draw only when
+  // jitter > 0. Two models — one never sending, one sending heavily —
+  // must keep byte-identical serialized RNG state.
+  NetConfig config;
+  NetModel busy(config, 99);
+  NetModel idle(config, 99);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    busy.send(i, 4096, {.file = i, .to_sector = i, .deadline = i + 10});
+  }
+  (void)drain_due(busy, 200);
+  util::BinaryWriter busy_bytes;
+  util::BinaryWriter idle_bytes;
+  busy.save_state(busy_bytes);
+  idle.save_state(idle_bytes);
+  // Same RNG words at the head of both encodings.
+  ASSERT_GE(busy_bytes.data().size(), 32u);
+  EXPECT_TRUE(std::equal(busy_bytes.data().begin(),
+                         busy_bytes.data().begin() + 32,
+                         idle_bytes.data().begin()));
+}
+
+TEST(NetModel, SameSeedReproducesDeliverySequence) {
+  const NetConfig config{.regions = 4,
+                         .base_latency = 3,
+                         .region_latency = 5,
+                         .ticks_per_kib = 1,
+                         .jitter = 6,
+                         .drop_probability = 0.2};
+  NetModel a(config, 1234);
+  NetModel b(config, 1234);
+  NetModel c(config, 4321);
+  for (NetModel* m : {&a, &b, &c}) {
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      m->send(i / 4, 1024 + 512 * (i % 3),
+              {.file = i, .from_sector = i % 7, .to_sector = i % 11,
+               .deadline = i / 4 + 30});
+    }
+  }
+  util::BinaryWriter wa;
+  util::BinaryWriter wb;
+  util::BinaryWriter wc;
+  a.save_state(wa);
+  b.save_state(wb);
+  c.save_state(wc);
+  // Same seed: byte-identical state (same drops, same latencies, same
+  // in-flight set). Different seed: a different trajectory.
+  EXPECT_EQ(wa.data(), wb.data());
+  EXPECT_NE(wa.data(), wc.data());
+  EXPECT_EQ(a.sent(), 500u);
+  EXPECT_EQ(a.dropped_loss(), b.dropped_loss());
+  EXPECT_GT(a.dropped_loss(), 0u);
+}
+
+TEST(NetModel, PartitionKeepsIntraRegionLinks) {
+  NetConfig config;
+  config.regions = 2;
+  NetModel model(config, 7);
+  model.set_region_partitioned(1, true);
+  // Intra-region traffic inside the partitioned region survives...
+  model.send(0, 0, {.file = 1, .from_sector = 1, .to_sector = 3});
+  // ...cross-region and backbone traffic into it is lost...
+  model.send(0, 0, {.file = 2, .from_sector = 0, .to_sector = 3});
+  model.send(0, 0,
+             {.file = 3, .from_sector = kBackboneRegion, .to_sector = 3});
+  // ...and traffic between unpartitioned endpoints is unaffected.
+  model.send(0, 0,
+             {.file = 4, .from_sector = kBackboneRegion, .to_sector = 2});
+  const auto delivered = drain_due(model, 0);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].file, 1u);
+  EXPECT_EQ(delivered[1].file, 4u);
+  EXPECT_EQ(model.dropped_partition(), 2u);
+}
+
+TEST(NetModel, DownRegionLosesAllLinks) {
+  NetConfig config;
+  config.regions = 2;
+  NetModel model(config, 7);
+  model.set_region_down(1, true);
+  model.send(0, 0, {.file = 1, .from_sector = 1, .to_sector = 3});  // intra
+  model.send(0, 0, {.file = 2, .from_sector = 0, .to_sector = 3});  // cross
+  EXPECT_TRUE(drain_due(model, 0).empty());
+  EXPECT_EQ(model.dropped_down(), 2u);
+}
+
+TEST(NetModel, MidFlightPartitionDropsAtDelivery) {
+  NetConfig config;
+  config.regions = 2;
+  config.base_latency = 10;
+  NetModel model(config, 7);
+  // Cross-region traffic (region 0 -> region 1), cut mid-flight. The
+  // intra-region case survives a partition by design, so only a
+  // border-crossing message can be lost at delivery time.
+  model.send(0, 0, {.file = 1, .from_sector = 0, .to_sector = 3});
+  model.set_region_partitioned(1, false);  // no-op, still up
+  model.set_region_partitioned(1, true);   // cuts the link mid-flight
+  EXPECT_TRUE(drain_due(model, 20).empty());
+  EXPECT_EQ(model.dropped_partition(), 1u);
+  EXPECT_EQ(model.in_flight(), 0u);
+}
+
+TEST(NetModel, SaveLoadRoundTripsInFlightMessages) {
+  const NetConfig config{.regions = 3,
+                         .base_latency = 4,
+                         .region_latency = 7,
+                         .ticks_per_kib = 2,
+                         .jitter = 5,
+                         .drop_probability = 0.1};
+  NetModel original(config, 42);
+  original.set_region_partitioned(2, true);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    original.send(i / 8, 2048,
+                  {.file = i, .from_sector = i % 5, .to_sector = i % 9,
+                   .deadline = i / 8 + 40});
+  }
+  (void)drain_due(original, 10);  // deliver a prefix, leave the rest in flight
+  ASSERT_GT(original.in_flight(), 0u);
+
+  util::BinaryWriter saved;
+  original.save_state(saved);
+  NetModel restored(config, 42);
+  util::BinaryReader reader(saved.data());
+  restored.load_state(reader);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader.exhausted());
+
+  // The restored model must deliver the identical remaining sequence and
+  // re-encode to the identical bytes afterwards.
+  EXPECT_EQ(restored.in_flight(), original.in_flight());
+  EXPECT_EQ(restored.next_delivery_time(), original.next_delivery_time());
+  const auto rest_a = drain_due(original, 500);
+  const auto rest_b = drain_due(restored, 500);
+  ASSERT_EQ(rest_a.size(), rest_b.size());
+  for (std::size_t i = 0; i < rest_a.size(); ++i) {
+    EXPECT_EQ(rest_a[i].file, rest_b[i].file);
+    EXPECT_EQ(rest_a[i].to_sector, rest_b[i].to_sector);
+  }
+  util::BinaryWriter end_a;
+  util::BinaryWriter end_b;
+  original.save_state(end_a);
+  restored.save_state(end_b);
+  EXPECT_EQ(end_a.data(), end_b.data());
+}
+
+// ---------------------------------------------------------------------------
+// NetModel under the scenario engine: worker-count byte-identity
+// ---------------------------------------------------------------------------
+
+scenario::ScenarioSpec net_condition_spec() {
+  scenario::ScenarioSpec spec;
+  spec.name = "sim_test_net";
+  spec.seed = 2024;
+  spec.sectors = 60;
+  spec.sector_units = 4;
+  spec.initial_files = 90;
+  spec.file_size_min = 1024;
+  spec.file_size_max = 1024;
+  spec.file_value = 10;
+  spec.params.min_value = 10;
+  spec.params.avg_refresh = 5;
+  spec.params.delay_per_kib = 30;
+  spec.network.enabled = true;
+  spec.network.regions = 3;
+  spec.network.base_latency = 2;
+  spec.network.region_latency = 4;
+  spec.network.jitter = 3;
+  spec.network.drop_probability = 0.05;
+  spec.phases.push_back(scenario::PhaseSpec::make_idle(2));
+  spec.phases.push_back(scenario::PhaseSpec::make_partition(1, 2));
+  spec.phases.push_back(scenario::PhaseSpec::make_idle(2));
+  spec.phases.push_back(scenario::PhaseSpec::make_outage(2, 1, 3));
+  spec.phases.push_back(scenario::PhaseSpec::make_idle(1));
+  return spec;
+}
+
+TEST(NetModelScenario, ByteIdenticalAcrossWorkerCounts) {
+  // Latency, drops, partitions, and a crash-restart must all ride the
+  // deterministic sweep merge: the report and end-of-run state hash are a
+  // pure function of the spec, independent of engine.workers.
+  std::string report_w1;
+  std::string hash_w1;
+  for (const std::uint64_t workers : {1ull, 4ull, 16ull}) {
+    scenario::ScenarioSpec spec = net_condition_spec();
+    spec.engine_workers = workers;
+    scenario::ScenarioRunner runner(std::move(spec));
+    const std::string report = runner.run().to_json();
+    const std::string hash = snapshot::state_hash(runner);
+    if (workers == 1) {
+      report_w1 = report;
+      hash_w1 = hash;
+    } else {
+      EXPECT_EQ(report, report_w1) << "workers=" << workers;
+      EXPECT_EQ(hash, hash_w1) << "workers=" << workers;
+    }
+  }
 }
 
 }  // namespace
