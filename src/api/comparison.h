@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/metrics.h"
+#include "scenario/spec.h"
+
+/// The cross-protocol comparison table `fi_orchestrate` aggregates: one
+/// row per plan node — full FileInsurer scenario runs, resumed segments,
+/// and Table-IV baseline models — rendered as deterministic JSON and
+/// markdown (docs/ORCHESTRATION.md documents both formats). Rows keep
+/// plan order, all doubles go through `format_shortest_double`, and no
+/// wall-clock values appear, so two runs of the same plan emit
+/// byte-identical tables.
+namespace fi {
+
+struct ComparisonRow {
+  std::string node;      ///< plan node name
+  std::string protocol;  ///< "FileInsurer", "Filecoin", ...
+  std::string kind;      ///< "scenario" | "segment" | "baseline"
+  std::uint64_t files = 0;
+  std::uint64_t epochs = 0;
+
+  /// Durability/compensation columns; false for mid-run segments (no
+  /// final report yet) — the renderers print em-dashes there.
+  bool has_outcome = false;
+  double lost_value_fraction = 0.0;  ///< value lost / value stored
+  double compensated_fraction = 0.0; ///< compensation paid / value lost
+  /// Sybil single-disk-failure loss; baseline rows only (< 0 = n/a).
+  double sybil_loss_fraction = -1.0;
+  /// Bytes stored per user byte (replicas, or n/k for erasure coding).
+  double storage_overhead = 0.0;
+  /// Economics: rent charged per unit of stored value (scenario rows);
+  /// < 0 = n/a.
+  double cost_fraction = -1.0;
+
+  // Table IV's qualitative columns.
+  bool capacity_scalable = true;
+  bool prevents_sybil = false;
+  bool provable_robustness = false;
+  bool full_compensation = false;
+
+  /// End-of-node state fingerprint ("" when a model has none).
+  std::string state_hash;
+};
+
+/// Builds a scenario row from a completed run's report. `epochs` and
+/// `state_hash` come from the session (the report does not carry them).
+[[nodiscard]] ComparisonRow row_from_report(
+    std::string node, const scenario::ScenarioSpec& spec,
+    const scenario::MetricsReport& report, std::uint64_t epochs,
+    std::string state_hash);
+
+[[nodiscard]] std::string comparison_table_json(
+    const std::string& plan_name, const std::vector<ComparisonRow>& rows);
+
+[[nodiscard]] std::string comparison_table_markdown(
+    const std::string& plan_name, const std::vector<ComparisonRow>& rows);
+
+}  // namespace fi

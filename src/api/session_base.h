@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// The minimal stepping contract shared by every experiment kind the
+/// orchestrator can drive: the full FileInsurer simulation (`fi::Session`)
+/// and the Table-IV baseline protocol models (`fi::BaselineSession`).
+/// One loop — `while (!s.finished()) s.run_epochs(k);` — works for both,
+/// and `state_hash()` gives each a deterministic end-state fingerprint
+/// for parent-edge validation and comparison rows.
+namespace fi {
+
+class SessionBase {
+ public:
+  virtual ~SessionBase() = default;
+
+  /// Advances at most `epochs` steps; returns how many actually ran.
+  virtual std::uint64_t run_epochs(std::uint64_t epochs) = 0;
+
+  /// True when no steps remain.
+  [[nodiscard]] virtual bool finished() const = 0;
+
+  /// Steps completed since the experiment's genesis.
+  [[nodiscard]] virtual std::uint64_t epoch() const = 0;
+
+  /// Deterministic lowercase-hex fingerprint of the current state.
+  [[nodiscard]] virtual std::string state_hash() const = 0;
+};
+
+}  // namespace fi

@@ -27,6 +27,10 @@ class ArweaveModel final : public DsnProtocol {
   CorruptionOutcome sybil_single_disk_failure(
       double identity_fraction) override;
 
+  [[nodiscard]] double storage_overhead() const override {
+    return placement_.mean_units_per_file();
+  }
+
   [[nodiscard]] bool prevents_sybil() const override { return true; }
   [[nodiscard]] bool provable_robustness() const override { return false; }
   [[nodiscard]] bool full_compensation() const override { return false; }

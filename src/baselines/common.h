@@ -48,6 +48,11 @@ class DsnProtocol {
   virtual CorruptionOutcome sybil_single_disk_failure(
       double identity_fraction) = 0;
 
+  /// Bytes stored per byte of user data under the current placement
+  /// (replica count for replication, n/k for erasure coding); valid after
+  /// `setup`. The comparison table's overhead column.
+  [[nodiscard]] virtual double storage_overhead() const = 0;
+
   // Table IV's static columns.
   [[nodiscard]] virtual bool capacity_scalable() const { return true; }
   [[nodiscard]] virtual bool prevents_sybil() const = 0;

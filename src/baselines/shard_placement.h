@@ -26,6 +26,15 @@ class ShardPlacement {
 
   [[nodiscard]] std::size_t file_count() const { return files_.size(); }
   [[nodiscard]] TokenAmount total_value() const { return total_value_; }
+  /// Mean placed units per file — the replication models' storage
+  /// overhead (each unit holds a full copy); erasure models scale it by
+  /// their shard size.
+  [[nodiscard]] double mean_units_per_file() const {
+    if (files_.empty()) return 0.0;
+    std::size_t units = 0;
+    for (const FileLayout& file : files_) units += file.units.size();
+    return static_cast<double>(units) / static_cast<double>(files_.size());
+  }
   [[nodiscard]] const FileLayout& layout(std::size_t i) const {
     return files_[i];
   }

@@ -26,6 +26,12 @@ class StorjModel final : public DsnProtocol {
   CorruptionOutcome sybil_single_disk_failure(
       double identity_fraction) override;
 
+  /// Each of the n shards is 1/k of the file, so overhead is n/k.
+  [[nodiscard]] double storage_overhead() const override {
+    return placement_.mean_units_per_file() /
+           static_cast<double>(config_.data_shards);
+  }
+
   [[nodiscard]] bool prevents_sybil() const override { return true; }
   [[nodiscard]] bool provable_robustness() const override { return false; }
   [[nodiscard]] bool full_compensation() const override { return false; }

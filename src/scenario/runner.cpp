@@ -827,23 +827,54 @@ void ScenarioRunner::end_phase(const PhaseSpec& phase) {
 }
 
 MetricsReport ScenarioRunner::run() {
-  FI_CHECK_MSG(!ran_, "ScenarioRunner::run() is single-shot");
-  ran_ = true;
+  run_cycles(kAllCycles);
+  return finalize();
+}
+
+std::uint64_t ScenarioRunner::run_cycles(std::uint64_t max_cycles) {
+  if (max_cycles == 0) return 0;
 
   const auto run0 = Clock::now();
+  std::uint64_t ran = 0;
   while (progress_.phase_index < spec_.phases.size()) {
     const PhaseSpec& phase = spec_.phases[progress_.phase_index];
-    if (!progress_.phase_started) begin_phase(phase);
+    if (!progress_.phase_started) {
+      begin_phase(phase);
+    } else if (progress_.cycles_done >= phase_total_cycles(phase)) {
+      // A previous call paused right after this phase's last cycle (the
+      // checkpoint-safe point precedes end-of-phase bookkeeping); flush
+      // the deferred end_phase before moving on — exactly what a resumed
+      // snapshot of that paused state would do.
+      end_phase(phase);
+      continue;
+    }
     while (progress_.cycles_done < phase_total_cycles(phase)) {
       step_phase_cycle(phase);
       ++progress_.cycles_done;
       // The checkpoint-safe point: every accumulator lives in progress_,
       // all transfers for the cycle are drained, no stack state in flight.
       if (epoch_callback_) epoch_callback_(*this);
+      if (++ran == max_cycles) {
+        run_wall_seconds_ += seconds_since(run0);
+        return ran;
+      }
     }
     end_phase(phase);
   }
+  run_wall_seconds_ += seconds_since(run0);
+  return ran;
+}
 
+bool ScenarioRunner::finished() const {
+  return progress_.phase_index >= spec_.phases.size();
+}
+
+MetricsReport ScenarioRunner::finalize() {
+  FI_CHECK_MSG(!ran_, "ScenarioRunner::run() is single-shot");
+  FI_CHECK_MSG(finished(), "finalize() before every phase completed");
+  ran_ = true;
+
+  const auto run0 = Clock::now();
   MetricsReport report;
   report.scenario = spec_.name;
   report.seed = spec_.seed;
@@ -951,7 +982,7 @@ MetricsReport ScenarioRunner::run() {
   report.outstanding_liabilities = net_->deposits().outstanding_liabilities();
   report.final_files = net_->file_count();
   report.final_time = net_->now();
-  report.wall_seconds = seconds_since(run0);
+  report.wall_seconds = run_wall_seconds_ + seconds_since(run0);
   return report;
 }
 

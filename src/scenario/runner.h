@@ -90,8 +90,39 @@ class ScenarioRunner {
 
   /// Executes every phase (remaining phases, for a resumed runner) and
   /// assembles the report. Single-shot: a second call is an invariant
-  /// violation (build a fresh runner per run).
+  /// violation (build a fresh runner per run). Equivalent to
+  /// `run_cycles(kAllCycles)` followed by `finalize()`.
   MetricsReport run();
+
+  /// `run_cycles(kAllCycles)`: run every remaining proof cycle.
+  static constexpr std::uint64_t kAllCycles = ~0ULL;
+
+  /// Advances at most `max_cycles` proof cycles and returns how many ran
+  /// (fewer only when the run's phases are exhausted; zero immediately
+  /// when `max_cycles == 0`). Pauses exactly at the checkpoint-safe point
+  /// — after a cycle's epoch callback, *before* the owning phase's
+  /// end-of-phase bookkeeping — so the paused state is byte-identical to
+  /// the state an epoch callback observes at the same epoch (`fi_sim
+  /// --save-at N` ≡ `run_cycles` to epoch N + `snapshot::save_to_file`).
+  /// The deferred `end_phase` runs lazily on the next call, exactly as a
+  /// resumed snapshot's would. This is the stepping primitive under
+  /// `fi::Session::run_epochs`.
+  std::uint64_t run_cycles(std::uint64_t max_cycles);
+
+  /// True once every phase's cycles have run AND the trailing phase
+  /// bookkeeping has been applied — i.e. `run_cycles` has nothing left to
+  /// do and `finalize()` may assemble the report. A runner paused after
+  /// its last cycle is *not* finished until the next `run_cycles` call
+  /// flushes the pending `end_phase` (deliberately: the pause state must
+  /// match the epoch-callback state).
+  [[nodiscard]] bool finished() const;
+
+  /// Assembles the report after the last phase completed (`finished()`).
+  /// Single-shot, and mutating: adversary `on_run_end` hooks fire and the
+  /// accumulated phase entries move into the report, so checkpoints taken
+  /// *after* finalize differ from mid-run ones (matching `fi_sim --save`
+  /// end-of-run snapshots).
+  MetricsReport finalize();
 
   // ---- Snapshot / resume --------------------------------------------------
 
@@ -331,6 +362,10 @@ class ScenarioRunner {
   /// restarts at zero on resume — timings are not simulation state).
   // fi-lint: not-serialized(host wall timing; restarts at zero on resume)
   double phase_wall_seconds_ = 0.0;
+  /// Wall seconds accumulated across `run_cycles` calls, so a stepped run
+  /// reports the same `wall_seconds` semantics as a monolithic `run()`.
+  // fi-lint: not-serialized(host wall timing; reporting only)
+  double run_wall_seconds_ = 0.0;
 };
 
 }  // namespace fi::scenario

@@ -1,0 +1,234 @@
+// The exit-code contract of the two shipped binaries, pinned by driving
+// them as real subprocesses: 0 = success, 1 = run/input failure (bad
+// file, failed node, rent leak), 2 = usage error. Scripts and CI recipes
+// branch on these codes, so a change here is a breaking interface change
+// — the same bar as a report-schema change.
+//
+// The binaries come from the build tree via FI_SIM_BIN /
+// FI_ORCHESTRATE_BIN (CMake injects $<TARGET_FILE:...> and declares the
+// dependency).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#if !defined(FI_SIM_BIN) || !defined(FI_ORCHESTRATE_BIN) || \
+    !defined(FI_CONFIG_DIR) || !defined(FI_PLAN_DIR)
+#error "FI_SIM_BIN / FI_ORCHESTRATE_BIN / FI_CONFIG_DIR / FI_PLAN_DIR " \
+       "must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string out;  ///< captured stdout
+  std::string err;  ///< captured stderr
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Runs `argv_tail` under the given binary with stdout/stderr captured.
+CommandResult run(const std::string& binary, const std::string& argv_tail) {
+  // ctest runs every case as its own (possibly concurrent) process, so
+  // capture files must be unique per process, not just per call.
+  static int counter = 0;
+  const std::string tag =
+      std::to_string(::getpid()) + "_" + std::to_string(counter++);
+  const fs::path out_path =
+      fs::path(::testing::TempDir()) / ("fi_cli_out_" + tag + ".txt");
+  const fs::path err_path =
+      fs::path(::testing::TempDir()) / ("fi_cli_err_" + tag + ".txt");
+
+  const std::string command = binary + " " + argv_tail + " > " +
+                              out_path.string() + " 2> " + err_path.string();
+  const int raw = std::system(command.c_str());
+  CommandResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  result.out = slurp(out_path);
+  result.err = slurp(err_path);
+  fs::remove(out_path);
+  fs::remove(err_path);
+  return result;
+}
+
+CommandResult fi_sim(const std::string& argv_tail) {
+  return run(FI_SIM_BIN, argv_tail);
+}
+CommandResult fi_orchestrate(const std::string& argv_tail) {
+  return run(FI_ORCHESTRATE_BIN, argv_tail);
+}
+
+std::string smoke_cfg() {
+  return (fs::path(FI_CONFIG_DIR) / "smoke.cfg").string();
+}
+
+fs::path write_temp(const std::string& name, const std::string& text) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  std::ofstream(path, std::ios::binary) << text;
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// fi_sim
+// ---------------------------------------------------------------------------
+
+TEST(FiSimCli, HelpExitsZeroAndDocumentsFlags) {
+  const CommandResult result = fi_sim("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+  EXPECT_NE(result.out.find("--scenario"), std::string::npos);
+  EXPECT_NE(result.out.find("--hash-state"), std::string::npos);
+}
+
+TEST(FiSimCli, UsageErrorsExitTwo) {
+  // Unknown flag, named in the diagnostic.
+  CommandResult result = fi_sim("--scenario x.cfg --frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("--frobnicate"), std::string::npos);
+
+  // Missing operand.
+  EXPECT_EQ(fi_sim("--scenario").exit_code, 2);
+  // No input at all, and both inputs at once.
+  EXPECT_EQ(fi_sim("").exit_code, 2);
+  EXPECT_EQ(fi_sim("--scenario a.cfg --load b.fisnap").exit_code, 2);
+  // Malformed --set (no '='), malformed numeric operand.
+  EXPECT_EQ(fi_sim("--scenario a.cfg --set seed7").exit_code, 2);
+  EXPECT_EQ(fi_sim("--scenario a.cfg --workers lots").exit_code, 2);
+  // Checkpoint flags that contradict each other or lack --save.
+  EXPECT_EQ(fi_sim("--scenario a.cfg --save-at 3").exit_code, 2);
+  EXPECT_EQ(
+      fi_sim("--scenario a.cfg --save s --save-at 3 --save-every 2")
+          .exit_code,
+      2);
+  // Reserved zero (0 would silently mean "save at end").
+  EXPECT_EQ(fi_sim("--scenario a.cfg --save s --save-at 0").exit_code, 2);
+  // --set on a resumed run (the snapshot pins the spec).
+  EXPECT_EQ(fi_sim("--load s.fisnap --set seed=1").exit_code, 2);
+}
+
+TEST(FiSimCli, InputFailuresExitOne) {
+  EXPECT_EQ(fi_sim("--scenario /nonexistent/nope.cfg").exit_code, 1);
+
+  const fs::path garbage =
+      write_temp("fi_cli_garbage.fisnap", "not a snapshot");
+  EXPECT_EQ(fi_sim("--load " + garbage.string()).exit_code, 1);
+  fs::remove(garbage);
+
+  // A save point past the end of the run must not look like success.
+  const CommandResult result = fi_sim("--scenario " + smoke_cfg() +
+                                      " --out /dev/null --save " +
+                                      (fs::path(::testing::TempDir()) /
+                                       "fi_cli_never.fisnap")
+                                          .string() +
+                                      " --save-at 10000");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("never fired"), std::string::npos);
+}
+
+TEST(FiSimCli, GoodRunExitsZero) {
+  const CommandResult result =
+      fi_sim("--scenario " + smoke_cfg() + " --out /dev/null --hash-state");
+  EXPECT_EQ(result.exit_code, 0);
+  // --hash-state prints exactly one 64-hex line on stdout.
+  ASSERT_EQ(result.out.size(), 65u) << result.out;
+  EXPECT_EQ(result.out.find_first_not_of("0123456789abcdef"), 64u);
+  EXPECT_NE(result.err.find("rent conserved"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// fi_orchestrate
+// ---------------------------------------------------------------------------
+
+TEST(FiOrchestrateCli, HelpExitsZeroAndDocumentsFlags) {
+  const CommandResult result = fi_orchestrate("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+  EXPECT_NE(result.out.find("--plan"), std::string::npos);
+  EXPECT_NE(result.out.find("--reuse-checkpoints"), std::string::npos);
+}
+
+TEST(FiOrchestrateCli, UsageErrorsExitTwo) {
+  EXPECT_EQ(fi_orchestrate("").exit_code, 2);  // --plan is required
+  EXPECT_EQ(fi_orchestrate("--frobnicate").exit_code, 2);
+  // A parseable plan without --out-dir is still a usage error (unless
+  // --validate).
+  EXPECT_EQ(fi_orchestrate(std::string("--plan ") + FI_PLAN_DIR +
+                           "/long_horizon.plan")
+                .exit_code,
+            2);
+}
+
+TEST(FiOrchestrateCli, ValidateChecksThePlanOnly) {
+  const CommandResult good = fi_orchestrate(
+      std::string("--plan ") + FI_PLAN_DIR + "/long_horizon.plan --validate");
+  EXPECT_EQ(good.exit_code, 0);
+  EXPECT_NE(good.out.find("plan ok: long_horizon (2 nodes)"),
+            std::string::npos);
+
+  const fs::path bad_plan = write_temp(
+      "fi_cli_bad.plan", "node.0.name = a\nnode.0.parent = ghost\n");
+  const CommandResult bad =
+      fi_orchestrate("--plan " + bad_plan.string() + " --validate");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.err.find("ghost"), std::string::npos);
+  fs::remove(bad_plan);
+
+  EXPECT_EQ(fi_orchestrate("--plan /nonexistent.plan --validate").exit_code,
+            1);
+}
+
+TEST(FiOrchestrateCli, TinyPlanRunsAndEmitsTable) {
+  const fs::path plan = write_temp("fi_cli_tiny.plan",
+                                   "plan.name = tiny\n"
+                                   "node.0.name = genesis\n"
+                                   "node.0.scenario = " +
+                                       smoke_cfg() +
+                                       "\n"
+                                       "node.0.epochs = 2\n"
+                                       "node.1.name = tail\n"
+                                       "node.1.parent = genesis\n");
+  const fs::path out_dir = fs::path(::testing::TempDir()) / "fi_cli_tiny_out";
+  fs::remove_all(out_dir);
+
+  const CommandResult result = fi_orchestrate(
+      "--plan " + plan.string() + " --out-dir " + out_dir.string() +
+      " --quiet --print-table");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("comparison table"), std::string::npos);
+  EXPECT_TRUE(fs::exists(out_dir / "comparison.json"));
+  EXPECT_TRUE(fs::exists(out_dir / "comparison.md"));
+  EXPECT_TRUE(fs::exists(out_dir / "tail.report.json"));
+  EXPECT_TRUE(fs::exists(out_dir / "genesis.fisnap"));
+
+  // A failing node is exit 1, not 2 (the invocation itself was fine).
+  const fs::path broken = write_temp(
+      "fi_cli_broken.plan",
+      "node.0.name = a\nnode.0.scenario = /nonexistent/x.cfg\n");
+  const fs::path out2 = fs::path(::testing::TempDir()) / "fi_cli_broken_out";
+  const CommandResult failed = fi_orchestrate(
+      "--plan " + broken.string() + " --out-dir " + out2.string() +
+      " --quiet");
+  EXPECT_EQ(failed.exit_code, 1);
+  EXPECT_NE(failed.err.find("FAILED"), std::string::npos);
+
+  fs::remove(plan);
+  fs::remove(broken);
+  fs::remove_all(out_dir);
+  fs::remove_all(out2);
+}
+
+}  // namespace

@@ -10,6 +10,14 @@
 // --timings the JSON is a pure function of the spec, so two runs with the
 // same config are byte-identical — diff reports to track trends.
 //
+// Since PR 10 this binary is a thin adapter over `fi::Session`
+// (src/api/session.h): it parses flags into `Session::OpenOptions`, steps
+// the session one epoch at a time applying the checkpoint/fingerprint
+// policy, and prints the report — every simulation capability lives in
+// the library, shared with `fi_orchestrate` and embeddings. The stepping
+// loop is byte-identical to the old monolithic run (pinned by
+// tests/session_test.cpp and the golden-hash CI gate).
+//
 // Snapshots (docs/ARCHITECTURE.md, src/snapshot): --save checkpoints the
 // whole simulation — engine tables, ledger, every PRNG stream, adversary
 // and phase progress — and --load continues it; the continued run's report
@@ -18,63 +26,20 @@
 // the canonical end-of-run state as the last stdout line (use --out for
 // the report when capturing it); the CI golden-hashes job pins these
 // per-config in tests/golden/state_hashes.txt.
+//
+// Exit codes (tests/cli_contract_test.cpp): 0 ok, 1 run/input failure
+// (bad file, rent leak, failed save), 2 usage.
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "scenario/runner.h"
-#include "scenario/spec.h"
+#include "api/session.h"
 #include "snapshot/incremental_hash.h"
 #include "snapshot/snapshot.h"
-#include "util/config.h"
-
-namespace {
-
-using fi::util::parse_u64;
-
-int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s --scenario <config> [--out <report.json>] [--timings]\n"
-      "          [--workers <n>] [--set key=value ...] [--dump-spec]\n"
-      "          [--save <file> [--save-at <epoch> | --save-every <n>]]\n"
-      "          [--hash-state] [--hash-network-every <n>]\n"
-      "       %s --load <file> [--out ...] [--workers <n>] [--timings]\n"
-      "          [--save ...] [--hash-state] [--hash-network-every <n>]\n"
-      "\n"
-      "  --scenario <config>  scenario spec (key=value or flat JSON file)\n"
-      "  --out <path>         write the JSON report here (default: stdout)\n"
-      "  --timings            include wall-clock timings in the report\n"
-      "                       (breaks byte-for-byte reproducibility)\n"
-      "  --workers <n>        engine sweep workers (alias for --set\n"
-      "                       engine.workers=<n>; 0 = hardware threads);\n"
-      "                       reports are byte-identical for every value\n"
-      "  --set key=value      override a config key (repeatable)\n"
-      "  --dump-spec          print the normalized spec and exit\n"
-      "  --save <file>        write a snapshot: at --save-at <epoch>, every\n"
-      "                       --save-every <n> epochs (overwriting), or at\n"
-      "                       the end of the run when neither is given\n"
-      "  --load <file>        resume a saved run instead of --scenario; the\n"
-      "                       continuation is byte-identical to the\n"
-      "                       uninterrupted run (--workers may differ)\n"
-      "  --hash-state         print the end-of-run state hash (SHA-256 of\n"
-      "                       the canonical state encoding) to stdout\n"
-      "  --hash-network-every <n>\n"
-      "                       every <n> epochs, print the incremental\n"
-      "                       network fingerprint (Merkle-ized per-component\n"
-      "                       hash; only changed components are re-hashed)\n"
-      "                       as 'network-fingerprint epoch=<e> <hex>'\n",
-      argv0, argv0);
-  return 2;
-}
-
-}  // namespace
+#include "util/arg_parser.h"
 
 int main(int argc, char** argv) {
   std::string scenario_path;
@@ -87,192 +52,160 @@ int main(int argc, char** argv) {
   bool timings = false;
   bool dump_spec = false;
   bool hash_state = false;
-  bool explicit_set = false;
-  std::optional<std::uint64_t> workers_override;
-  std::vector<std::pair<std::string, std::string>> overrides;
+  fi::Session::OpenOptions options;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--scenario" && i + 1 < argc) {
-      scenario_path = argv[++i];
-    } else if (arg == "--load" && i + 1 < argc) {
-      load_path = argv[++i];
-    } else if (arg == "--save" && i + 1 < argc) {
-      save_path = argv[++i];
-    } else if (arg == "--save-at" && i + 1 < argc) {
-      // Zero is reserved for "save at end of run" (no --save-at given);
-      // an explicit 0 would silently switch modes, so reject it.
-      if (!parse_u64(argv[++i], save_at) || save_at == 0) {
-        std::fprintf(stderr,
-                     "fi_sim: --save-at expects an epoch >= 1, got '%s'\n",
-                     argv[i]);
-        return usage(argv[0]);
-      }
-    } else if (arg == "--save-every" && i + 1 < argc) {
-      if (!parse_u64(argv[++i], save_every) || save_every == 0) {
-        std::fprintf(
-            stderr,
-            "fi_sim: --save-every expects a cycle count >= 1, got '%s'\n",
-            argv[i]);
-        return usage(argv[0]);
-      }
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--timings") {
-      timings = true;
-    } else if (arg == "--hash-state") {
-      hash_state = true;
-    } else if (arg == "--hash-network-every" && i + 1 < argc) {
-      if (!parse_u64(argv[++i], fingerprint_every) || fingerprint_every == 0) {
-        std::fprintf(
-            stderr,
-            "fi_sim: --hash-network-every expects a cycle count >= 1, "
-            "got '%s'\n",
-            argv[i]);
-        return usage(argv[0]);
-      }
-    } else if (arg == "--workers" && i + 1 < argc) {
-      // Routed through the config override path (fresh runs) so the value
-      // gets util::Config's strict unsigned-parse + range validation and
-      // round-trips via --dump-spec like any other key; resumed runs apply
-      // it to the embedded spec.
-      const char* value = argv[++i];
-      std::uint64_t workers = 0;
-      if (!parse_u64(value, workers)) {
-        std::fprintf(stderr, "fi_sim: --workers expects a number, got '%s'\n",
-                     value);
-        return usage(argv[0]);
-      }
-      workers_override = workers;
-      overrides.emplace_back("engine.workers", value);
-    } else if (arg == "--dump-spec") {
-      dump_spec = true;
-    } else if (arg == "--set" && i + 1 < argc) {
-      const std::string kv = argv[++i];
-      const std::size_t eq = kv.find('=');
-      if (eq == std::string::npos || eq == 0) {
-        std::fprintf(stderr, "fi_sim: --set expects key=value, got '%s'\n",
-                     kv.c_str());
-        return usage(argv[0]);
-      }
-      explicit_set = true;
-      overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
-    } else {
-      std::fprintf(stderr, "fi_sim: unknown argument '%s'\n", arg.c_str());
-      return usage(argv[0]);
-    }
+  fi::util::ArgParser parser(
+      "fi_sim",
+      "--scenario <config> | --load <snapshot>  [options]");
+  parser.add_string("--scenario", &scenario_path, "config",
+                    "scenario spec (key=value or flat JSON file)");
+  parser.add_string("--load", &load_path, "file",
+                    "resume a saved run instead of --scenario; the\n"
+                    "continuation is byte-identical to the\n"
+                    "uninterrupted run (--workers may differ)");
+  parser.add_string("--out", &out_path, "path",
+                    "write the JSON report here (default: stdout)");
+  parser.add_flag("--timings", &timings,
+                  "include wall-clock timings in the report\n"
+                  "(breaks byte-for-byte reproducibility)");
+  parser.add_optional_u64("--workers", &options.workers, "n",
+                          "engine sweep workers (alias for --set\n"
+                          "engine.workers=<n>; 0 = hardware threads);\n"
+                          "reports are byte-identical for every value");
+  parser.add_repeated_kv("--set", &options.overrides,
+                         "override a config key (repeatable)");
+  parser.add_flag("--dump-spec", &dump_spec,
+                  "print the normalized spec and exit");
+  parser.add_string("--save", &save_path, "file",
+                    "write a snapshot: at --save-at <epoch>, every\n"
+                    "--save-every <n> epochs (overwriting), or at\n"
+                    "the end of the run when neither is given");
+  // Zero is reserved for "save at end of run" (no --save-at given); an
+  // explicit 0 would silently switch modes, so the parser rejects it.
+  parser.add_u64("--save-at", &save_at, "epoch",
+                 "write --save's snapshot at this epoch", 1,
+                 "an epoch >= 1");
+  parser.add_u64("--save-every", &save_every, "n",
+                 "write --save's snapshot every n epochs", 1,
+                 "a cycle count >= 1");
+  parser.add_flag("--hash-state", &hash_state,
+                  "print the end-of-run state hash (SHA-256 of\n"
+                  "the canonical state encoding) to stdout");
+  parser.add_u64("--hash-network-every", &fingerprint_every, "n",
+                 "every <n> epochs, print the incremental\n"
+                 "network fingerprint (Merkle-ized per-component\n"
+                 "hash; only changed components are re-hashed)\n"
+                 "as 'network-fingerprint epoch=<e> <hex>'",
+                 1, "a cycle count >= 1");
+
+  if (auto status = parser.parse(argc, argv); !status.is_ok()) {
+    return parser.usage_error(status);
+  }
+  if (parser.help_requested()) {
+    std::fputs(parser.help_text().c_str(), stdout);
+    return 0;
   }
   if (scenario_path.empty() == load_path.empty()) {
-    std::fprintf(stderr,
-                 "fi_sim: exactly one of --scenario or --load is required\n");
-    return usage(argv[0]);
+    return parser.usage_error(
+        "exactly one of --scenario or --load is required");
   }
   if (save_path.empty() && (save_at != 0 || save_every != 0)) {
-    std::fprintf(stderr, "fi_sim: --save-at/--save-every need --save\n");
-    return usage(argv[0]);
+    return parser.usage_error("--save-at/--save-every need --save");
   }
   if (save_at != 0 && save_every != 0) {
-    std::fprintf(stderr, "fi_sim: --save-at and --save-every are exclusive\n");
-    return usage(argv[0]);
+    return parser.usage_error("--save-at and --save-every are exclusive");
+  }
+  if (!load_path.empty() && !options.overrides.empty()) {
+    // A snapshot embeds its spec; only the worker count — a pure
+    // throughput knob — may be overridden for the continuation.
+    // (fi_orchestrate plan nodes *can* fork a snapshot with divergent
+    // knobs; the CLI keeps --load a faithful continuation.)
+    return parser.usage_error(
+        "--set cannot modify a resumed run (the snapshot pins the spec); "
+        "use --workers to change the worker count, or an fi_orchestrate "
+        "plan to fork divergent branches");
   }
 
-  std::unique_ptr<fi::scenario::ScenarioRunner> runner;
-  if (!load_path.empty()) {
-    // A snapshot embeds its spec; only the worker count — a pure
-    // throughput knob — may be overridden for the continuation, and only
-    // through --workers (which reaches the resumed spec via
-    // workers_override; --set values would be silently dropped).
-    if (explicit_set) {
-      std::fprintf(stderr,
-                   "fi_sim: --set cannot modify a resumed run (the snapshot "
-                   "pins the spec); use --workers to change the worker "
-                   "count\n");
-      return usage(argv[0]);
-    }
-    if (dump_spec) {
+  if (dump_spec) {
+    std::string spec_text;
+    if (!load_path.empty()) {
       auto snapshot = fi::snapshot::read_file(load_path);
       if (!snapshot.is_ok()) {
         std::fprintf(stderr, "fi_sim: %s\n",
                      snapshot.status().to_string().c_str());
         return 1;
       }
-      std::fputs(snapshot.value().spec.to_config_string().c_str(), stdout);
-      return 0;
+      spec_text = snapshot.value().spec.to_config_string();
+    } else {
+      auto spec = fi::Session::load_spec(scenario_path, options);
+      if (!spec.is_ok()) {
+        std::fprintf(stderr, "fi_sim: %s: %s\n", scenario_path.c_str(),
+                     spec.status().to_string().c_str());
+        return 1;
+      }
+      spec_text = spec.value().to_config_string();
     }
-    auto resumed =
-        fi::snapshot::resume_from_file(load_path, workers_override);
-    if (!resumed.is_ok()) {
-      std::fprintf(stderr, "fi_sim: %s\n",
-                   resumed.status().to_string().c_str());
-      return 1;
-    }
-    runner = std::move(resumed).value();
-  } else {
-    auto config = fi::util::Config::load(scenario_path);
-    if (!config.is_ok()) {
-      std::fprintf(stderr, "fi_sim: %s\n",
-                   config.status().to_string().c_str());
-      return 1;
-    }
-    for (auto& [key, value] : overrides) {
-      config.value().set(key, value);
-    }
-
-    auto spec = fi::scenario::ScenarioSpec::from_config(config.value());
-    if (!spec.is_ok()) {
-      std::fprintf(stderr, "fi_sim: %s: %s\n", scenario_path.c_str(),
-                   spec.status().to_string().c_str());
-      return 1;
-    }
-
-    if (dump_spec) {
-      std::fputs(spec.value().to_config_string().c_str(), stdout);
-      return 0;
-    }
-
-    runner = std::make_unique<fi::scenario::ScenarioRunner>(
-        std::move(spec).value());
+    std::fputs(spec_text.c_str(), stdout);
+    return 0;
   }
+
+  auto opened = !load_path.empty()
+                    ? fi::Session::from_snapshot_file(load_path, options)
+                    : fi::Session::from_config_file(scenario_path, options);
+  if (!opened.is_ok()) {
+    if (!scenario_path.empty()) {
+      std::fprintf(stderr, "fi_sim: %s: %s\n", scenario_path.c_str(),
+                   opened.status().to_string().c_str());
+    } else {
+      std::fprintf(stderr, "fi_sim: %s\n",
+                   opened.status().to_string().c_str());
+    }
+    return 1;
+  }
+  fi::Session session = std::move(opened).value();
 
   bool save_failed = false;
   bool save_fired = false;
-  const bool save_hook = !save_path.empty() && (save_at != 0 || save_every != 0);
-  // The incremental hasher lives across epoch callbacks: each fingerprint
-  // re-hashes only the components whose version counters moved since the
-  // previous checkpoint, so frequent fingerprints cost O(changed state).
+  const bool save_hook =
+      !save_path.empty() && (save_at != 0 || save_every != 0);
+  // The incremental hasher lives across epochs: each fingerprint re-hashes
+  // only the components whose version counters moved since the previous
+  // checkpoint, so frequent fingerprints cost O(changed state).
   fi::snapshot::IncrementalNetworkHasher net_hasher;
-  if (save_hook || fingerprint_every != 0) {
-    runner->set_epoch_callback(
-        [&](const fi::scenario::ScenarioRunner& at_epoch) {
-          const std::uint64_t epoch = at_epoch.epoch();
-          if (fingerprint_every != 0 && epoch % fingerprint_every == 0) {
-            const fi::crypto::Hash256 fp =
-                net_hasher.fingerprint(at_epoch.network());
-            std::fprintf(stdout, "network-fingerprint epoch=%llu %s\n",
-                         static_cast<unsigned long long>(epoch),
-                         fp.hex().c_str());
-          }
-          if (!save_hook) return;
-          const bool due = save_every != 0 ? epoch % save_every == 0
-                                           : epoch == save_at;
-          if (!due) return;
-          save_fired = true;
-          const auto status =
-              fi::snapshot::save_to_file(at_epoch, save_path);
-          if (!status.is_ok()) {
-            std::fprintf(stderr, "fi_sim: snapshot save failed: %s\n",
-                         status.to_string().c_str());
-            save_failed = true;
-          }
-        });
+
+  // The stepping loop: one epoch per iteration, policy applied at the
+  // checkpoint-safe pause point — exactly where the monolithic run loop
+  // fired its epoch callback, so snapshots and fingerprints are
+  // byte-identical to the pre-Session fi_sim's.
+  while (!session.finished()) {
+    if (session.run_epochs(1) == 0) break;  // trailing zero-cycle phases
+    const std::uint64_t epoch = session.epoch();
+    if (fingerprint_every != 0 && epoch % fingerprint_every == 0) {
+      const fi::crypto::Hash256 fp = net_hasher.fingerprint(session.network());
+      std::fprintf(stdout, "network-fingerprint epoch=%llu %s\n",
+                   static_cast<unsigned long long>(epoch), fp.hex().c_str());
+    }
+    if (save_hook) {
+      const bool due =
+          save_every != 0 ? epoch % save_every == 0 : epoch == save_at;
+      if (due) {
+        save_fired = true;
+        if (auto status = session.checkpoint(save_path); !status.is_ok()) {
+          std::fprintf(stderr, "fi_sim: snapshot save failed: %s\n",
+                       status.to_string().c_str());
+          save_failed = true;
+        }
+      }
+    }
   }
 
-  const fi::scenario::MetricsReport report = runner->run();
+  const fi::scenario::MetricsReport report = session.report();
   const std::string json = report.to_json(timings);
 
   if (!save_path.empty() && save_at == 0 && save_every == 0) {
-    const auto status = fi::snapshot::save_to_file(*runner, save_path);
-    if (!status.is_ok()) {
+    // End-of-run snapshot: after report(), like the monolithic run —
+    // finalization (adversary end hooks) is part of the saved state.
+    if (auto status = session.checkpoint(save_path); !status.is_ok()) {
       std::fprintf(stderr, "fi_sim: snapshot save failed: %s\n",
                    status.to_string().c_str());
       save_failed = true;
@@ -284,7 +217,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "fi_sim: --save never fired: the run ended at epoch %llu "
                  "before the requested save point\n",
-                 static_cast<unsigned long long>(runner->epoch()));
+                 static_cast<unsigned long long>(session.epoch()));
     save_failed = true;
   }
 
@@ -301,7 +234,7 @@ int main(int argc, char** argv) {
   }
 
   if (hash_state) {
-    std::fprintf(stdout, "%s\n", fi::snapshot::state_hash(*runner).c_str());
+    std::fprintf(stdout, "%s\n", session.state_hash().c_str());
   }
 
   std::fprintf(
